@@ -1,0 +1,63 @@
+"""Ablation: the n_r parameter (Eq. 7 and register pressure).
+
+Sweeps n_r around the analytic corridor and confirms the model's
+behaviour matches Section V-A's reasoning: throughput climbs while
+latency is exposed (n_r below the Eq. 7 bound), plateaus inside the
+corridor, and degrades once the accumulator block spills registers --
+Volkov's "better performance at lower occupancy" in miniature.
+"""
+
+import pytest
+
+from repro.blis.blocking import BlockingPlan
+from repro.core.planner import n_r_lower_bound
+from repro.gpu.cycles import kernel_cycles
+
+
+def throughput_at(arch, n_r: int) -> float:
+    # One core isolates the n_r effect from core-grid quantization.
+    plan = BlockingPlan(
+        m=4096, n=16384, k=512, m_c=32, k_c=383, m_r=4, n_r=n_r,
+        grid_rows=1, grid_cols=1,
+    )
+    return kernel_cycles(arch, plan).throughput_word_ops
+
+
+@pytest.mark.artifact("ablation")
+def bench_nr_sweep(benchmark, gpu):
+    bound = n_r_lower_bound(gpu)
+
+    def sweep():
+        points = {}
+        for factor in (0.25, 0.5, 1, 2, 4):
+            n_r = max(gpu.l_fn, int(bound * factor) // gpu.l_fn * gpu.l_fn)
+            points[factor] = throughput_at(gpu, n_r)
+        return points
+
+    points = benchmark(sweep)
+    # Below the bound: exposed latency scales throughput down ~linearly.
+    assert points[0.5] > points[0.25]
+    assert points[1] > points[0.5] * 1.5
+    # At and above the bound: the plateau (plus ramp effects).
+    assert points[2] >= points[1] * 0.99
+    print(
+        f"\n{gpu.name}: n_r bound={bound}, throughput(bound/4, bound/2, bound, "
+        f"2x, 4x) = "
+        + ", ".join(f"{points[f] / 1e9:.0f}G" for f in (0.25, 0.5, 1, 2, 4))
+    )
+
+
+@pytest.mark.artifact("ablation")
+def bench_nr_register_spill(benchmark, gpu):
+    """Far beyond the register budget the spill penalty dominates."""
+    bound = n_r_lower_bound(gpu)
+
+    def spill_ratio():
+        plateau = throughput_at(gpu, bound * 4 // gpu.l_fn * gpu.l_fn)
+        # Enormous n_r: accumulators cannot fit the register file.
+        huge = 512 * gpu.l_fn * gpu.n_t // 4
+        spilled = throughput_at(gpu, huge // gpu.l_fn * gpu.l_fn)
+        return spilled / plateau
+
+    ratio = benchmark(spill_ratio)
+    assert ratio < 0.8

@@ -1,0 +1,38 @@
+"""Figure 5: LD kernel throughput vs number of SNP strings.
+
+Regenerates the kernel-throughput curve for each device at the
+caption's per-device SNP counts and string maxima, and asserts the
+paper's reported peak efficiencies: 90.7 % (GTX 980), 97.1 % (Titan V),
+54.9 % (Vega 64).
+"""
+
+import pytest
+
+from repro.bench.figures import FIG5_LIMITS, fig5_series
+from repro.bench.report import render_figure_report
+
+PAPER_EFFICIENCY = {"GTX 980": 0.907, "Titan V": 0.971, "Vega 64": 0.549}
+
+
+@pytest.mark.artifact("fig5")
+def bench_fig5_series(benchmark, gpu):
+    """Time the throughput sweep; assert the Fig. 5 shape and endpoint."""
+    series = benchmark(fig5_series, gpu)
+    # Rising curve (data reuse ramps with more strings) ...
+    effs = [p["efficiency"] for p in series]
+    assert effs[0] < effs[-1]
+    # ... throughput never exceeds the dotted theoretical peak ...
+    assert all(p["gpops"] <= p["peak_gpops"] + 1e-9 for p in series)
+    # ... and the endpoint matches the paper's reported efficiency.
+    assert effs[-1] == pytest.approx(PAPER_EFFICIENCY[gpu.name], abs=0.01)
+    # Axis limits come from the figure caption.
+    snps, max_strings = FIG5_LIMITS[gpu.name]
+    assert series[-1]["snp_strings"] == max_strings
+    assert series[0]["snps"] == snps
+
+
+@pytest.mark.artifact("fig5")
+def bench_fig5_render(benchmark):
+    text = benchmark(render_figure_report, "fig5")
+    print("\n" + text)
+    assert "efficiency" in text

@@ -1,0 +1,56 @@
+"""Figure 6: end-to-end LD execution time, CPU baseline vs GPUs.
+
+Simulated datasets of 10,000 SNPs, growing sequence counts.  Asserts
+the paper's qualitative structure: initialization dominates small
+problems (CPU wins), GPUs win at scale, and the large-problem speedup
+falls inside the abstract's 47-677 % band.
+"""
+
+import pytest
+
+from repro.bench.figures import fig6_series
+from repro.bench.report import render_figure_report
+from repro.gpu.arch import ALL_GPUS
+
+DEVICE_KEYS = [a.name.lower().replace(" ", "_") for a in ALL_GPUS]
+
+
+@pytest.mark.artifact("fig6")
+def bench_fig6_series(benchmark):
+    series = benchmark(fig6_series)
+    small, large = series[0], series[-1]
+    # Small problems: OpenCL init dominates; CPU is faster (Section VI-B).
+    for key in DEVICE_KEYS:
+        assert small[f"{key}_s"] > small["cpu_s"]
+    # Large problems: every GPU beats the CPU end-to-end, within the
+    # abstract's 47 %-677 % faster band.
+    for key in DEVICE_KEYS:
+        assert 1.47 <= large[f"{key}_speedup"] <= 7.77
+    # GPU times grow slowly with n (transfer/compute amortize init),
+    # CPU grows quadratically: the gap must widen monotonically.
+    for key in DEVICE_KEYS:
+        speedups = [p[f"{key}_speedup"] for p in series]
+        assert speedups == sorted(speedups)
+
+
+@pytest.mark.artifact("fig6")
+def bench_fig6_crossover(benchmark):
+    """Locate the CPU/GPU crossover; the paper places it at moderate n."""
+
+    def crossover():
+        for n in range(1_000, 13_000, 500):
+            point = fig6_series([n])[0]
+            if all(point[f"{k}_speedup"] > 1.0 for k in DEVICE_KEYS):
+                return n
+        return None
+
+    n_cross = benchmark(crossover)
+    assert n_cross is not None
+    assert 2_000 <= n_cross <= 12_000
+
+
+@pytest.mark.artifact("fig6")
+def bench_fig6_render(benchmark):
+    text = benchmark(render_figure_report, "fig6")
+    print("\n" + text)
+    assert "CPU" in text

@@ -1,0 +1,43 @@
+"""Figure 7: per-core scalability (weak scaling, largest LD tile).
+
+Asserts the three device signatures the paper reports: Titan V scales
+almost perfectly and exceeds 100 % relative per-core performance (the
+DVFS hypothesis); GTX 980 lands around 90 % at 16 cores; Vega 64 drops
+sharply past 8 cores.
+"""
+
+import pytest
+
+from repro.bench.figures import fig7_series
+from repro.bench.report import render_figure_report
+from repro.gpu.arch import GTX_980, TITAN_V, VEGA_64
+
+
+@pytest.mark.artifact("fig7")
+def bench_fig7_series(benchmark, gpu):
+    series = benchmark(fig7_series, gpu)
+    curve = {p["cores"]: p["relative_per_core"] for p in series}
+    assert curve[1] == pytest.approx(1.0)
+    if gpu is TITAN_V:
+        # Rises above 100 % for multi-core counts; nearly flat to 80.
+        assert curve[4] > 1.0
+        assert curve[80] > 1.0
+        assert min(curve.values()) > 0.95
+    elif gpu is GTX_980:
+        assert curve[16] == pytest.approx(0.926, abs=0.02)
+        assert curve[8] == pytest.approx(1.0)
+    elif gpu is VEGA_64:
+        # Flat to the knee, then a drastic decline (Section VI-C).
+        assert curve[8] == pytest.approx(1.0)
+        assert curve[16] < 0.95
+        assert curve[64] == pytest.approx(0.553, abs=0.02)
+        # Monotone decline past the knee.
+        tail = [curve[c] for c in (8, 16, 32, 64)]
+        assert tail == sorted(tail, reverse=True)
+
+
+@pytest.mark.artifact("fig7")
+def bench_fig7_render(benchmark):
+    text = benchmark(render_figure_report, "fig7")
+    print("\n" + text)
+    assert "scalability" in text

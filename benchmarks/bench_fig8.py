@@ -1,0 +1,57 @@
+"""Figure 8: FastID end-to-end, 32 queries vs a >20M-profile database.
+
+NDIS-scale database (paper footnote 4), SNP counts 128 to 1024.
+Asserts the structural claims: sub-second end-to-end times dominated by
+transfer, time growing with SNP count, and the Section VI-E2 memory
+behaviour (GTX 980 must tile the database; Titan V holds it whole).
+"""
+
+import pytest
+
+from repro.bench.figures import FIG8_DB_ROWS, fig8_series
+from repro.bench.report import render_figure_report
+from repro.gpu.arch import ALL_GPUS
+from repro.model.endtoend import estimate_end_to_end
+from repro.core.config import Algorithm
+
+DEVICE_KEYS = [a.name.lower().replace(" ", "_") for a in ALL_GPUS]
+
+
+@pytest.mark.artifact("fig8")
+def bench_fig8_series(benchmark):
+    series = benchmark(fig8_series)
+    assert [p["snps"] for p in series] == [128, 256, 512, 1024]
+    for key in DEVICE_KEYS:
+        times = [p[f"{key}_s"] for p in series]
+        # Time rises with SNP count (database bytes scale with k) and
+        # stays in the sub-second regime the paper shows.
+        assert times == sorted(times)
+        assert all(0.05 < t < 3.0 for t in times)
+    # Section VI-E2: the GTX 980 cannot hold the full database, the
+    # Titan V can.
+    at_1024 = series[-1]
+    assert at_1024["gtx_980_tiles"] > 1
+    assert at_1024["titan_v_tiles"] == 1
+
+
+@pytest.mark.artifact("fig8")
+def bench_fig8_transfer_bound(benchmark, gpu):
+    """FastID at NDIS scale is transfer-bound: kernel time is minor."""
+    est = benchmark(
+        estimate_end_to_end, gpu, Algorithm.FASTID_IDENTITY, 32, FIG8_DB_ROWS, 1024
+    )
+    assert est.kernel_s < 0.25 * (est.h2d_s + est.d2h_s)
+    serial = est.init_s + est.h2d_s + est.kernel_s + est.d2h_s
+    if est.n_tiles > 1:
+        # Multi-tile pipelines hide transfer behind transfer.
+        assert est.end_to_end_s < serial
+    else:
+        # Single tile: nothing to overlap; makespan equals the sum.
+        assert est.end_to_end_s == pytest.approx(serial, rel=0.01)
+
+
+@pytest.mark.artifact("fig8")
+def bench_fig8_render(benchmark):
+    text = benchmark(render_figure_report, "fig8")
+    print("\n" + text)
+    assert "FastID" in text

@@ -1,0 +1,31 @@
+"""Table I: hardware parameters, with microbenchmark recovery.
+
+Regenerates the measurement-derived rows of Table I by running the
+Section V-C/D microbenchmark procedures on the cycle-level core
+simulator and checking they recover the configured parameters.
+"""
+
+import pytest
+
+from repro.bench.report import render_figure_report
+from repro.gpu.microbench import run_microbench_suite
+
+
+@pytest.mark.artifact("table1")
+def bench_microbench_suite(benchmark, gpu):
+    """Time the full microbenchmark suite; assert parameter recovery."""
+    report = benchmark(run_microbench_suite, gpu)
+    assert report.popc_throughput == pytest.approx(gpu.popc_units, rel=0.05)
+    assert report.alu_throughput == pytest.approx(gpu.alu_units, rel=0.05)
+    assert report.popc_latency == pytest.approx(report.popc_latency_expected, rel=0.02)
+    # Section V-D findings: POPC on its own pipe; ADD and AND shared.
+    assert not report.popc_alu_shared
+    assert report.add_and_shared
+
+
+@pytest.mark.artifact("table1")
+def bench_table1_render(benchmark):
+    """Regenerate and print the full Table I report."""
+    text = benchmark(render_figure_report, "table1")
+    assert "GTX 980" in text and "Vega 64" in text
+    print("\n" + text)

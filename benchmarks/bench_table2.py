@@ -1,0 +1,50 @@
+"""Table II: software configuration parameters per device/algorithm.
+
+Regenerates every cell of Table II from the planner (Eqs. 4-7 plus the
+published n_r/grid tunings) and validates each configuration compiles
+against its device.
+"""
+
+import pytest
+
+from repro.bench.report import render_figure_report
+from repro.core.config import Algorithm
+from repro.core.planner import derive_config
+from repro.gpu.kernel import SnpKernel
+
+#: (device, algorithm) -> (core grid, m_r, n_r, k_c, m_c), verbatim Table II.
+PAPER_TABLE2 = {
+    ("GTX 980", Algorithm.LD): ((4, 4), 4, 384, 383, 32),
+    ("Titan V", Algorithm.LD): ((80, 1), 4, 1024, 383, 32),
+    ("Vega 64", Algorithm.LD): ((32, 2), 4, 1024, 512, 32),
+    ("GTX 980", Algorithm.FASTID_IDENTITY): ((1, 16), 4, 768, 383, 32),
+    ("Titan V", Algorithm.FASTID_IDENTITY): ((1, 80), 4, 1024, 383, 32),
+    ("Vega 64", Algorithm.FASTID_IDENTITY): ((1, 64), 4, 1024, 512, 32),
+}
+
+
+@pytest.mark.artifact("table2")
+@pytest.mark.parametrize(
+    "algorithm", [Algorithm.LD, Algorithm.FASTID_IDENTITY], ids=lambda a: a.value
+)
+def bench_derive_config(benchmark, gpu, algorithm):
+    """Time the analytic derivation; assert exact Table II agreement."""
+    config = benchmark(derive_config, gpu, algorithm)
+    grid, m_r, n_r, k_c, m_c = PAPER_TABLE2[(gpu.name, algorithm)]
+    assert (config.grid_rows, config.grid_cols) == grid
+    assert config.m_r == m_r
+    assert config.n_r == n_r
+    assert config.k_c == k_c
+    assert config.m_c == m_c
+    # Every published configuration must compile on its device.
+    SnpKernel.compile(
+        gpu, config.op, m_c=config.m_c, m_r=config.m_r, k_c=config.k_c,
+        n_r=config.n_r, grid_rows=config.grid_rows, grid_cols=config.grid_cols,
+    )
+
+
+@pytest.mark.artifact("table2")
+def bench_table2_render(benchmark):
+    text = benchmark(render_figure_report, "table2")
+    assert "383" in text and "512" in text
+    print("\n" + text)

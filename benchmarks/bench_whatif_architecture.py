@@ -1,0 +1,111 @@
+"""What-if architecture studies: the model as a design-space tool.
+
+Because performance follows from :class:`GPUArchitecture` parameters,
+the framework doubles as a what-if calculator -- the kind of analysis
+the paper's conclusion gestures at (memory hierarchies, DGX-2 nodes).
+Three studies:
+
+* **POPC unit scaling** on the GTX 980: the paper identifies POPC as
+  the NVIDIA bottleneck; adding units must help linearly until the
+  ALU pipe (2 ops/word over 32 lanes) takes over at 16 units.
+* **Latency tolerance**: growing ``L_fn`` raises the Eq. 7 bound but
+  must not change peak throughput while ``n_r`` keeps pace -- the
+  whole point of the latency-hiding design.
+* **Shared-memory sizing**: ``k_c`` scales with shared memory
+  (Eq. 6), trading panel-loop overhead against tile capacity; the
+  model shows the diminishing returns the paper's "k_c in the order
+  of 100s" remark implies.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.blis.blocking import BlockingPlan
+from repro.blis.microkernel import ComparisonOp
+from repro.core.planner import derive_k_c, n_r_lower_bound
+from repro.gpu.arch import GTX_980
+from repro.gpu.cycles import (
+    kernel_cycles,
+    peak_word_ops_per_second,
+)
+from repro.util.units import kib
+
+
+@pytest.mark.artifact("whatif")
+def bench_popc_unit_scaling(benchmark):
+    """Peak vs POPC unit count on a Maxwell-like device."""
+
+    def sweep():
+        peaks = {}
+        for units in (2, 4, 8, 16, 32):
+            arch = dataclasses.replace(GTX_980, popc_units=units)
+            peaks[units] = peak_word_ops_per_second(arch, ComparisonOp.AND)
+        return peaks
+
+    peaks = benchmark(sweep)
+    # Linear in the POPC-bound regime ...
+    assert peaks[8] == pytest.approx(2 * peaks[4])
+    assert peaks[4] == pytest.approx(2 * peaks[2])
+    # ... until the ALU pipe (32 lanes / 2 ops = 16 words/cycle) binds:
+    # beyond 16 POPC units nothing improves.
+    assert peaks[32] == pytest.approx(peaks[16])
+    print("\nGTX 980 what-if, peak GPOPS by POPC units: "
+          + ", ".join(f"{u}:{p / 1e9:.0f}" for u, p in peaks.items()))
+
+
+@pytest.mark.artifact("whatif")
+def bench_latency_tolerance(benchmark):
+    """Doubling L_fn must not cost peak while n_r tracks Eq. 7."""
+
+    def compare():
+        times = {}
+        for l_fn in (3, 6, 12):
+            arch = dataclasses.replace(GTX_980, l_fn=l_fn)
+            n_r = n_r_lower_bound(arch) * 2
+            # n divides every swept n_r x grid_cols product, so the
+            # comparison isolates latency from balance quantization.
+            plan = BlockingPlan(
+                m=4096, n=4608, k=256, m_c=32, k_c=383, m_r=4, n_r=n_r,
+                grid_rows=4, grid_cols=4,
+            )
+            times[l_fn] = kernel_cycles(arch, plan).seconds
+        return times
+
+    times = benchmark(compare)
+    values = list(times.values())
+    spread = max(values) / min(values)
+    assert spread < 1.02  # latency fully hidden at every L_fn
+    print("\nGTX 980 what-if, kernel time vs L_fn (n_r tracking Eq. 7): "
+          + ", ".join(f"L={l}:{t * 1e3:.2f}ms" for l, t in times.items()))
+
+
+@pytest.mark.artifact("whatif")
+def bench_shared_memory_sizing(benchmark):
+    """k_c from Eq. 6 across shared-memory sizes; flat beyond ~100s."""
+
+    def sweep():
+        out = {}
+        for shared_kib in (16, 32, 48, 96, 192):
+            arch = dataclasses.replace(
+                GTX_980,
+                shared_memory_bytes=kib(shared_kib),
+                shared_memory_reserved_bytes=16,
+            )
+            k_c = derive_k_c(arch)
+            plan = BlockingPlan(
+                m=8192, n=8192, k=2048, m_c=32, k_c=k_c, m_r=4, n_r=384,
+                grid_rows=4, grid_cols=4,
+            )
+            out[shared_kib] = (k_c, kernel_cycles(arch, plan).seconds)
+        return out
+
+    results = benchmark(sweep)
+    # Eq. 6 scaling of k_c with capacity.
+    assert results[96][0] == pytest.approx(2 * results[48][0], abs=2)
+    # Performance is k_c-insensitive once k_c is "in the order of 100s"
+    # (the paper's Section V-E point): 48 -> 192 KiB changes little.
+    t48, t192 = results[48][1], results[192][1]
+    assert abs(t48 - t192) / t48 < 0.02
+    print("\nGTX 980 what-if, (k_c, ms) by shared KiB: "
+          + ", ".join(f"{s}KiB:({k},{t * 1e3:.2f})" for s, (k, t) in results.items()))

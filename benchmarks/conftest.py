@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench regenerates one of the paper's evaluation artifacts.  The
+``benchmark`` fixture times the regeneration itself (the cost of the
+simulator / analytical model, host wall-clock); the *asserted* content
+is the paper-shape reproduction (who wins, by what factor, where the
+knees fall).  Run with ``pytest benchmarks/ --benchmark-only``; add
+``-s`` to see the regenerated tables.
+"""
+
+import pytest
+
+from repro.gpu.arch import ALL_GPUS
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "artifact(name): which paper table/figure a bench regenerates"
+    )
+
+
+@pytest.fixture(params=ALL_GPUS, ids=lambda a: a.name.replace(" ", ""))
+def gpu(request):
+    """Parametrize a bench over the three evaluation devices."""
+    return request.param

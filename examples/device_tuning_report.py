@@ -1,0 +1,69 @@
+"""Device tuning report: from hardware features to a configuration header.
+
+Walks the paper's Section V workflow for every device: describe the
+hardware (Table I), recover the measurement-derived parameters with the
+microbenchmark procedures, derive the software configuration (Eqs. 4-7,
+Table II), and emit the C configuration header the OpenCL build would
+consume.
+
+Run:  python examples/device_tuning_report.py [device]
+"""
+
+import sys
+
+from repro import Algorithm, derive_config, render_header
+from repro.gpu.arch import ALL_GPUS, get_gpu
+from repro.gpu.cycles import bottleneck_pipe, peak_word_ops_per_second
+from repro.gpu.microbench import run_microbench_suite
+from repro.util.tables import render_kv
+
+
+def report_device(arch) -> None:
+    print("=" * 70)
+    print(f"{arch.name} ({arch.vendor} {arch.microarchitecture})")
+    print("=" * 70)
+
+    print("\n-- hardware features (Table I) --")
+    print(render_kv(arch.describe().items()))
+
+    print("\n-- microbenchmark recovery (Sections V-C/D) --")
+    mb = run_microbench_suite(arch)
+    print(render_kv([
+        ("POPC chain latency (measured cycles)", f"{mb.popc_latency:.1f}"),
+        ("POPC units/cluster (measured)", f"{mb.popc_throughput:.1f}"),
+        ("ALU units/cluster (measured)", f"{mb.alu_throughput:.1f}"),
+        ("POPC shares ALU pipe", mb.popc_alu_shared),
+        ("ADD shares AND pipe", mb.add_and_shared),
+    ]))
+
+    print("\n-- theoretical peaks (bottleneck analysis, Section V-D) --")
+    for op, label in (("and", "LD / prenegated mixture"),
+                      ("xor", "identity search"),
+                      ("andnot", "mixture with in-kernel NOT")):
+        peak = peak_word_ops_per_second(arch, op)
+        pipe = bottleneck_pipe(arch, op)
+        print(f"  {label:28s}: {peak / 1e9:7.1f} GPOPS  (bound by {pipe.value})")
+
+    for algorithm in (Algorithm.LD, Algorithm.FASTID_IDENTITY,
+                      Algorithm.FASTID_MIXTURE):
+        config = derive_config(arch, algorithm)
+        print(f"\n-- derived configuration: {algorithm.value} --")
+        print(render_kv(config.as_table_row().items()))
+        print(f"micro-kernel: {config.op.value}")
+
+    print("\n-- generated configuration header (LD) --")
+    print(render_header(derive_config(arch, Algorithm.LD)))
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        devices = [get_gpu(" ".join(sys.argv[1:]))]
+    else:
+        devices = list(ALL_GPUS)
+    for arch in devices:
+        report_device(arch)
+        print()
+
+
+if __name__ == "__main__":
+    main()

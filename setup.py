@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+All metadata lives in pyproject.toml; this file exists so the package
+can be installed in environments without the `wheel` package / network
+access (``python setup.py develop`` or ``pip install --no-build-isolation``
+with legacy fallbacks).
+"""
+
+from setuptools import setup
+
+setup()

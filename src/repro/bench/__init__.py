@@ -1,0 +1,43 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each evaluation artifact has a series builder here and a pytest-
+benchmark target under ``benchmarks/``:
+
+==========  ===========================================  =====================
+Artifact    Content                                      Builder
+==========  ===========================================  =====================
+Table I     Hardware parameters + microbenchmarks        tables.table1_report
+Table II    Software configurations per device/algo      tables.table2_report
+Fig. 5      LD kernel throughput vs #SNP strings         figures.fig5_series
+Fig. 6      End-to-end LD vs CPU baseline                figures.fig6_series
+Fig. 7      Per-core scaling                             figures.fig7_series
+Fig. 8      FastID end-to-end, 32 queries vs 20M DB      figures.fig8_series
+Fig. 9      AND vs AND-NOT on one core                   figures.fig9_series
+==========  ===========================================  =====================
+
+``python -m repro.bench.runner all`` prints every report.
+"""
+
+from repro.bench.figures import (
+    FIG5_LIMITS,
+    fig5_series,
+    fig6_series,
+    fig7_series,
+    fig8_series,
+    fig9_series,
+)
+from repro.bench.tables import table1_report, table2_report
+from repro.bench.report import render_figure_report, render_all_reports
+
+__all__ = [
+    "FIG5_LIMITS",
+    "fig5_series",
+    "fig6_series",
+    "fig7_series",
+    "fig8_series",
+    "fig9_series",
+    "table1_report",
+    "table2_report",
+    "render_figure_report",
+    "render_all_reports",
+]

@@ -1,0 +1,116 @@
+"""Machine-readable export of every regenerated artifact.
+
+Writes the figure series and tables as CSV plus one JSON manifest, so
+plots and downstream analyses can consume the reproduction's numbers
+without importing the library::
+
+    python -m repro.bench.export out_dir/
+
+Produces ``table1.json``, ``table2.csv``, ``fig5.csv`` ... ``fig9.csv``
+and ``manifest.json`` (artifact -> file, with the paper-vs-measured
+headline values inline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import os
+from pathlib import Path
+
+from repro.bench.figures import (
+    fig5_series,
+    fig6_series,
+    fig7_series,
+    fig8_series,
+    fig9_series,
+)
+from repro.bench.tables import table1_report, table2_report
+from repro.gpu.arch import ALL_GPUS
+
+__all__ = ["export_all", "main"]
+
+
+def _write_csv(path: Path, rows: list[dict[str, object]]) -> None:
+    if not rows:
+        path.write_text("", encoding="utf-8")
+        return
+    fieldnames: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def export_all(out_dir: str | os.PathLike) -> dict[str, str]:
+    """Write every artifact; returns {artifact: filename}."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: dict[str, str] = {}
+
+    t1 = table1_report()
+    (out / "table1.json").write_text(
+        json.dumps(t1, indent=2, default=str), encoding="utf-8"
+    )
+    written["table1"] = "table1.json"
+
+    t2_rows = [
+        {"configuration": name, **row} for name, row in table2_report().items()
+    ]
+    _write_csv(out / "table2.csv", t2_rows)
+    written["table2"] = "table2.csv"
+
+    fig5_rows = [point for arch in ALL_GPUS for point in fig5_series(arch)]
+    _write_csv(out / "fig5.csv", fig5_rows)
+    written["fig5"] = "fig5.csv"
+
+    _write_csv(out / "fig6.csv", fig6_series())
+    written["fig6"] = "fig6.csv"
+
+    fig7_rows = [point for arch in ALL_GPUS for point in fig7_series(arch)]
+    _write_csv(out / "fig7.csv", fig7_rows)
+    written["fig7"] = "fig7.csv"
+
+    _write_csv(out / "fig8.csv", fig8_series())
+    written["fig8"] = "fig8.csv"
+
+    _write_csv(out / "fig9.csv", fig9_series())
+    written["fig9"] = "fig9.csv"
+
+    headline = {
+        "fig5_efficiency": {
+            arch.name: round(fig5_series(arch)[-1]["efficiency"], 4)
+            for arch in ALL_GPUS
+        },
+        "fig5_efficiency_paper": {
+            "GTX 980": 0.907, "Titan V": 0.971, "Vega 64": 0.549,
+        },
+    }
+    manifest = {"artifacts": written, "headline": headline}
+    (out / "manifest.json").write_text(
+        json.dumps(manifest, indent=2), encoding="utf-8"
+    )
+    written["manifest"] = "manifest.json"
+    return written
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.export",
+        description="Export all regenerated tables/figures as CSV/JSON.",
+    )
+    parser.add_argument("out_dir", help="output directory (created if missing)")
+    args = parser.parse_args(argv)
+    written = export_all(args.out_dir)
+    for artifact, filename in sorted(written.items()):
+        print(f"{artifact:10s} -> {filename}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

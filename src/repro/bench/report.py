@@ -1,0 +1,197 @@
+"""Text rendering of the regenerated tables and figure series."""
+
+from __future__ import annotations
+
+from repro.bench.figures import (
+    fig5_series,
+    fig6_series,
+    fig7_series,
+    fig8_series,
+    fig9_series,
+)
+from repro.bench.tables import table1_report, table2_report
+from repro.gpu.arch import ALL_GPUS
+from repro.util.tables import render_kv, render_table
+
+__all__ = ["render_figure_report", "render_all_reports"]
+
+
+def _render_table1() -> str:
+    blocks = [
+        render_kv(row.items(), title=f"Table I -- {device}")
+        for device, row in table1_report().items()
+    ]
+    return "\n\n".join(blocks)
+
+
+def _render_table2() -> str:
+    report = table2_report()
+    headers = ["Configuration", "Core configuration", "m_r", "n_r", "k_c", "m_c"]
+    rows = [
+        [name, row["Core configuration"], row["m_r"], row["n_r"], row["k_c"], row["m_c"]]
+        for name, row in report.items()
+    ]
+    return render_table(headers, rows, title="Table II -- software configurations")
+
+
+def _render_fig5() -> str:
+    blocks = []
+    for arch in ALL_GPUS:
+        series = fig5_series(arch)
+        rows = [
+            [p["snp_strings"], f"{p['gpops']:.1f}", f"{p['peak_gpops']:.1f}",
+             f"{p['efficiency'] * 100:.1f}%"]
+            for p in series
+        ]
+        blocks.append(
+            render_table(
+                ["SNP strings", "GPOPS", "peak GPOPS", "efficiency"],
+                rows,
+                title=f"Fig. 5 -- LD kernel throughput, {arch.name} "
+                f"({series[0]['snps']} SNPs)",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def _render_fig6() -> str:
+    series = fig6_series()
+    headers = ["sequences", "CPU (s)"]
+    for arch in ALL_GPUS:
+        headers += [f"{arch.name} (s)", f"{arch.name} speedup"]
+    rows = []
+    for point in series:
+        row = [point["sequences"], f"{point['cpu_s']:.3f}"]
+        for arch in ALL_GPUS:
+            key = arch.name.lower().replace(" ", "_")
+            row += [f"{point[f'{key}_s']:.3f}", f"{point[f'{key}_speedup']:.2f}x"]
+        rows.append(row)
+    return render_table(
+        headers, rows, title="Fig. 6 -- end-to-end LD, 10,000 SNPs (CPU from [11] model)"
+    )
+
+
+def _render_fig7() -> str:
+    blocks = []
+    for arch in ALL_GPUS:
+        series = fig7_series(arch)
+        rows = [[p["cores"], f"{p['relative_per_core'] * 100:.1f}%"] for p in series]
+        blocks.append(
+            render_table(
+                ["cores", "per-core relative"],
+                rows,
+                title=f"Fig. 7 -- scalability, {arch.name}",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+def _render_fig8() -> str:
+    series = fig8_series()
+    headers = ["SNPs"]
+    for arch in ALL_GPUS:
+        headers += [f"{arch.name} (s)", f"{arch.name} tiles"]
+    rows = []
+    for point in series:
+        row = [point["snps"]]
+        for arch in ALL_GPUS:
+            key = arch.name.lower().replace(" ", "_")
+            row += [f"{point[f'{key}_s']:.3f}", point[f"{key}_tiles"]]
+        rows.append(row)
+    return render_table(
+        headers,
+        rows,
+        title=f"Fig. 8 -- FastID end-to-end, {series[0]['queries']} queries vs "
+        f"{series[0]['db_rows']:,} profiles",
+    )
+
+
+def _render_fig9() -> str:
+    rows = [
+        [
+            p["device"],
+            f"{p['and_gpops']:.1f}",
+            f"{p['andnot_gpops']:.1f}",
+            f"{p['andnot_penalty'] * 100:.1f}%",
+        ]
+        for p in fig9_series()
+    ]
+    return render_table(
+        ["device", "AND GPOPS", "AND-NOT GPOPS", "penalty"],
+        rows,
+        title="Fig. 9 -- AND vs AND-NOT, one compute core",
+    )
+
+
+def _render_ext_sparse() -> str:
+    from repro.sparse.cost import SparseCostModel, density_crossover
+
+    model = SparseCostModel()
+    d_star = density_crossover(model)
+    rows = []
+    for density in (0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5):
+        ratio = model.sparse_ops(64, 64, 10_000, density) / model.dense_ops(
+            64, 64, 10_000
+        )
+        winner = "sparse" if ratio < 1 else "dense"
+        rows.append([f"{density:.3f}", f"{ratio:.2f}", winner])
+    table = render_table(
+        ["density (mean MAF)", "sparse/dense cost", "winner"],
+        rows,
+        title="Extension -- sparse representation crossover (SVII future work)",
+    )
+    return table + f"\n\ncrossover density d* = {d_star:.3f}"
+
+
+def _render_ext_multigpu() -> str:
+    from repro.core.config import Algorithm
+    from repro.multigpu.executor import scaling_series
+    from repro.multigpu.system import DGX2_LIKE, QUAD_GTX980
+
+    blocks = []
+    for system, algo, m, n, k in (
+        (DGX2_LIKE, Algorithm.LD, 8192, 131_072, 25_600),
+        (QUAD_GTX980, Algorithm.FASTID_IDENTITY, 32, 8 * 1024 * 1024, 1024),
+    ):
+        series = scaling_series(system, algo, m, n, k)
+        rows = [
+            [p["devices"], f"{p['makespan_s']:.3f}", f"{p['speedup']:.2f}x",
+             f"{p['efficiency'] * 100:.0f}%"]
+            for p in series
+        ]
+        blocks.append(
+            render_table(
+                ["devices", "makespan (s)", "speedup", "efficiency"],
+                rows,
+                title=f"Extension -- {system.name}, {algo.value} "
+                f"(m={m:,}, n={n:,}, k={k:,} bits)",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
+_RENDERERS = {
+    "table1": _render_table1,
+    "table2": _render_table2,
+    "fig5": _render_fig5,
+    "fig6": _render_fig6,
+    "fig7": _render_fig7,
+    "fig8": _render_fig8,
+    "fig9": _render_fig9,
+    "ext-sparse": _render_ext_sparse,
+    "ext-multigpu": _render_ext_multigpu,
+}
+
+
+def render_figure_report(name: str) -> str:
+    """Render one artifact report by name (``table1`` ... ``fig9``)."""
+    key = name.strip().lower()
+    if key not in _RENDERERS:
+        valid = ", ".join(sorted(_RENDERERS))
+        raise KeyError(f"render_figure_report: unknown artifact {name!r} ({valid})")
+    return _RENDERERS[key]()
+
+
+def render_all_reports() -> str:
+    """Every table and figure, concatenated."""
+    return "\n\n\n".join(_RENDERERS[k]() for k in _RENDERERS)

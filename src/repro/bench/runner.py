@@ -1,0 +1,53 @@
+"""Command-line bench runner: ``repro-bench [artifact ...]``.
+
+Prints the regenerated reports for the requested artifacts (``table1``,
+``table2``, ``fig5`` ... ``fig9``), or everything with ``all`` (the
+default).  This is the quickest way to see paper-vs-model numbers
+without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.report import render_all_reports, render_figure_report
+
+__all__ = ["main"]
+
+_ARTIFACTS = (
+    "table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "ext-sparse", "ext-multigpu",
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the paper's tables and figures from the model.",
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="*",
+        default=["all"],
+        help=f"artifacts to render: {', '.join(_ARTIFACTS)}, or 'all'",
+    )
+    args = parser.parse_args(argv)
+
+    requested = args.artifacts
+    if "all" in requested:
+        print(render_all_reports())
+        return 0
+    status = 0
+    for name in requested:
+        try:
+            print(render_figure_report(name))
+            print()
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            status = 2
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,103 @@
+"""Panel packing: the BLIS pack-buffer layouts for A and B.
+
+Packing rearranges a panel of the row-major input matrix into the
+contiguous access order of the micro-kernel, so the inner loop streams
+memory with unit stride:
+
+* **A panels** (``m_c x k_c``) are stored as a sequence of
+  ``m_r``-row *micro-panels*, each laid out column-major within the
+  micro-panel: element order is ``(panel, k, r)``.  Reading one ``k``
+  column of a micro-panel is then contiguous -- this is the tile the
+  GPU kernel stages into shared memory (Section V of the paper).
+* **B panels** (``k_c x n_r``) are stored as ``n_r``-column micro-panels
+  in ``(panel, k, c)`` order; on the GPU each thread group streams its
+  ``n_r / L_fn`` columns directly from global memory.
+
+Partial edge panels are zero-padded to full ``m_r``/``n_r`` width.
+Zero padding is safe for every comparison op in this library:
+AND/AND-NOT of a zero word is zero (0 popcount), and XOR rows that are
+*both* padding contribute popcount 0.  XOR pairs of (real, padding)
+rows would contribute ``popcount(real)``, but those output cells lie
+outside the valid ``m x n`` region and are cropped by the drivers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PackingError
+
+__all__ = ["pack_a_panel", "unpack_a_panel", "pack_b_panel", "unpack_b_panel"]
+
+
+def _check_panel(name: str, panel: np.ndarray) -> np.ndarray:
+    arr = np.asarray(panel)
+    if arr.ndim != 2:
+        raise PackingError(f"{name}: expected 2-D panel, got ndim={arr.ndim}")
+    if arr.dtype not in (np.uint8, np.uint16, np.uint32, np.uint64):
+        raise PackingError(f"{name}: expected unsigned integer words, got {arr.dtype}")
+    return arr
+
+
+def pack_a_panel(panel: np.ndarray, m_r: int) -> np.ndarray:
+    """Pack an ``(m, k)`` A panel into ``m_r``-row micro-panels.
+
+    Returns an array of shape ``(ceil(m / m_r), k, m_r)`` (contiguous),
+    zero-padded in the row dimension.
+    """
+    arr = _check_panel("pack_a_panel", panel)
+    if m_r <= 0:
+        raise PackingError(f"pack_a_panel: m_r must be positive, got {m_r}")
+    m, k = arr.shape
+    n_panels = (m + m_r - 1) // m_r if m else 0
+    packed = np.zeros((n_panels, k, m_r), dtype=arr.dtype)
+    for p in range(n_panels):
+        rows = arr[p * m_r : min((p + 1) * m_r, m)]
+        packed[p, :, : rows.shape[0]] = rows.T
+    return packed
+
+
+def unpack_a_panel(packed: np.ndarray, m: int) -> np.ndarray:
+    """Inverse of :func:`pack_a_panel`; crops padding back to ``m`` rows."""
+    arr = np.asarray(packed)
+    if arr.ndim != 3:
+        raise PackingError(f"unpack_a_panel: expected 3-D pack buffer, got {arr.ndim}")
+    n_panels, k, m_r = arr.shape
+    if m < 0 or m > n_panels * m_r:
+        raise PackingError(
+            f"unpack_a_panel: m={m} outside [0, {n_panels * m_r}]"
+        )
+    # (panel, k, r) -> (panel, r, k) -> (panel*r, k)
+    rows = arr.transpose(0, 2, 1).reshape(n_panels * m_r, k)
+    return rows[:m].copy()
+
+
+def pack_b_panel(panel: np.ndarray, n_r: int) -> np.ndarray:
+    """Pack a ``(k, n)`` B panel into ``n_r``-column micro-panels.
+
+    Returns an array of shape ``(ceil(n / n_r), k, n_r)`` (contiguous),
+    zero-padded in the column dimension.
+    """
+    arr = _check_panel("pack_b_panel", panel)
+    if n_r <= 0:
+        raise PackingError(f"pack_b_panel: n_r must be positive, got {n_r}")
+    k, n = arr.shape
+    n_panels = (n + n_r - 1) // n_r if n else 0
+    packed = np.zeros((n_panels, k, n_r), dtype=arr.dtype)
+    for p in range(n_panels):
+        cols = arr[:, p * n_r : min((p + 1) * n_r, n)]
+        packed[p, :, : cols.shape[1]] = cols
+    return packed
+
+
+def unpack_b_panel(packed: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_b_panel`; crops padding back to ``n`` columns."""
+    arr = np.asarray(packed)
+    if arr.ndim != 3:
+        raise PackingError(f"unpack_b_panel: expected 3-D pack buffer, got {arr.ndim}")
+    n_panels, k, n_r = arr.shape
+    if n < 0 or n > n_panels * n_r:
+        raise PackingError(f"unpack_b_panel: n={n} outside [0, {n_panels * n_r}]")
+    # (panel, k, c) -> (k, panel, c) -> (k, panel*c)
+    cols = arr.transpose(1, 0, 2).reshape(k, n_panels * n_r)
+    return cols[:, :n].copy()

@@ -1,0 +1,228 @@
+"""Command-line interface: PLINK-style batch analysis on the framework.
+
+The paper notes that "existing high performance libraries for
+population-based analysis such as PLINK do not support the use of
+GPUs"; this CLI is the GPU-framework counterpart for the three
+workloads::
+
+    repro-snp ld        --input pop.snptxt --device "Titan V" [--stat r2]
+    repro-snp identity  --queries q.npz --database db.npz --device "GTX 980"
+    repro-snp mixture   --references db.npz --mixture m.snptxt
+    repro-snp devices
+    repro-snp tune      --device "Vega 64" --algorithm ld [--header out.h]
+
+Inputs are the library's ``.snptxt`` / ``.npz`` formats
+(:mod:`repro.snp.io`).  Results go to stdout (summaries) and optional
+``--output`` NPZ files (full tables).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import Algorithm
+from repro.core.identity import identity_search
+from repro.core.ld import linkage_disequilibrium
+from repro.core.mixture import mixture_analysis
+from repro.core.planner import derive_config
+from repro.core.config import render_header
+from repro.errors import ReproError
+from repro.gpu.arch import ALL_GPUS, get_gpu
+from repro.snp.io import (
+    load_database_npz,
+    load_dataset_npz,
+    read_snptxt,
+)
+from repro.util.tables import render_kv, render_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_matrix(path: str) -> np.ndarray:
+    """Load a binary matrix from .snptxt or dataset/database .npz."""
+    p = Path(path)
+    if p.suffix == ".snptxt":
+        return read_snptxt(p).matrix
+    if p.suffix == ".npz":
+        try:
+            return load_dataset_npz(p).matrix
+        except ReproError:
+            return load_database_npz(p).profiles
+    raise ReproError(f"unsupported input format: {path} (use .snptxt or .npz)")
+
+
+def _save_table(path: str | None, **arrays: np.ndarray) -> None:
+    if path:
+        np.savez_compressed(path, **arrays)
+
+
+# -- subcommands ---------------------------------------------------------------
+
+
+def _cmd_devices(args: argparse.Namespace) -> int:
+    rows = [
+        [g.name, g.vendor, g.microarchitecture, g.n_c,
+         f"{g.global_memory_bytes / 2**30:.1f} GiB"]
+        for g in ALL_GPUS
+    ]
+    print(render_table(
+        ["device", "vendor", "microarchitecture", "cores", "memory"], rows,
+        title="simulated devices",
+    ))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.selfcheck import render_selfcheck, run_selfcheck
+
+    results = run_selfcheck()
+    print(render_selfcheck(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    arch = get_gpu(args.device)
+    config = derive_config(arch, Algorithm(args.algorithm))
+    print(render_kv(config.as_table_row().items(),
+                    title=f"{arch.name} / {args.algorithm}"))
+    header = render_header(config)
+    if args.header:
+        Path(args.header).write_text(header, encoding="utf-8")
+        print(f"\nwrote configuration header to {args.header}")
+    else:
+        print("\n" + header)
+    return 0
+
+
+def _cmd_ld(args: argparse.Namespace) -> int:
+    matrix = _load_matrix(args.input)
+    result = linkage_disequilibrium(matrix, device=args.device, compare=args.compare)
+    stat = {"r2": result.r_squared, "d": result.d, "dprime": result.d_prime}[args.stat]
+    off = stat[~np.eye(stat.shape[0], dtype=bool)]
+    print(render_kv([
+        ("entities compared", stat.shape[0]),
+        ("observations", result.n_observations),
+        (f"mean {args.stat}", f"{off.mean():.5f}"),
+        (f"max {args.stat}", f"{off.max():.5f}"),
+        (f"pairs with {args.stat} > {args.threshold}",
+         int((off > args.threshold).sum() // 2)),
+        ("simulated end-to-end", f"{result.report.end_to_end_s * 1e3:.1f} ms"),
+    ], title=f"LD on {args.device}"))
+    _save_table(args.output, counts=result.counts, stat=stat)
+    return 0
+
+
+def _cmd_identity(args: argparse.Namespace) -> int:
+    queries = _load_matrix(args.queries)
+    database = _load_matrix(args.database)
+    result = identity_search(queries, database, device=args.device)
+    hits = result.matches(args.max_distance)
+    print(render_kv([
+        ("queries", queries.shape[0]),
+        ("database profiles", database.shape[0]),
+        ("sites", queries.shape[1]),
+        (f"matches (distance <= {args.max_distance})", len(hits)),
+        ("simulated end-to-end", f"{result.report.end_to_end_s * 1e3:.1f} ms"),
+    ], title=f"identity search on {args.device}"))
+    if hits:
+        print()
+        print(render_table(
+            ["query", "profile", "distance"],
+            [[q, p, d] for q, p, d in hits[:20]],
+        ))
+        if len(hits) > 20:
+            print(f"... and {len(hits) - 20} more")
+    _save_table(args.output, distances=result.distances)
+    return 0
+
+
+def _cmd_mixture(args: argparse.Namespace) -> int:
+    references = _load_matrix(args.references)
+    mixture = _load_matrix(args.mixture)
+    result = mixture_analysis(references, mixture, device=args.device)
+    print(render_kv([
+        ("references", references.shape[0]),
+        ("mixtures", mixture.shape[0]),
+        ("kernel", "AND (pre-negated DB)" if result.prenegated else "fused AND-NOT"),
+        ("simulated end-to-end", f"{result.report.end_to_end_s * 1e3:.1f} ms"),
+    ], title=f"mixture analysis on {args.device}"))
+    for mi in range(mixture.shape[0]):
+        flagged = result.consistent_contributors(mi, args.max_score)
+        ids = ", ".join(str(r) for r, _ in flagged[:15]) or "(none)"
+        print(f"mixture {mi}: {len(flagged)} consistent references: {ids}")
+    _save_table(args.output, scores=result.scores)
+    return 0
+
+
+# -- parser --------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-snp",
+        description="SNP comparisons on the simulated portable GPU framework.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list simulated devices").set_defaults(
+        func=_cmd_devices
+    )
+
+    sub.add_parser(
+        "verify", help="run the installation self-check battery"
+    ).set_defaults(func=_cmd_verify)
+
+    tune = sub.add_parser("tune", help="derive a device configuration")
+    tune.add_argument("--device", required=True)
+    tune.add_argument(
+        "--algorithm", default="ld", choices=[a.value for a in Algorithm]
+    )
+    tune.add_argument("--header", help="write the C header to this path")
+    tune.set_defaults(func=_cmd_tune)
+
+    ld = sub.add_parser("ld", help="all-pairs linkage disequilibrium")
+    ld.add_argument("--input", required=True, help=".snptxt or dataset .npz")
+    ld.add_argument("--device", default="Titan V")
+    ld.add_argument("--compare", default="sites", choices=["sites", "samples"])
+    ld.add_argument("--stat", default="r2", choices=["r2", "d", "dprime"])
+    ld.add_argument("--threshold", type=float, default=0.8)
+    ld.add_argument("--output", help="write tables to this .npz")
+    ld.set_defaults(func=_cmd_ld)
+
+    ident = sub.add_parser("identity", help="FastID identity search")
+    ident.add_argument("--queries", required=True)
+    ident.add_argument("--database", required=True)
+    ident.add_argument("--device", default="Titan V")
+    ident.add_argument("--max-distance", type=int, default=0)
+    ident.add_argument("--output")
+    ident.set_defaults(func=_cmd_identity)
+
+    mix = sub.add_parser("mixture", help="FastID mixture analysis")
+    mix.add_argument("--references", required=True)
+    mix.add_argument("--mixture", required=True)
+    mix.add_argument("--device", default="Titan V")
+    mix.add_argument("--max-score", type=int, default=0)
+    mix.add_argument("--output")
+    mix.set_defaults(func=_cmd_mixture)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,191 @@
+"""The portable SNP-comparison framework: the paper's headline artifact.
+
+:class:`SNPComparisonFramework` ties the stack together the way the
+OpenCL implementation does:
+
+1. select a device (by name or architecture object),
+2. derive the software configuration from its hardware features
+   (:mod:`repro.core.planner`; users "only identify the hardware
+   features of the GPU"),
+3. compile the parameterized kernel against the device,
+4. pack the binary operands into padded device bitvectors,
+5. run the tiled, double-buffered transfer/compute/read pipeline,
+6. crop padding and return the comparison table plus an itemized
+   :class:`~repro.core.profiles.RunReport`.
+
+The same object also answers "what would the CPU baseline take"
+(:meth:`cpu_reference_seconds`) so callers can reproduce the paper's
+end-to-end comparisons directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.blis.microkernel import ComparisonOp
+from repro.core.config import Algorithm, KernelConfig
+from repro.core.packing import PackedOperand, crop_result, pack_operand
+from repro.core.pipeline import run_pipeline
+from repro.core.planner import derive_config
+from repro.core.profiles import RunReport
+from repro.cpu.timing import CPUTimingModel
+from repro.errors import ConfigurationError
+from repro.gpu.arch import GPUArchitecture, get_gpu
+from repro.gpu.device import Context, Device
+from repro.gpu.kernel import SnpKernel
+
+__all__ = ["SNPComparisonFramework"]
+
+
+class SNPComparisonFramework:
+    """End-to-end driver for one (device, algorithm) pair.
+
+    Parameters
+    ----------
+    device:
+        Device name (``"GTX 980"``, ``"Titan V"``, ``"Vega 64"``, or a
+        microarchitecture alias) or a :class:`GPUArchitecture`.
+    algorithm:
+        Which comparison to run; decides the micro-kernel and the
+        core-grid tuning.
+    config:
+        Explicit configuration override; default derives it from the
+        device's hardware features (published Table II tunings for the
+        evaluation devices).
+    prenegate:
+        Mixture analysis only: force (or forbid) the pre-negated
+        database variant; default follows the device's fused-AND-NOT
+        support (Section VI-E1).
+    double_buffering:
+        Overlap transfers with compute (the paper's default); disable
+        for the ablation comparison.
+    """
+
+    def __init__(
+        self,
+        device: str | GPUArchitecture,
+        algorithm: Algorithm | str = Algorithm.LD,
+        config: KernelConfig | None = None,
+        prenegate: bool | None = None,
+        double_buffering: bool = True,
+    ) -> None:
+        self.arch = get_gpu(device) if isinstance(device, str) else device
+        self.algorithm = (
+            Algorithm(algorithm) if isinstance(algorithm, str) else algorithm
+        )
+        self.prenegate = prenegate
+        self.double_buffering = double_buffering
+        self.config = config or derive_config(
+            self.arch, self.algorithm, prenegate=prenegate
+        )
+        if self.config.n_cores > self.arch.n_c:
+            raise ConfigurationError(
+                f"SNPComparisonFramework: configuration uses "
+                f"{self.config.n_cores} cores, device has {self.arch.n_c}"
+            )
+        self.kernel = SnpKernel.compile(
+            self.arch,
+            self.config.op,
+            m_c=self.config.m_c,
+            m_r=self.config.m_r,
+            k_c=self.config.k_c,
+            n_r=self.config.n_r,
+            grid_rows=self.config.grid_rows,
+            grid_cols=self.config.grid_cols,
+        )
+        self._cpu_model = CPUTimingModel()
+
+    # -- operand preparation --------------------------------------------------
+
+    def pack(self, bits: np.ndarray, negate: bool = False) -> PackedOperand:
+        """Pack a binary matrix for this framework's device."""
+        return pack_operand(
+            bits,
+            word_bits=self.arch.word_bits,
+            row_multiple=self.config.m_r,
+            negate=negate,
+        )
+
+    @property
+    def database_needs_prenegation(self) -> bool:
+        """Whether the right operand must be packed negated."""
+        return self.config.op is ComparisonOp.AND_PRENEGATED
+
+    # -- execution --------------------------------------------------------------
+
+    def run(
+        self,
+        a_bits: np.ndarray,
+        b_bits: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, RunReport]:
+        """Compare ``a_bits`` rows against ``b_bits`` rows (binary matrices).
+
+        ``b_bits=None`` compares ``a_bits`` against itself (the LD
+        case).  Mixture pre-negation is applied automatically to the
+        right operand when the configuration calls for it.
+        """
+        a = self.pack(np.asarray(a_bits))
+        if b_bits is None:
+            b = (
+                self.pack(np.asarray(a_bits), negate=True)
+                if self.database_needs_prenegation
+                else a
+            )
+        else:
+            b = self.pack(
+                np.asarray(b_bits), negate=self.database_needs_prenegation
+            )
+        if a.n_bits != b.n_bits:
+            raise ConfigurationError(
+                f"run: operands cover different site counts "
+                f"({a.n_bits} vs {b.n_bits})"
+            )
+        return self.run_packed(a, b)
+
+    def run_packed(
+        self, a: PackedOperand, b: PackedOperand
+    ) -> tuple[np.ndarray, RunReport]:
+        """Run with pre-packed operands; returns (cropped table, report)."""
+        device = Device(self.arch)
+        context: Context = device.create_context()
+        queue = context.create_queue()
+
+        raw, profiles, plan = run_pipeline(
+            queue,
+            self.kernel,
+            a,
+            b,
+            double_buffering=self.double_buffering,
+        )
+        end_to_end = queue.finish()
+        busy = queue.busy_summary()
+
+        report = RunReport(
+            device=self.arch.name,
+            algorithm=self.algorithm.value,
+            m=a.n_rows,
+            n=b.n_rows,
+            k_bits=a.n_bits,
+            init_s=context.ready_at,
+            h2d_s=busy["h2d"],
+            kernel_s=busy["compute"],
+            d2h_s=busy["d2h"],
+            end_to_end_s=end_to_end,
+            n_kernel_launches=len(profiles),
+            n_tiles=plan.n_tiles,
+            kernel_profiles=profiles,
+        )
+        return crop_result(raw, a, b), report
+
+    # -- baselines ---------------------------------------------------------------
+
+    def cpu_reference_seconds(self, m: int, n: int, k_bits: int) -> float:
+        """Modeled CPU-baseline time for the same problem (Fig. 6 line)."""
+        return self._cpu_model.execution_time(m, n, k_bits)
+
+    def __repr__(self) -> str:
+        return (
+            f"SNPComparisonFramework(device={self.arch.name!r}, "
+            f"algorithm={self.algorithm.value!r}, op={self.config.op.value!r}, "
+            f"grid={self.config.grid_rows}x{self.config.grid_cols})"
+        )

@@ -1,0 +1,243 @@
+"""The analytical planner: hardware features -> software configuration.
+
+Implements Section V-A of the paper: "Users of the framework are
+expected to only identify the hardware features of the GPU"; the
+formulas do the rest.
+
+Derivation implemented here:
+
+* ``m_r = N_vec``                                         (Eq. 4)
+* ``m_c = N_b``  -- the tile height of the published configurations
+  (Table II); the paper's Eq. 5 text (``N_b / N_cl``) describes the
+  per-cluster conflict-free access width, see DESIGN.md Section 4.
+* ``k_c = usable_shared / (word_bytes * N_b)``            (Eq. 6),
+  where *usable* subtracts NVIDIA's OpenCL shared-memory reservation
+  (Section V-E) -- this is exactly why Table II shows 383 rather than
+  384 on the NVIDIA parts.
+* ``n_r >= (N_T * m_r / m_c) * N_vec * L_fn``             (Eq. 7).
+  Eq. 7 is a *lower bound*; the upper bound is register pressure, and
+  the published values are empirically tuned within that corridor.
+  For the three evaluation devices the planner returns the published
+  tuning (and asserts it sits inside the analytic corridor); for other
+  devices it picks the largest ``L_fn``-divisible multiple of the
+  bound that keeps the per-thread accumulator block within the
+  register budget.
+* **Core grid** (Section IV-C): "the distribution of GPU cores between
+  the second and third loop is left as a parameter since different
+  problems may require different distribution".  FastID problems put
+  every core on the database dimension (``1 x N_c``); LD grids follow
+  the published tuning, with a near-square fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blis.microkernel import ComparisonOp
+from repro.core.config import Algorithm, KernelConfig
+from repro.errors import ConfigurationError
+from repro.gpu.arch import GPUArchitecture
+from repro.gpu.cycles import min_n_r
+
+__all__ = [
+    "ProblemShape",
+    "derive_m_r",
+    "derive_m_c",
+    "derive_k_c",
+    "n_r_lower_bound",
+    "n_r_register_cap",
+    "derive_n_r",
+    "derive_core_grid",
+    "derive_config",
+    "published_config",
+    "PUBLISHED_CONFIGS",
+]
+
+
+@dataclass(frozen=True)
+class ProblemShape:
+    """Extents of one comparison problem.
+
+    ``m``: rows of the query/left operand (SNP strings for LD, queries
+    for FastID); ``n``: rows of the right operand (same strings for
+    LD, database profiles for FastID); ``k_bits``: SNP sites.
+    """
+
+    m: int
+    n: int
+    k_bits: int
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k_bits) <= 0:
+            raise ConfigurationError(
+                f"ProblemShape: extents must be positive, got "
+                f"({self.m}, {self.n}, {self.k_bits})"
+            )
+
+
+def derive_m_r(arch: GPUArchitecture) -> int:
+    """Eq. 4: the micro-tile height equals the vector load width."""
+    return arch.n_vec
+
+
+def derive_m_c(arch: GPUArchitecture) -> int:
+    """Tile height staged in shared memory: the bank count (Table II)."""
+    return arch.shared_memory_banks
+
+
+def derive_k_c(arch: GPUArchitecture) -> int:
+    """Eq. 6 with the Section V-E shared-memory reservation applied."""
+    return arch.usable_shared_memory_bytes // (arch.word_bytes * arch.shared_memory_banks)
+
+
+def n_r_lower_bound(arch: GPUArchitecture) -> int:
+    """Eq. 7's latency-hiding lower bound for the derived m_r/m_c."""
+    return min_n_r(arch, derive_m_r(arch), derive_m_c(arch))
+
+
+def n_r_register_cap(arch: GPUArchitecture, accumulator_budget: int = 48) -> int:
+    """Largest ``n_r`` keeping per-thread accumulators within budget.
+
+    Each thread holds ``m_r * n_r / (L_fn * N_T)`` accumulators; the
+    budget is the smaller of the occupancy-derived register share and
+    the ISA per-thread maximum, minus a fixed overhead, additionally
+    capped by ``accumulator_budget`` (beyond ~48 accumulators the
+    compilers observed by the paper start spilling regardless).
+    """
+    m_r = derive_m_r(arch)
+    budget = min(arch.registers_per_thread(), arch.max_registers_per_thread) - 16
+    budget = min(budget, accumulator_budget)
+    if budget <= 0:
+        raise ConfigurationError(
+            f"n_r_register_cap: no register headroom on {arch.name}"
+        )
+    return budget * arch.l_fn * arch.n_t // m_r
+
+
+def derive_n_r(arch: GPUArchitecture) -> int:
+    """Analytic ``n_r``: largest bound-multiple under the register cap."""
+    lower = n_r_lower_bound(arch)
+    cap = n_r_register_cap(arch)
+    if cap < lower:
+        raise ConfigurationError(
+            f"derive_n_r: register cap {cap} below Eq. 7 bound {lower} on "
+            f"{arch.name} -- the device cannot hide latency at this blocking"
+        )
+    multiples = cap // lower
+    return lower * multiples
+
+
+def derive_core_grid(
+    arch: GPUArchitecture, algorithm: Algorithm, problem: ProblemShape | None = None
+) -> tuple[int, int]:
+    """Core-grid distribution heuristic (Section IV-C fallback).
+
+    FastID problems have all their parallelism in the database
+    dimension -> ``1 x N_c``.  LD problems get the most-square
+    factorization of ``N_c`` (published LD grids override this via
+    :func:`published_config`).
+    """
+    if algorithm in (Algorithm.FASTID_IDENTITY, Algorithm.FASTID_MIXTURE):
+        return (1, arch.n_c)
+    if problem is not None and problem.m <= derive_m_c(arch):
+        # Degenerate M: behave like FastID.
+        return (1, arch.n_c)
+    best = (1, arch.n_c)
+    best_gap = arch.n_c
+    for rows in range(1, arch.n_c + 1):
+        if arch.n_c % rows:
+            continue
+        cols = arch.n_c // rows
+        gap = abs(rows - cols)
+        if gap < best_gap:
+            best, best_gap = (rows, cols), gap
+    return best
+
+
+#: Table II verbatim: the paper's tuned configurations.
+#: Keys: (device name, algorithm).  Values: (n_r, grid_rows, grid_cols).
+PUBLISHED_CONFIGS: dict[tuple[str, Algorithm], tuple[int, int, int]] = {
+    ("GTX 980", Algorithm.LD): (384, 4, 4),
+    ("Titan V", Algorithm.LD): (1024, 80, 1),
+    ("Vega 64", Algorithm.LD): (1024, 32, 2),
+    ("GTX 980", Algorithm.FASTID_IDENTITY): (768, 1, 16),
+    ("Titan V", Algorithm.FASTID_IDENTITY): (1024, 1, 80),
+    ("Vega 64", Algorithm.FASTID_IDENTITY): (1024, 1, 64),
+    ("GTX 980", Algorithm.FASTID_MIXTURE): (768, 1, 16),
+    ("Titan V", Algorithm.FASTID_MIXTURE): (1024, 1, 80),
+    ("Vega 64", Algorithm.FASTID_MIXTURE): (1024, 1, 64),
+}
+
+
+def _select_op(arch: GPUArchitecture, algorithm: Algorithm, prenegate: bool | None) -> ComparisonOp:
+    """Pick the mixture micro-kernel variant (Section VI-E1).
+
+    With a fused AND-NOT (NVIDIA) the in-kernel negation is free, so
+    the fused kernel is used.  Without one (Vega) the NOT costs a
+    third ALU op on the bottleneck pipe; pre-negating the database
+    recovers the LD-rate kernel.  ``prenegate`` forces the choice.
+    """
+    if algorithm is not Algorithm.FASTID_MIXTURE:
+        return algorithm.default_op
+    if prenegate is None:
+        prenegate = not arch.has_fused_andnot
+    return ComparisonOp.AND_PRENEGATED if prenegate else ComparisonOp.ANDNOT
+
+
+def derive_config(
+    arch: GPUArchitecture,
+    algorithm: Algorithm,
+    problem: ProblemShape | None = None,
+    prenegate: bool | None = None,
+    use_published: bool = True,
+) -> KernelConfig:
+    """Full configuration for ``algorithm`` on ``arch``.
+
+    With ``use_published`` (default) the three evaluation devices get
+    their Table II tunings; any other device -- or
+    ``use_published=False`` -- takes the pure analytic derivation.
+    The analytic corridor (Eq. 7 bound, register cap, shared-memory
+    fit) is validated either way.
+    """
+    m_r = derive_m_r(arch)
+    m_c = derive_m_c(arch)
+    k_c = derive_k_c(arch)
+    lower = n_r_lower_bound(arch)
+    cap = n_r_register_cap(arch)
+
+    published = PUBLISHED_CONFIGS.get((arch.name, algorithm)) if use_published else None
+    if published is not None:
+        n_r, grid_rows, grid_cols = published
+    else:
+        n_r = derive_n_r(arch)
+        grid_rows, grid_cols = derive_core_grid(arch, algorithm, problem)
+
+    if n_r < lower:
+        raise ConfigurationError(
+            f"derive_config: n_r={n_r} below Eq. 7 bound {lower} on {arch.name}"
+        )
+    if n_r > cap:
+        raise ConfigurationError(
+            f"derive_config: n_r={n_r} above register cap {cap} on {arch.name}"
+        )
+    return KernelConfig(
+        device=arch.name,
+        algorithm=algorithm,
+        op=_select_op(arch, algorithm, prenegate),
+        m_r=m_r,
+        n_r=n_r,
+        k_c=k_c,
+        m_c=m_c,
+        grid_rows=grid_rows,
+        grid_cols=grid_cols,
+    )
+
+
+def published_config(arch: GPUArchitecture, algorithm: Algorithm) -> KernelConfig:
+    """The Table II configuration; raises for devices the paper lacks."""
+    if (arch.name, algorithm) not in PUBLISHED_CONFIGS:
+        raise ConfigurationError(
+            f"published_config: no Table II entry for ({arch.name}, "
+            f"{algorithm.value})"
+        )
+    return derive_config(arch, algorithm, use_published=True)

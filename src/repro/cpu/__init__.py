@@ -1,0 +1,28 @@
+"""CPU baseline: the BLIS-style algorithm of Alachiotis et al. [11].
+
+The paper compares its GPU framework against the CPU implementation of
+[11] -- a BLIS-structured popcount-GEMM running on a dual-socket
+Xeon E5-2620 v2 that attains 80-90 % of the CPU's theoretical peak
+(which is bound by 64-bit population-count throughput: one POPC per
+core per cycle on Ivy Bridge).
+
+* :mod:`repro.cpu.arch` -- the CPU architecture description and the
+  Table I column for the Xeon.
+* :mod:`repro.cpu.blis_cpu` -- the functional blocked implementation
+  operating on 64-bit packed words.
+* :mod:`repro.cpu.timing` -- the timing model reproducing [11]'s
+  reported performance band (the paper reuses [11]'s numbers rather
+  than rerunning the CPU; see Section V-D, last paragraph).
+"""
+
+from repro.cpu.arch import CPUArchitecture, XEON_E5_2620_V2
+from repro.cpu.blis_cpu import cpu_snp_comparison, default_cpu_blocking
+from repro.cpu.timing import CPUTimingModel
+
+__all__ = [
+    "CPUArchitecture",
+    "XEON_E5_2620_V2",
+    "cpu_snp_comparison",
+    "default_cpu_blocking",
+    "CPUTimingModel",
+]

@@ -1,0 +1,94 @@
+"""CPU architecture description (the Xeon column of Table I).
+
+The paper maps CPU features onto the same model as the GPU: a CPU core
+is one "compute core" with one "compute cluster"; SIMD units play the
+role of thread groups of size ``N_T = 1`` (scalar 64-bit POPCNT on Ivy
+Bridge -- there is no vector popcount before AVX-512 VPOPCNTDQ).
+
+The theoretical peak follows [11]: the bottleneck is the POPCNT
+instruction, one per core per cycle, operating on 64-bit words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CPUArchitecture", "XEON_E5_2620_V2"]
+
+
+@dataclass(frozen=True)
+class CPUArchitecture:
+    """Model-CPU parameters (Table I, CPU column).
+
+    Parameters
+    ----------
+    name, microarchitecture:
+        Human-readable identification.
+    frequency_ghz:
+        Sustained clock under all-core load.
+    n_cores:
+        Total physical cores (both sockets).
+    word_bits:
+        Packed-word width the popcount operates on (64 on x86).
+    add_units, and_units:
+        Integer ALU ports able to execute ADD / AND per core
+        (4 on Ivy Bridge per Fog's tables [26]).
+    popcount_units:
+        POPCNT-capable ports per core (1 on Ivy Bridge).
+    popcount_latency:
+        POPCNT latency in cycles (3 on Ivy Bridge).
+    """
+
+    name: str
+    microarchitecture: str
+    frequency_ghz: float
+    n_cores: int
+    word_bits: int = 64
+    add_units: int = 4
+    and_units: int = 4
+    popcount_units: int = 1
+    popcount_latency: int = 3
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise ConfigurationError("CPUArchitecture: frequency must be positive")
+        if self.n_cores <= 0:
+            raise ConfigurationError("CPUArchitecture: n_cores must be positive")
+        if self.word_bits not in (32, 64):
+            raise ConfigurationError(
+                f"CPUArchitecture: word_bits must be 32 or 64, got {self.word_bits}"
+            )
+
+    @property
+    def frequency_hz(self) -> float:
+        return self.frequency_ghz * 1e9
+
+    def peak_word_ops_per_second(self) -> float:
+        """Peak popcount-GEMM word-ops/s (words of ``word_bits`` bits).
+
+        One comparison word-op = op + POPC + ADD; POPC throughput (one
+        per core-cycle) is the binding constraint since AND/ADD have
+        ``add_units``-fold more ports.
+        """
+        return self.n_cores * self.frequency_hz * self.popcount_units
+
+    def peak_word32_ops_per_second(self) -> float:
+        """Peak normalized to 32-bit word-ops (comparable across devices)."""
+        return self.peak_word_ops_per_second() * (self.word_bits / 32)
+
+
+#: The evaluation workstation of [11] and this paper's Fig. 6: two
+#: Intel Xeon E5-2620 v2 (Ivy Bridge) 6-core processors at 2.10 GHz.
+XEON_E5_2620_V2 = CPUArchitecture(
+    name="2x Intel Xeon E5-2620 v2",
+    microarchitecture="Ivy Bridge",
+    frequency_ghz=2.1,
+    n_cores=12,
+    word_bits=64,
+    add_units=4,
+    and_units=4,
+    popcount_units=1,
+    popcount_latency=3,
+)

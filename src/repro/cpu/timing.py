@@ -1,0 +1,91 @@
+"""CPU timing model: the [11] baseline the paper's Fig. 6 plots against.
+
+The paper does not rerun the CPU; it reports "the calculated theoretical
+peak that would be achievable or [uses] execution time reported in [11]"
+(Section V-D).  [11]'s parallel implementation attains 80-90 % of the
+popcount-bound theoretical peak, so the model here is
+
+    time = word_ops / (efficiency * peak_word_ops_per_second)
+
+with ``efficiency`` defaulting to the middle of that band.  The model
+also exposes the two endpoints so benches can draw the uncertainty
+band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.arch import CPUArchitecture, XEON_E5_2620_V2
+from repro.errors import ModelError
+
+__all__ = ["CPUTimingModel"]
+
+
+@dataclass(frozen=True)
+class CPUTimingModel:
+    """Popcount-throughput-bound execution-time model for the CPU baseline.
+
+    Parameters
+    ----------
+    arch:
+        CPU description.
+    efficiency:
+        Fraction of theoretical peak attained (0.85 = middle of [11]'s
+        80-90 % band).
+    efficiency_low, efficiency_high:
+        Band endpoints for uncertainty reporting.
+    """
+
+    arch: CPUArchitecture = XEON_E5_2620_V2
+    efficiency: float = 0.85
+    efficiency_low: float = 0.80
+    efficiency_high: float = 0.90
+
+    def __post_init__(self) -> None:
+        for name in ("efficiency", "efficiency_low", "efficiency_high"):
+            value = getattr(self, name)
+            if not (0.0 < value <= 1.0):
+                raise ModelError(f"CPUTimingModel: {name} must be in (0, 1], got {value}")
+        if not (self.efficiency_low <= self.efficiency <= self.efficiency_high):
+            raise ModelError(
+                "CPUTimingModel: efficiency must lie within "
+                "[efficiency_low, efficiency_high]"
+            )
+
+    def word_ops(self, m: int, n: int, k_bits: int) -> int:
+        """Packed-word operations for an ``(m x n)`` table over ``k_bits`` sites.
+
+        The CPU packs into ``arch.word_bits``-bit words; partial words
+        are padded and still cost a full operation.
+        """
+        if min(m, n, k_bits) < 0:
+            raise ModelError("word_ops: extents must be non-negative")
+        k_words = -(-k_bits // self.arch.word_bits)
+        return m * n * k_words
+
+    def execution_time(self, m: int, n: int, k_bits: int) -> float:
+        """Modeled wall time in seconds at the nominal efficiency."""
+        peak = self.arch.peak_word_ops_per_second()
+        return self.word_ops(m, n, k_bits) / (self.efficiency * peak)
+
+    def execution_time_band(
+        self, m: int, n: int, k_bits: int
+    ) -> tuple[float, float]:
+        """(fastest, slowest) modeled times over the efficiency band."""
+        peak = self.arch.peak_word_ops_per_second()
+        ops = self.word_ops(m, n, k_bits)
+        return (
+            ops / (self.efficiency_high * peak),
+            ops / (self.efficiency_low * peak),
+        )
+
+    def throughput_word32_ops(self, m: int, n: int, k_bits: int) -> float:
+        """Achieved throughput in 32-bit-equivalent word-ops/s.
+
+        Normalizing to 32-bit words makes the CPU number directly
+        comparable with the GPU kernel throughputs in Fig. 5.
+        """
+        time = self.execution_time(m, n, k_bits)
+        ops32 = self.word_ops(m, n, k_bits) * (self.arch.word_bits / 32)
+        return ops32 / time if time > 0 else 0.0

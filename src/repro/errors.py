@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError` so applications can catch the whole family with a
+single ``except`` clause while still distinguishing sub-categories.
+
+The hierarchy mirrors the major subsystems:
+
+* :class:`ConfigurationError` -- invalid kernel/framework configuration
+  (bad ``m_c``/``n_r`` values, impossible core grids, ...).
+* :class:`DeviceError` -- simulated OpenCL device stack failures
+  (allocation beyond global memory, use of released buffers, queue
+  misuse, ...).
+* :class:`PackingError` -- SNP bit-packing problems (shape mismatches,
+  non-binary input, overflow of padding constraints).
+* :class:`DatasetError` -- genetics substrate problems (inconsistent
+  sample/site counts, malformed files).
+* :class:`ModelError` -- analytical performance-model failures
+  (unknown instruction, unsatisfiable bottleneck query).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "DeviceError",
+    "AllocationError",
+    "KernelLaunchError",
+    "PackingError",
+    "DatasetError",
+    "ModelError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid software configuration was supplied or derived.
+
+    Raised when a :class:`~repro.core.config.KernelConfig` violates the
+    constraints of the model GPU architecture (e.g. ``m_r`` not a
+    multiple of the vector width, shared-memory tile exceeding
+    ``N_shared``) or when the planner cannot satisfy Eq. 4-7 of the
+    paper for the requested device/problem combination.
+    """
+
+
+class DeviceError(ReproError, RuntimeError):
+    """A simulated device-stack operation failed."""
+
+
+class AllocationError(DeviceError):
+    """A buffer allocation exceeded device limits.
+
+    Mirrors ``CL_MEM_OBJECT_ALLOCATION_FAILURE`` /
+    ``CL_DEVICE_MAX_MEM_ALLOC_SIZE`` violations in a real OpenCL stack.
+    """
+
+
+class KernelLaunchError(DeviceError):
+    """A kernel was enqueued with an invalid launch configuration."""
+
+
+class PackingError(ReproError, ValueError):
+    """SNP data could not be packed into bitvectors."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A genetics dataset is malformed or inconsistent."""
+
+
+class ModelError(ReproError, ValueError):
+    """The analytical performance model was queried inconsistently."""

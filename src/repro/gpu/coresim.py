@@ -1,0 +1,254 @@
+"""Cycle-level simulator of one compute core.
+
+This is the executable version of the paper's model GPU (Section IV-A)
+at the granularity the microbenchmarks of Section V-C/D need: thread
+groups scheduled onto compute clusters whose functional-unit pipes have
+finite width and a fixed latency ``L_fn``.
+
+Execution model
+---------------
+
+* A *program* is a straight-line sequence of instructions, each with
+  explicit dependencies on earlier instructions (by index).  Every
+  resident thread group executes the same program on private data
+  (exactly how the microbenchmark kernels behave), optionally repeated
+  for ``iterations`` loop trips; dependencies marked ``carried=True``
+  chain across iterations (the dependent-popcount chain).
+* Thread groups are distributed round-robin over the core's ``n_cl``
+  clusters and stay resident (the framework never oversubscribes).
+* Each cluster owns one pipe per :class:`PipeClass` with ``units``
+  lanes.  Issuing a group instruction occupies its pipe for
+  ``ceil(N_T / units)`` cycles (the throughput cost of pushing ``N_T``
+  lanes through ``units`` units); its result becomes available
+  ``L_fn`` cycles after issue (the latency the dependent chain
+  exposes).  One instruction issues per pipe per cycle at most; a
+  cluster may issue to different pipes in the same cycle (the dual-pipe
+  behaviour the paper observed).
+
+The simulator is deliberately small: it executes instruction *timing*,
+not data.  Functional results come from the executor; this class
+answers "how many cycles" for programs of a few thousand dynamic
+instructions, which is all the microbenchmark procedures need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+from repro.gpu.arch import GPUArchitecture
+from repro.gpu.isa import Instruction, PipeClass, pipe_for, units_per_cluster
+
+__all__ = ["ProgramInstruction", "Program", "CoreSimulator", "SimResult"]
+
+
+@dataclass(frozen=True)
+class ProgramInstruction:
+    """One static instruction: opcode plus intra-iteration dependencies.
+
+    ``deps`` are indices of earlier instructions in the same iteration
+    whose results this instruction consumes.  ``carried_dep`` marks a
+    dependency on this same instruction slot in the *previous* loop
+    iteration via the last instruction of the dependency chain --
+    concretely: if True, iteration ``i``'s instance additionally waits
+    for iteration ``i-1``'s instance of ``carried_from`` (defaulting to
+    itself).
+    """
+
+    op: Instruction
+    deps: tuple[int, ...] = ()
+    carried: bool = False
+
+
+@dataclass(frozen=True)
+class Program:
+    """A loop body executed ``iterations`` times by every thread group."""
+
+    body: tuple[ProgramInstruction, ...]
+    iterations: int = 1
+
+    def __post_init__(self) -> None:
+        if self.iterations <= 0:
+            raise ModelError(f"Program: iterations must be positive, got {self.iterations}")
+        for i, instr in enumerate(self.body):
+            for d in instr.deps:
+                if not (0 <= d < i):
+                    raise ModelError(
+                        f"Program: instruction {i} depends on invalid index {d}"
+                    )
+
+    @property
+    def dynamic_length(self) -> int:
+        return len(self.body) * self.iterations
+
+    @staticmethod
+    def dependent_chain(op: Instruction, length: int, iterations: int = 1) -> "Program":
+        """The Section V-C latency microbenchmark: a serial chain of ``op``.
+
+        Each instruction consumes the previous one's result; the chain
+        is loop-carried so back-to-back iterations stay serial.
+        """
+        body = tuple(
+            ProgramInstruction(op=op, deps=(i - 1,) if i > 0 else (), carried=(i == 0))
+            for i in range(length)
+        )
+        return Program(body=body, iterations=iterations)
+
+    @staticmethod
+    def independent_stream(op: Instruction, length: int, iterations: int = 1) -> "Program":
+        """A throughput microbenchmark body: ``length`` independent ops."""
+        body = tuple(ProgramInstruction(op=op) for _ in range(length))
+        return Program(body=body, iterations=iterations)
+
+    @staticmethod
+    def interleaved_streams(
+        ops: tuple[Instruction, ...], length_each: int, iterations: int = 1
+    ) -> "Program":
+        """Independent interleaved streams of several opcodes.
+
+        Used by the pipe-sharing probe of Section V-D ("combining
+        different instructions can expose which instructions share
+        functional unit pipelines").
+        """
+        body = []
+        for _ in range(length_each):
+            for op in ops:
+                body.append(ProgramInstruction(op=op))
+        return Program(body=tuple(body), iterations=iterations)
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of one core-simulation run."""
+
+    cycles: int
+    dynamic_instructions: int
+    n_groups: int
+
+    def cycles_per_instruction(self) -> float:
+        """Cycles per dynamic instruction *per thread group*."""
+        per_group = self.dynamic_instructions / self.n_groups
+        return self.cycles / per_group if per_group else 0.0
+
+    def instructions_per_cycle(self) -> float:
+        """Aggregate dynamic group-instructions retired per cycle."""
+        return self.dynamic_instructions / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class _Pipe:
+    units: int
+    busy_until: int = 0  # next cycle the pipe can accept an issue
+
+
+@dataclass
+class _GroupState:
+    """Progress of one resident thread group through the program."""
+
+    cluster: int
+    next_index: int = 0              # next dynamic instruction to issue
+    ready_at: dict[int, int] = field(default_factory=dict)  # dyn idx -> cycle
+
+
+class CoreSimulator:
+    """Cycle-stepped simulator of a single compute core."""
+
+    def __init__(self, arch: GPUArchitecture) -> None:
+        self.arch = arch
+
+    def _issue_span(self, pipe: PipeClass) -> int:
+        units = units_per_cluster(self.arch, pipe)
+        return max(1, -(-self.arch.n_t // units))
+
+    def run(self, program: Program, n_groups: int) -> SimResult:
+        """Execute ``program`` on ``n_groups`` resident thread groups.
+
+        Returns total cycles until every group retires its last
+        instruction.  Raises if residency exceeds the device's
+        ``n_grp_max``.
+        """
+        if n_groups <= 0:
+            raise ModelError(f"CoreSimulator.run: n_groups must be positive")
+        if n_groups > self.arch.n_grp_max:
+            raise ModelError(
+                f"CoreSimulator.run: {n_groups} groups exceed n_grp_max="
+                f"{self.arch.n_grp_max} on {self.arch.name}"
+            )
+        arch = self.arch
+        body = program.body
+        body_len = len(body)
+        total_dyn = program.dynamic_length
+        if body_len == 0:
+            return SimResult(cycles=0, dynamic_instructions=0, n_groups=n_groups)
+
+        # One pipe instance per (cluster, pipe class).
+        pipes: dict[tuple[int, PipeClass], _Pipe] = {}
+        for cl in range(arch.n_cl):
+            for pc in PipeClass:
+                pipes[(cl, pc)] = _Pipe(units=units_per_cluster(arch, pc))
+
+        groups = [_GroupState(cluster=g % arch.n_cl) for g in range(n_groups)]
+        finished = 0
+        cycle = 0
+        # Guard against scheduling bugs: generous upper bound.
+        max_cycles = (total_dyn * (arch.l_fn + 8) + 64) * max(1, n_groups)
+
+        while finished < n_groups:
+            if cycle > max_cycles:
+                raise ModelError(
+                    "CoreSimulator.run: exceeded cycle bound -- scheduler bug"
+                )
+            # Pipes a cluster has already issued to this cycle.
+            issued_this_cycle: set[tuple[int, PipeClass]] = set()
+            # Round-robin fairness: rotate group scan start by cycle.
+            order = range(len(groups))
+            for gi in order:
+                g = groups[gi]
+                if g.next_index >= total_dyn:
+                    continue
+                dyn = g.next_index
+                static = body[dyn % body_len]
+                # Dependencies within iteration.
+                iteration_base = (dyn // body_len) * body_len
+                ready = True
+                for d in static.deps:
+                    dep_dyn = iteration_base + d
+                    if g.ready_at.get(dep_dyn, -1) > cycle or dep_dyn not in g.ready_at:
+                        ready = False
+                        break
+                    if g.ready_at[dep_dyn] > cycle:
+                        ready = False
+                        break
+                # Loop-carried dependency on the previous iteration's
+                # *last* instruction (the chain tail).
+                if ready and static.carried and dyn >= body_len:
+                    tail_dyn = iteration_base - 1
+                    if tail_dyn not in g.ready_at or g.ready_at[tail_dyn] > cycle:
+                        ready = False
+                if not ready:
+                    continue
+                pc = pipe_for(static.op)
+                key = (g.cluster, pc)
+                pipe = pipes[key]
+                if pipe.busy_until > cycle or key in issued_this_cycle:
+                    continue
+                # Issue.
+                span = self._issue_span(pc)
+                pipe.busy_until = cycle + span
+                issued_this_cycle.add(key)
+                result_latency = max(arch.l_fn, span)
+                g.ready_at[dyn] = cycle + result_latency
+                g.next_index += 1
+                if g.next_index == total_dyn:
+                    finished += 1
+            cycle += 1
+
+        # Completion time: last result availability across groups.
+        end = max(
+            (max(g.ready_at.values(), default=0) for g in groups), default=0
+        )
+        return SimResult(
+            cycles=end,
+            dynamic_instructions=total_dyn * n_groups,
+            n_groups=n_groups,
+        )

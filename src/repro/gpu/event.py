@@ -1,0 +1,82 @@
+"""OpenCL-style events with profiling timestamps.
+
+The paper measures kernel time with "OpenCL's event profiling"
+(Section VI-A1).  Our simulated stack mirrors that interface: every
+enqueued command returns an :class:`Event` carrying the four OpenCL
+profiling timestamps (QUEUED, SUBMIT, START, END) in simulated seconds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+
+__all__ = ["EventStatus", "Event"]
+
+
+class EventStatus(enum.Enum):
+    """Lifecycle of a command (simplified OpenCL execution status)."""
+
+    QUEUED = "queued"
+    COMPLETE = "complete"
+
+
+@dataclass
+class Event:
+    """Profiling record of one enqueued command.
+
+    Attributes
+    ----------
+    label:
+        Human-readable command description (``"kernel:ld"``,
+        ``"write:A[0]"``, ...).
+    queued_at, submitted_at, started_at, ended_at:
+        Simulated timestamps; ``started_at``/``ended_at`` are only
+        valid once :attr:`status` is COMPLETE.
+    """
+
+    label: str
+    queued_at: float
+    submitted_at: float = 0.0
+    started_at: float = 0.0
+    ended_at: float = 0.0
+    status: EventStatus = EventStatus.QUEUED
+
+    def complete(self, submitted_at: float, started_at: float, ended_at: float) -> None:
+        """Mark the command complete with its execution interval."""
+        if ended_at < started_at:
+            raise DeviceError(
+                f"Event {self.label!r}: end {ended_at} before start {started_at}"
+            )
+        self.submitted_at = submitted_at
+        self.started_at = started_at
+        self.ended_at = ended_at
+        self.status = EventStatus.COMPLETE
+
+    @property
+    def duration(self) -> float:
+        """Execution time in simulated seconds (START to END)."""
+        if self.status is not EventStatus.COMPLETE:
+            raise DeviceError(
+                f"Event {self.label!r}: profiling info requested before completion"
+            )
+        return self.ended_at - self.started_at
+
+    @property
+    def latency(self) -> float:
+        """Queue-to-completion time in simulated seconds."""
+        if self.status is not EventStatus.COMPLETE:
+            raise DeviceError(
+                f"Event {self.label!r}: profiling info requested before completion"
+            )
+        return self.ended_at - self.queued_at
+
+    def __repr__(self) -> str:
+        if self.status is EventStatus.COMPLETE:
+            return (
+                f"Event({self.label!r}, start={self.started_at:.6f}, "
+                f"end={self.ended_at:.6f})"
+            )
+        return f"Event({self.label!r}, queued={self.queued_at:.6f}, pending)"

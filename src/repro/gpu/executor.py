@@ -1,0 +1,140 @@
+"""Kernel execution: functional results + modeled timing.
+
+``execute_kernel`` is where the two halves of the simulation meet:
+
+* the **functional path** computes the exact comparison table with the
+  shared :mod:`repro.blis` drivers -- the blocked five-loop walk for
+  small problems (exercising the genuine tile structure the kernel
+  implements) and the identity-based fast path for large ones (bit
+  exact, see :func:`repro.blis.gemm.bit_gemm_fast`);
+* the **timing path** prices the launch with the analytical cycle
+  model (:mod:`repro.gpu.cycles`).
+
+Both consume the same :class:`~repro.blis.blocking.BlockingPlan`, so
+what is computed and what is priced cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.blis.gemm import bit_gemm_blocked, bit_gemm_fast
+from repro.errors import KernelLaunchError
+from repro.gpu.cycles import CycleBreakdown, kernel_cycles
+from repro.gpu.kernel import KernelArgs, SnpKernel
+
+__all__ = [
+    "KernelProfile",
+    "execute_kernel",
+    "price_kernel",
+    "BLOCKED_PATH_OP_LIMIT",
+]
+
+#: Problems up to this many word-ops run the genuine blocked tile walk;
+#: larger ones switch to the bit-exact identity path to keep the Python
+#: functional simulation tractable.
+BLOCKED_PATH_OP_LIMIT = 2_000_000
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Timing and accounting for one simulated kernel launch."""
+
+    kernel_name: str
+    device: str
+    breakdown: CycleBreakdown
+    used_blocked_path: bool
+
+    @property
+    def seconds(self) -> float:
+        return self.breakdown.seconds
+
+    @property
+    def throughput_word_ops(self) -> float:
+        return self.breakdown.throughput_word_ops
+
+    @property
+    def efficiency(self) -> float:
+        return self.breakdown.efficiency
+
+
+def price_kernel(kernel: SnpKernel, args: KernelArgs) -> KernelProfile:
+    """Timing-only launch: the cycle model without functional compute.
+
+    Used by the end-to-end estimator for paper-scale problems (a 20
+    million row database is priced, not materialized).  On any problem
+    both paths produce *identical* timing because they share the plan
+    and the cycle model -- the test suite asserts this.
+    """
+    plan = kernel.blocking_plan(args.m, args.n, args.k)
+    breakdown = kernel_cycles(kernel.arch, plan, kernel.op)
+    return KernelProfile(
+        kernel_name=f"snp_{kernel.op.value}",
+        device=kernel.arch.name,
+        breakdown=breakdown,
+        used_blocked_path=False,
+    )
+
+
+def execute_kernel(
+    kernel: SnpKernel,
+    a_words: np.ndarray,
+    b_words: np.ndarray,
+    args: KernelArgs | None = None,
+    force_blocked_path: bool | None = None,
+) -> tuple[np.ndarray, KernelProfile]:
+    """Run one kernel launch; returns (C table, profile).
+
+    Parameters
+    ----------
+    kernel:
+        A compiled :class:`SnpKernel`.
+    a_words, b_words:
+        Packed operands of shape ``(m, k)`` and ``(n, k)`` in the
+        device's word width.
+    args:
+        Explicit extents; default derives them from the operands.
+    force_blocked_path:
+        Override the functional-path size heuristic (tests use this).
+    """
+    a = np.asarray(a_words)
+    b = np.asarray(b_words)
+    expected = np.uint32 if kernel.arch.word_bits == 32 else np.uint64
+    if a.dtype != expected or b.dtype != expected:
+        raise KernelLaunchError(
+            f"execute_kernel: operands must be {expected.__name__} on "
+            f"{kernel.arch.name}, got {a.dtype}/{b.dtype}"
+        )
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise KernelLaunchError(
+            f"execute_kernel: bad operand shapes {a.shape} / {b.shape}"
+        )
+    if args is None:
+        args = KernelArgs(m=a.shape[0], n=b.shape[0], k=a.shape[1])
+    if (args.m, args.k) != a.shape or (args.n, args.k) != b.shape:
+        raise KernelLaunchError(
+            f"execute_kernel: args {args} inconsistent with operands "
+            f"{a.shape} / {b.shape}"
+        )
+
+    plan = kernel.blocking_plan(args.m, args.n, args.k)
+    use_blocked = (
+        plan.total_ops() <= BLOCKED_PATH_OP_LIMIT
+        if force_blocked_path is None
+        else force_blocked_path
+    )
+    if use_blocked:
+        c = bit_gemm_blocked(a, b, kernel.op, plan)
+    else:
+        c = bit_gemm_fast(a, b, kernel.op)
+
+    breakdown = kernel_cycles(kernel.arch, plan, kernel.op)
+    profile = KernelProfile(
+        kernel_name=f"snp_{kernel.op.value}",
+        device=kernel.arch.name,
+        breakdown=breakdown,
+        used_blocked_path=use_blocked,
+    )
+    return c, profile

@@ -1,0 +1,122 @@
+"""Instruction classes and pipeline assignment.
+
+The cycle model and core simulator price kernels in terms of a small
+instruction vocabulary -- exactly the operations the SNP micro-kernels
+issue.  Each instruction maps to a *pipe class*; instructions on the
+same pipe share its functional units (Section V-D: "Instructions that
+share a pipeline reduce the effective throughput of each instruction").
+
+The paper's microbenchmark findings, encoded here:
+
+* On all three GPUs, **POPC is a separate pipe** from integer ALU
+  ("execution time remained nearly constant when exclusively performing
+  population count and when simultaneously performing population count
+  with an equal number of arithmetic operations").
+* On the **Vega 64**, ADD and AND (and the other 32-bit logicals) fall
+  on the same ALU pipe, which becomes the kernel bottleneck.
+* NVIDIA devices fuse AND-NOT into one ALU op (LOP3); Vega is modeled
+  without fusion, so in-kernel NOT costs a third ALU op (Fig. 9).
+* Shared-memory loads issue on a load/store pipe; the cycle model folds
+  their cost into the bank-conflict factor rather than a unit count.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ModelError
+from repro.gpu.arch import GPUArchitecture
+
+__all__ = [
+    "Instruction",
+    "PipeClass",
+    "pipe_for",
+    "units_per_cluster",
+    "instruction_mix_pipes",
+]
+
+
+class Instruction(enum.Enum):
+    """Operations the SNP kernels issue (32-bit unless noted)."""
+
+    IADD = "iadd"        # integer add (accumulation)
+    AND = "and"          # logical and
+    XOR = "xor"          # exclusive or
+    NOT = "not"          # bitwise negation
+    ANDN = "andn"        # fused and-not (where supported)
+    POPC = "popc"        # population count
+    LDS = "lds"          # shared-memory load
+    LDG = "ldg"          # global-memory load
+    MOV = "mov"          # register move
+
+
+class PipeClass(enum.Enum):
+    """Functional-unit pipes of a compute cluster."""
+
+    ALU = "alu"
+    POPC = "popc"
+    MEM = "mem"
+
+
+_PIPE_FOR: dict[Instruction, PipeClass] = {
+    Instruction.IADD: PipeClass.ALU,
+    Instruction.AND: PipeClass.ALU,
+    Instruction.XOR: PipeClass.ALU,
+    Instruction.NOT: PipeClass.ALU,
+    Instruction.ANDN: PipeClass.ALU,
+    Instruction.POPC: PipeClass.POPC,
+    Instruction.LDS: PipeClass.MEM,
+    Instruction.LDG: PipeClass.MEM,
+    Instruction.MOV: PipeClass.ALU,
+}
+
+
+def pipe_for(instr: Instruction) -> PipeClass:
+    """The pipe class an instruction executes on (vendor-independent)."""
+    pipe = _PIPE_FOR.get(instr)
+    if pipe is None:
+        raise ModelError(f"pipe_for: unmapped instruction {instr!r}")
+    return pipe
+
+
+def units_per_cluster(arch: GPUArchitecture, pipe: PipeClass) -> int:
+    """Functional units a cluster provides for ``pipe``.
+
+    The MEM pipe is modeled with ALU-equivalent width; its cost is
+    dominated by bank behaviour, handled by the shared-memory model.
+    """
+    if pipe is PipeClass.ALU:
+        return arch.alu_units
+    if pipe is PipeClass.POPC:
+        return arch.popc_units
+    if pipe is PipeClass.MEM:
+        return arch.alu_units
+    raise ModelError(f"units_per_cluster: unknown pipe {pipe!r}")
+
+
+def supports(arch: GPUArchitecture, instr: Instruction) -> bool:
+    """Whether the architecture exposes ``instr`` as a single operation."""
+    if instr is Instruction.ANDN:
+        return arch.has_fused_andnot
+    return True
+
+
+def instruction_mix_pipes(
+    arch: GPUArchitecture,
+    alu_ops: int,
+    popc_ops: int,
+) -> dict[PipeClass, float]:
+    """Cycles-per-word on each pipe for a given per-word instruction mix.
+
+    For each pipe: ``ops_on_pipe / units`` is the number of
+    cluster-cycles one packed word costs on that pipe (each unit
+    retires one 32-bit op per cycle when pipelined).  The kernel's
+    throughput bottleneck is the pipe with the largest value
+    (Section V-D's minimum-throughput rule).
+    """
+    if alu_ops < 0 or popc_ops < 0:
+        raise ModelError("instruction_mix_pipes: negative op counts")
+    return {
+        PipeClass.ALU: alu_ops / arch.alu_units,
+        PipeClass.POPC: popc_ops / arch.popc_units,
+    }

@@ -1,0 +1,156 @@
+"""The parameterized SNP-comparison kernel.
+
+In the real system this is one OpenCL C kernel configured entirely by
+C macros from a header file (Section V): "our GPU kernel is
+parameterized via C macros which are captured in a header file ...
+only 4 values are required": ``m_c, m_r, k_c, n_r`` (plus the core-grid
+distribution of loops 2/3).  :class:`SnpKernel` is the simulated
+counterpart: the same parameters, validated against the model
+architecture exactly as the OpenCL compiler/runtime would reject an
+invalid configuration.
+
+The kernel implements the third loop around the BLIS micro-kernel and
+its contents: stage an ``m_c x k_c`` tile of A in shared memory, then
+stream B from global memory while each thread group accumulates an
+``m_r x (n_r / L_fn)`` register tile of C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blis.blocking import BlockingPlan
+from repro.blis.microkernel import ComparisonOp
+from repro.errors import ConfigurationError, KernelLaunchError
+from repro.gpu.arch import GPUArchitecture
+
+__all__ = ["SnpKernel", "KernelArgs"]
+
+
+@dataclass(frozen=True)
+class SnpKernel:
+    """A compiled (validated) kernel instance for one device.
+
+    Parameters mirror the configuration header: the four BLIS values
+    and the core grid.  ``validate`` is called on construction via
+    :meth:`compile`; direct construction skips hardware checks (used by
+    tests probing invalid configurations).
+    """
+
+    arch: GPUArchitecture
+    op: ComparisonOp
+    m_c: int
+    m_r: int
+    k_c: int
+    n_r: int
+    grid_rows: int = 1
+    grid_cols: int = 1
+
+    @classmethod
+    def compile(
+        cls,
+        arch: GPUArchitecture,
+        op: ComparisonOp | str,
+        m_c: int,
+        m_r: int,
+        k_c: int,
+        n_r: int,
+        grid_rows: int = 1,
+        grid_cols: int = 1,
+    ) -> "SnpKernel":
+        """Validate the configuration against ``arch`` and build the kernel."""
+        kernel = cls(
+            arch=arch,
+            op=ComparisonOp(op) if isinstance(op, str) else op,
+            m_c=m_c,
+            m_r=m_r,
+            k_c=k_c,
+            n_r=n_r,
+            grid_rows=grid_rows,
+            grid_cols=grid_cols,
+        )
+        kernel.validate()
+        return kernel
+
+    def validate(self) -> None:
+        """Hardware-feasibility checks the OpenCL build/launch would make."""
+        arch = self.arch
+        for name in ("m_c", "m_r", "k_c", "n_r", "grid_rows", "grid_cols"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"SnpKernel: {name} must be positive")
+        if self.m_r % arch.n_vec != 0:
+            raise ConfigurationError(
+                f"SnpKernel: m_r ({self.m_r}) must be a multiple of the vector "
+                f"load width N_vec ({arch.n_vec}) -- Eq. 4"
+            )
+        if self.m_c % self.m_r != 0:
+            raise ConfigurationError(
+                f"SnpKernel: m_c ({self.m_c}) must be a multiple of m_r ({self.m_r})"
+            )
+        shared_needed = self.m_c * self.k_c * arch.word_bytes
+        if shared_needed > arch.usable_shared_memory_bytes:
+            raise ConfigurationError(
+                f"SnpKernel: A tile of {shared_needed} bytes exceeds usable "
+                f"shared memory ({arch.usable_shared_memory_bytes} bytes) on "
+                f"{arch.name}"
+            )
+        if self.n_r % arch.l_fn != 0:
+            raise ConfigurationError(
+                f"SnpKernel: n_r ({self.n_r}) must be divisible by L_fn "
+                f"({arch.l_fn}) so each of the L_fn thread groups owns an "
+                f"equal column slice"
+            )
+        if self.grid_rows * self.grid_cols > arch.n_c:
+            raise ConfigurationError(
+                f"SnpKernel: core grid {self.grid_rows}x{self.grid_cols} "
+                f"exceeds {arch.n_c} compute cores on {arch.name}"
+            )
+        resident_groups = arch.n_cl * arch.l_fn
+        if resident_groups > arch.n_grp_max:
+            raise ConfigurationError(
+                f"SnpKernel: occupancy {resident_groups} thread groups exceeds "
+                f"device limit {arch.n_grp_max} on {arch.name}"
+            )
+
+    @property
+    def n_cores(self) -> int:
+        return self.grid_rows * self.grid_cols
+
+    @property
+    def threads_per_core(self) -> int:
+        """Work-group size the launch uses (the framework's occupancy)."""
+        return self.arch.n_cl * self.arch.l_fn * self.arch.n_t
+
+    def blocking_plan(self, m: int, n: int, k: int) -> BlockingPlan:
+        """The BLIS blocking this kernel induces on an (m, n, k) problem."""
+        return BlockingPlan(
+            m=m,
+            n=n,
+            k=k,
+            m_c=self.m_c,
+            k_c=self.k_c,
+            m_r=self.m_r,
+            n_r=self.n_r,
+            grid_rows=self.grid_rows,
+            grid_cols=self.grid_cols,
+        )
+
+
+@dataclass(frozen=True)
+class KernelArgs:
+    """Launch arguments: problem extents in packed words.
+
+    ``m``: rows of A / C; ``n``: rows of B (columns of C); ``k``:
+    packed words of the reduction dimension.
+    """
+
+    m: int
+    n: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) <= 0:
+            raise KernelLaunchError(
+                f"KernelArgs: extents must be positive, got "
+                f"({self.m}, {self.n}, {self.k})"
+            )

@@ -1,0 +1,126 @@
+"""Device memory models: global allocations and shared-memory banks.
+
+Two independent concerns:
+
+* :class:`GlobalMemoryTracker` enforces the device limits of Table I
+  (total global memory and the per-buffer ``CL_DEVICE_MAX_MEM_ALLOC_SIZE``),
+  so problems that do not fit -- the GTX 980 case of Section VI-E2 --
+  fail allocation exactly as the real OpenCL stack would, forcing the
+  tiled/double-buffered path.
+* :class:`SharedMemoryBankModel` computes bank-conflict serialization
+  factors for access patterns.  "Simultaneous accesses to *different*
+  elements in the same bank will cause a bank conflict, resulting in a
+  serialization of memory accesses" (Section IV-A).  The conflict
+  factor for one group access is the maximum, over banks, of the
+  number of *distinct word addresses* touching that bank; broadcasts
+  (same address) do not conflict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import AllocationError, DeviceError
+from repro.gpu.arch import GPUArchitecture
+
+__all__ = ["GlobalMemoryTracker", "SharedMemoryBankModel"]
+
+
+@dataclass
+class GlobalMemoryTracker:
+    """Book-keeping of global-memory allocations against device limits."""
+
+    arch: GPUArchitecture
+    allocated_bytes: int = 0
+    _live: dict[int, int] = field(default_factory=dict)
+    _next_handle: int = 1
+
+    def allocate(self, n_bytes: int) -> int:
+        """Reserve ``n_bytes``; returns an opaque allocation handle.
+
+        Raises
+        ------
+        AllocationError
+            If the buffer exceeds the max single allocation or would
+            overflow total global memory.
+        """
+        if n_bytes <= 0:
+            raise AllocationError(f"allocate: size must be positive, got {n_bytes}")
+        if n_bytes > self.arch.max_alloc_bytes:
+            raise AllocationError(
+                f"allocate: {n_bytes} bytes exceeds max allocation "
+                f"{self.arch.max_alloc_bytes} on {self.arch.name}"
+            )
+        if self.allocated_bytes + n_bytes > self.arch.global_memory_bytes:
+            raise AllocationError(
+                f"allocate: {n_bytes} bytes would exceed global memory "
+                f"({self.allocated_bytes} of {self.arch.global_memory_bytes} "
+                f"in use) on {self.arch.name}"
+            )
+        handle = self._next_handle
+        self._next_handle += 1
+        self._live[handle] = n_bytes
+        self.allocated_bytes += n_bytes
+        return handle
+
+    def free(self, handle: int) -> None:
+        """Release an allocation; double-free raises."""
+        size = self._live.pop(handle, None)
+        if size is None:
+            raise DeviceError(f"free: unknown or already-freed handle {handle}")
+        self.allocated_bytes -= size
+
+    @property
+    def free_bytes(self) -> int:
+        return self.arch.global_memory_bytes - self.allocated_bytes
+
+    @property
+    def n_live(self) -> int:
+        return len(self._live)
+
+
+@dataclass(frozen=True)
+class SharedMemoryBankModel:
+    """Bank-conflict analysis for one compute core's shared memory."""
+
+    n_banks: int
+    word_bytes: int = 4
+
+    def bank_of(self, word_address: int) -> int:
+        """Bank servicing a word-granular address."""
+        if word_address < 0:
+            raise DeviceError(f"bank_of: negative address {word_address}")
+        return word_address % self.n_banks
+
+    def conflict_factor(self, word_addresses: np.ndarray) -> int:
+        """Serialization factor for one simultaneous group access.
+
+        The access completes in as many passes as the most-loaded bank
+        has *distinct* addresses; identical addresses broadcast in one
+        pass.  Returns 1 for conflict-free (or empty) accesses.
+        """
+        addrs = np.unique(np.asarray(word_addresses, dtype=np.int64))
+        if addrs.size == 0:
+            return 1
+        if (addrs < 0).any():
+            raise DeviceError("conflict_factor: negative address in access")
+        banks = addrs % self.n_banks
+        counts = np.bincount(banks, minlength=self.n_banks)
+        return int(counts.max(initial=1))
+
+    def strided_conflict_factor(self, stride_words: int, n_threads: int) -> int:
+        """Conflict factor for the common pattern ``addr_i = i * stride``.
+
+        This is the access the kernel's A-tile reads generate: thread
+        ``i`` of a group touches word ``i * stride``.  Equals
+        ``gcd(stride, n_banks)`` capped by the thread count -- the
+        classic power-of-two-stride pathology.
+        """
+        if stride_words < 0 or n_threads < 0:
+            raise DeviceError("strided_conflict_factor: negative argument")
+        if n_threads == 0:
+            return 1
+        addrs = np.arange(n_threads, dtype=np.int64) * stride_words
+        return self.conflict_factor(addrs)

@@ -1,0 +1,182 @@
+"""Mechanistic memory-system model: deriving the scaling knee.
+
+The paper calibrates nothing about *why* the Vega 64 stops scaling
+("this scalability issue may be related to memory system behaviors
+that we have not captured in our analytical model ... a more detailed
+memory hierarchy model for the GPU may provide insights", Sections
+VI-C and VII).  This module is that investigation: a queueing model of
+the shared memory system from which a Vega-shaped per-core decline
+*emerges*, rather than being fitted point-by-point.
+
+Model
+-----
+
+Each active core streams its B panel at demand ``d`` bytes/cycle
+(``words-per-cycle x word_bytes / m_c``).  A core can keep at most
+``mshr_per_core`` cache-line requests outstanding; each request takes
+the unloaded latency ``base_latency_cycles`` inflated by memory-system
+utilization rho as ``L(rho) = L0 / (1 - rho)`` (the standard M/M/1
+service-time blow-up).  Little's law then caps a core's achieved
+streaming rate at
+
+    x  =  min(d,  mshr * line_bytes / L(rho)),
+    rho = n_cores * x / device_bytes_per_cycle,
+
+a scalar fixed point solved by bisection.  Per-core efficiency is
+``x / d``: flat while latency tolerance covers the loaded latency,
+then declining as every added core inflates everyone's latency -- the
+emergent knee.
+
+``fit_queue_model`` picks (mshr, L0) so the emergent curve best
+matches the device's *calibrated* decay curve; the test suite asserts
+the two agree within tolerance for Vega and that NVIDIA parts come out
+flat, closing the loop between the phenomenological and mechanistic
+descriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blis.microkernel import ComparisonOp
+from repro.errors import ModelError
+from repro.gpu.arch import GPUArchitecture
+from repro.gpu.cycles import scaling_efficiency, words_per_cycle_per_core
+
+__all__ = [
+    "QueueModelParams",
+    "streaming_demand_bytes_per_cycle",
+    "solve_per_core_rate",
+    "emergent_scaling_curve",
+    "fit_queue_model",
+]
+
+
+@dataclass(frozen=True)
+class QueueModelParams:
+    """Latency-tolerance parameters of one device's memory path."""
+
+    mshr_per_core: int
+    base_latency_cycles: float
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.mshr_per_core <= 0 or self.base_latency_cycles <= 0 or self.line_bytes <= 0:
+            raise ModelError("QueueModelParams: parameters must be positive")
+
+    @property
+    def unloaded_rate(self) -> float:
+        """Bytes/cycle one core can stream at zero contention."""
+        return self.mshr_per_core * self.line_bytes / self.base_latency_cycles
+
+
+def streaming_demand_bytes_per_cycle(
+    arch: GPUArchitecture,
+    m_c: int = 32,
+    op: ComparisonOp | str = ComparisonOp.AND,
+) -> float:
+    """One core's B-stream demand at full compute rate.
+
+    Every word-op consumes ``word_bytes / m_c`` bytes of streamed B
+    (the tile's reuse factor), so demand = compute rate x that.
+    """
+    if m_c <= 0:
+        raise ModelError("streaming_demand_bytes_per_cycle: m_c must be positive")
+    return words_per_cycle_per_core(arch, op) * arch.word_bytes / m_c
+
+
+def _device_bytes_per_cycle(arch: GPUArchitecture) -> float:
+    return arch.memory.global_bandwidth_gbs * 1e9 / arch.frequency_hz
+
+
+def solve_per_core_rate(
+    arch: GPUArchitecture,
+    params: QueueModelParams,
+    n_cores: int,
+    demand: float | None = None,
+    tolerance: float = 1e-9,
+) -> float:
+    """Fixed-point streaming rate per core (bytes/cycle).
+
+    Solves ``x = min(d, mshr*line*(1 - n x / B) / L0)`` by bisection on
+    x in [0, d]; the right-hand side is decreasing in x, so the fixed
+    point is unique.
+    """
+    if n_cores <= 0:
+        raise ModelError("solve_per_core_rate: n_cores must be positive")
+    d = streaming_demand_bytes_per_cycle(arch) if demand is None else demand
+    if d <= 0:
+        raise ModelError("solve_per_core_rate: demand must be positive")
+    bandwidth = _device_bytes_per_cycle(arch)
+
+    def rhs(x: float) -> float:
+        rho = min(n_cores * x / bandwidth, 0.999999)
+        return min(d, params.unloaded_rate * (1.0 - rho))
+
+    lo, hi = 0.0, d
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        if rhs(mid) >= mid:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def emergent_scaling_curve(
+    arch: GPUArchitecture,
+    params: QueueModelParams,
+    core_counts: list[int] | None = None,
+) -> list[tuple[int, float]]:
+    """(cores, per-core efficiency) under the queueing model."""
+    if core_counts is None:
+        core_counts = []
+        c = 1
+        while c < arch.n_c:
+            core_counts.append(c)
+            c *= 2
+        core_counts.append(arch.n_c)
+    d = streaming_demand_bytes_per_cycle(arch)
+    out = []
+    for c in core_counts:
+        x = solve_per_core_rate(arch, params, c, demand=d)
+        out.append((c, x / d))
+    return out
+
+
+def fit_queue_model(
+    arch: GPUArchitecture,
+    mshr_candidates: list[int] | None = None,
+    latency_candidates: list[float] | None = None,
+) -> tuple[QueueModelParams, float]:
+    """Grid-fit (mshr, L0) to the device's calibrated decay curve.
+
+    Returns the best parameters and the max absolute efficiency error
+    across the sampled core counts -- the figure of merit the tests
+    bound.  The calibrated curve is the Section VI phenomenology; a
+    small error means the queueing mechanism *explains* it.
+    """
+    if mshr_candidates is None:
+        mshr_candidates = [8, 16, 24, 32, 48, 64, 96, 128]
+    if latency_candidates is None:
+        latency_candidates = [200, 300, 400, 500, 650, 800, 1000, 1300]
+    counts = []
+    c = 1
+    while c < arch.n_c:
+        counts.append(c)
+        c *= 2
+    counts.append(arch.n_c)
+    target = {c: scaling_efficiency(arch, c) for c in counts}
+
+    best: tuple[QueueModelParams, float] | None = None
+    for mshr in mshr_candidates:
+        for latency in latency_candidates:
+            params = QueueModelParams(
+                mshr_per_core=mshr, base_latency_cycles=latency
+            )
+            curve = dict(emergent_scaling_curve(arch, params, counts))
+            err = max(abs(curve[c] - target[c]) for c in counts)
+            if best is None or err < best[1]:
+                best = (params, err)
+    assert best is not None
+    return best

@@ -1,0 +1,104 @@
+"""Occupancy analysis: how many thread groups a kernel can keep resident.
+
+The CUDA-occupancy-calculator equivalent for the model architecture.
+Residency per compute core is bounded by four resources:
+
+* the device's thread-group ceiling ``N_grp``;
+* the register file: ``regs_per_group = N_T * regs_per_thread``;
+* shared memory: one A tile (``m_c * k_c`` words) is shared by *all*
+  resident groups of a work-group, so it bounds work-groups, not
+  groups -- the framework runs one work-group per core, making this a
+  feasibility bound;
+* the scheduler's cluster structure: groups beyond
+  ``N_cl * ceil(L_fn / issue_gap)`` add no throughput (the pipelines
+  are already saturated), which is why the framework deliberately
+  stops at ``N_cl * L_fn`` (Section V-E, Volkov's argument).
+
+``occupancy_report`` returns all bounds plus the binding one, so the
+n_r ablation and the planner can explain *why* a configuration is
+capped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.gpu.arch import GPUArchitecture
+
+__all__ = ["OccupancyReport", "occupancy_report", "registers_per_thread_for"]
+
+
+def registers_per_thread_for(
+    arch: GPUArchitecture, m_r: int, n_r: int, overhead: int = 16
+) -> int:
+    """Estimated register demand per thread for a configuration.
+
+    Accumulators (``m_r * n_r / (L_fn * N_T)``) plus a fixed overhead
+    for addresses, loop state and staged operands.
+    """
+    if m_r <= 0 or n_r <= 0:
+        raise ConfigurationError("registers_per_thread_for: m_r, n_r must be positive")
+    accumulators = -(-m_r * n_r // (arch.l_fn * arch.n_t))
+    return accumulators + overhead
+
+
+@dataclass(frozen=True)
+class OccupancyReport:
+    """Residency bounds for one kernel configuration on one device."""
+
+    device: str
+    groups_by_device_limit: int
+    groups_by_registers: int
+    groups_needed_for_latency: int
+    groups_chosen: int
+    shared_memory_fits: bool
+    registers_per_thread: int
+
+    @property
+    def binding_resource(self) -> str:
+        """Which resource caps residency at the chosen occupancy."""
+        bounds = {
+            "device thread-group limit": self.groups_by_device_limit,
+            "register file": self.groups_by_registers,
+        }
+        tightest = min(bounds, key=lambda k: bounds[k])
+        if self.groups_chosen >= bounds[tightest]:
+            return tightest
+        return "framework choice (N_cl * L_fn)"
+
+    @property
+    def latency_hidden(self) -> bool:
+        """Whether residency suffices to hide instruction latency."""
+        return self.groups_chosen >= self.groups_needed_for_latency
+
+
+def occupancy_report(
+    arch: GPUArchitecture,
+    m_c: int,
+    k_c: int,
+    m_r: int,
+    n_r: int,
+) -> OccupancyReport:
+    """Compute the residency bounds for a configuration."""
+    for name, value in (("m_c", m_c), ("k_c", k_c), ("m_r", m_r), ("n_r", n_r)):
+        if value <= 0:
+            raise ConfigurationError(f"occupancy_report: {name} must be positive")
+    regs_per_thread = registers_per_thread_for(arch, m_r, n_r)
+    regs_per_group = regs_per_thread * arch.n_t
+    by_registers = max(0, arch.registers_per_core // regs_per_group)
+    shared_needed = m_c * k_c * arch.word_bytes
+    chosen = arch.n_cl * arch.l_fn
+    # Latency is hidden once every cluster has L_fn / issue-gap groups
+    # in flight on the slowest pipe; the POPC pipe's gap is the widest.
+    popc_gap = max(1, -(-arch.n_t // arch.popc_units))
+    needed = arch.n_cl * max(1, -(-arch.l_fn // popc_gap))
+    return OccupancyReport(
+        device=arch.name,
+        groups_by_device_limit=arch.n_grp_max,
+        groups_by_registers=by_registers,
+        groups_needed_for_latency=needed,
+        groups_chosen=min(chosen, arch.n_grp_max),
+        shared_memory_fits=shared_needed <= arch.usable_shared_memory_bytes,
+        registers_per_thread=regs_per_thread,
+    )

@@ -1,0 +1,178 @@
+"""Tile-level simulation of the GPU kernel's inner structure.
+
+Where :mod:`repro.gpu.coresim` executes instruction *timing* for the
+microbenchmarks, this module walks the actual **data path** of the SNP
+kernel on one compute core, exactly as Section V describes it:
+
+1. stage the ``m_c x k_c`` A tile into shared memory (bank-conflict
+   accounting on the real word addresses),
+2. each resident thread group owns an ``m_r x (n_r / L_fn)`` register
+   sub-tile: groups on the same cluster take sub-tiles from the same
+   row of the ``m_c x n_r`` core tile, simultaneous groups take the
+   same column (Section IV-C),
+3. for every k step: read the A column from shared memory, stream the
+   B words from global memory, combine / popcount / accumulate.
+
+It returns both the functional C tile (bit-exact with the reference
+drivers) and an operation census (shared reads, bank passes, global
+words, per-pipe op counts) from which a first-principles cycle
+estimate is formed.  Tests cross-validate that estimate against the
+closed-form model in :mod:`repro.gpu.cycles` -- two independent paths
+to the same number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.blis.microkernel import ComparisonOp, get_microkernel
+from repro.errors import KernelLaunchError
+from repro.gpu.arch import GPUArchitecture
+from repro.gpu.cycles import kernel_instruction_mix
+from repro.gpu.isa import instruction_mix_pipes
+from repro.gpu.memory import SharedMemoryBankModel
+from repro.util.bitops import popcount
+
+__all__ = ["TileStats", "simulate_core_tile"]
+
+
+@dataclass(frozen=True)
+class TileStats:
+    """Operation census of one core-tile execution."""
+
+    m_c: int
+    n_r: int
+    k_c: int
+    n_groups: int
+    shared_store_words: int
+    shared_read_accesses: int
+    shared_read_passes: int       # accesses x conflict serialization
+    global_read_words: int
+    alu_ops: int
+    popc_ops: int
+    estimated_cycles: float
+
+    @property
+    def bank_conflict_factor(self) -> float:
+        """Mean serialization of shared reads (1.0 = conflict-free)."""
+        if self.shared_read_accesses == 0:
+            return 1.0
+        return self.shared_read_passes / self.shared_read_accesses
+
+    @property
+    def word_ops(self) -> int:
+        return self.m_c * self.n_r * self.k_c
+
+
+def simulate_core_tile(
+    arch: GPUArchitecture,
+    a_tile: np.ndarray,
+    b_tile: np.ndarray,
+    op: ComparisonOp | str = ComparisonOp.AND,
+    l_fn_groups: int | None = None,
+) -> tuple[np.ndarray, TileStats]:
+    """Execute one ``m_c x n_r`` core tile the way the kernel does.
+
+    Parameters
+    ----------
+    arch:
+        Target device.
+    a_tile:
+        ``(m_c, k_c)`` packed words -- the tile staged into shared
+        memory.
+    b_tile:
+        ``(n_r, k_c)`` packed words -- streamed from global memory
+        (row per output column, as everywhere in this library).
+    op:
+        Comparison micro-kernel.
+    l_fn_groups:
+        Groups per cluster (defaults to ``L_fn``); the column-slice
+        count of the tile decomposition.
+
+    Returns
+    -------
+    (c_tile, stats):
+        ``c_tile`` is the ``(m_c, n_r)`` int64 result; ``stats`` the
+        operation census with the first-principles cycle estimate.
+    """
+    kernel = get_microkernel(op)
+    a = np.asarray(a_tile)
+    b = np.asarray(b_tile)
+    expected = np.uint32 if arch.word_bits == 32 else np.uint64
+    if a.dtype != expected or b.dtype != expected:
+        raise KernelLaunchError(
+            f"simulate_core_tile: operands must be {expected.__name__}"
+        )
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise KernelLaunchError("simulate_core_tile: bad tile shapes")
+    m_c, k_c = a.shape
+    n_r = b.shape[0]
+    groups_per_cluster = l_fn_groups or arch.l_fn
+    n_groups = arch.n_cl * groups_per_cluster
+    if n_r % n_groups and n_r >= n_groups:
+        # Tolerated: the final column slice is ragged.
+        pass
+
+    banks = SharedMemoryBankModel(n_banks=arch.shared_memory_banks)
+    # -- stage A into shared memory -------------------------------------------
+    shared = a.copy()  # functional contents of the shared tile
+    shared_store_words = m_c * k_c
+
+    # -- thread-group decomposition -------------------------------------------
+    # Columns split across the L_fn group slots; rows (m_r sub-tiles)
+    # split across clusters.  Every group walks all k steps.
+    col_slices = np.array_split(np.arange(n_r), min(groups_per_cluster, max(n_r, 1)))
+    row_slices = np.array_split(np.arange(m_c), arch.n_cl)
+
+    c_tile = np.zeros((m_c, n_r), dtype=np.int64)
+    shared_read_accesses = 0
+    shared_read_passes = 0
+    global_read_words = 0
+
+    for rows in row_slices:
+        if rows.size == 0:
+            continue
+        for cols in col_slices:
+            if cols.size == 0:
+                continue
+            # One thread group's walk over the reduction dimension.
+            for k in range(k_c):
+                # Shared read: the group's row slice of A's k-th column.
+                addresses = k * m_c + rows
+                shared_read_accesses += 1
+                shared_read_passes += banks.conflict_factor(addresses)
+                a_col = shared[rows, k]
+                # Global stream: the group's B words for this k step.
+                b_row = b[cols, k]
+                global_read_words += cols.size
+                combined = kernel.combine(a_col[:, None], b_row[None, :])
+                c_tile[np.ix_(rows, cols)] += popcount(combined)
+
+    # -- first-principles cycle estimate --------------------------------------
+    alu_per_word, popc_per_word = kernel_instruction_mix(arch, kernel.op)
+    word_ops = m_c * n_r * k_c
+    alu_ops = alu_per_word * word_ops
+    popc_ops = popc_per_word * word_ops
+    pipes = instruction_mix_pipes(arch, alu_ops, popc_ops)
+    compute_cycles = max(pipes.values()) / arch.n_cl
+    # Shared traffic: each read pass services one bank-parallel batch
+    # (up to N_b words per cycle per core).
+    shared_cycles = shared_read_passes * 1.0
+    estimated = max(compute_cycles, shared_cycles)
+
+    stats = TileStats(
+        m_c=m_c,
+        n_r=n_r,
+        k_c=k_c,
+        n_groups=n_groups,
+        shared_store_words=shared_store_words,
+        shared_read_accesses=shared_read_accesses,
+        shared_read_passes=shared_read_passes,
+        global_read_words=global_read_words,
+        alu_ops=alu_ops,
+        popc_ops=popc_ops,
+        estimated_cycles=float(estimated),
+    )
+    return c_tile, stats

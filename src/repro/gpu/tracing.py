@@ -1,0 +1,81 @@
+"""Chrome-trace export of simulated pipeline schedules.
+
+Serializes a :class:`~repro.gpu.device.CommandQueue`'s profiled events
+into the Chrome Trace Event JSON format (the ``chrome://tracing`` /
+Perfetto array-of-events form), one track per engine.  This gives the
+simulated double-buffering schedule the same tooling surface a real
+OpenCL profiler trace would have.
+
+Format: complete events (``"ph": "X"``) with microsecond timestamps;
+``pid`` is the device, ``tid`` the engine lane.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.gpu.device import CommandQueue
+from repro.util.timing import TimeLine
+
+__all__ = ["trace_events", "write_chrome_trace"]
+
+_LANES = ("h2d", "compute", "d2h")
+
+
+def _lane_timelines(queue: CommandQueue) -> dict[str, TimeLine]:
+    return {
+        "h2d": queue.transfers.h2d,
+        "compute": queue.compute,
+        "d2h": queue.transfers.d2h,
+    }
+
+
+def trace_events(queue: CommandQueue) -> list[dict[str, object]]:
+    """The queue's schedule as Chrome Trace Event dicts.
+
+    Includes one metadata event naming the process (device) and one
+    per engine lane, followed by a complete event per command interval.
+    """
+    device = queue.arch.name
+    events: list[dict[str, object]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": device,
+            "args": {"name": f"simulated {device}"},
+        }
+    ]
+    for tid, name in enumerate(_LANES):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": device,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    for tid, lane in enumerate(_LANES):
+        timeline = _lane_timelines(queue)[lane]
+        for interval in timeline.intervals:
+            events.append(
+                {
+                    "ph": "X",
+                    "name": interval.label,
+                    "cat": lane,
+                    "pid": device,
+                    "tid": tid,
+                    "ts": interval.start * 1e6,      # microseconds
+                    "dur": interval.duration * 1e6,
+                }
+            )
+    return events
+
+
+def write_chrome_trace(queue: CommandQueue, path: str | os.PathLike) -> int:
+    """Write the queue's trace to ``path``; returns the event count."""
+    events = trace_events(queue)
+    Path(path).write_text(json.dumps(events, indent=1), encoding="utf-8")
+    return len(events)

@@ -1,0 +1,148 @@
+"""Design-space exploration: systematic what-if studies over the model.
+
+Generalizes the ad-hoc what-if benches into a small API: sweep one
+architecture parameter, evaluate a metric at each point, and report
+the curve with its saturation point.  Useful for the questions the
+paper's conclusion raises (how many POPC units are worth building?
+when does shared memory stop paying?) and for sanity-checking that the
+model responds to parameters the way the bottleneck analysis predicts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.blis.blocking import BlockingPlan
+from repro.blis.microkernel import ComparisonOp
+from repro.errors import ModelError
+from repro.gpu.arch import GPUArchitecture
+from repro.gpu.cycles import kernel_cycles, peak_word_ops_per_second
+
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "sweep_parameter",
+    "peak_metric",
+    "kernel_time_metric",
+]
+
+Metric = Callable[[GPUArchitecture], float]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated point of a parameter sweep."""
+
+    value: object
+    metric: float
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A completed sweep with convenience analysis."""
+
+    parameter: str
+    points: tuple[SweepPoint, ...]
+    higher_is_better: bool
+
+    @property
+    def best(self) -> SweepPoint:
+        key = (lambda p: p.metric) if self.higher_is_better else (lambda p: -p.metric)
+        return max(self.points, key=key)
+
+    def saturation_value(self, tolerance: float = 0.02) -> object:
+        """Smallest parameter value within ``tolerance`` of the best.
+
+        The "knee" question: how little of the resource achieves
+        (1 - tolerance) of the best metric?  Assumes the sweep was
+        given in increasing resource order.
+        """
+        best = self.best.metric
+        for point in self.points:
+            if self.higher_is_better:
+                if point.metric >= best * (1.0 - tolerance):
+                    return point.value
+            else:
+                if point.metric <= best * (1.0 + tolerance):
+                    return point.value
+        return self.points[-1].value
+
+    def improvements(self) -> list[float]:
+        """Successive metric ratios (shape diagnostics)."""
+        out = []
+        for earlier, later in zip(self.points, self.points[1:]):
+            if earlier.metric == 0:
+                out.append(float("inf"))
+            else:
+                out.append(later.metric / earlier.metric)
+        return out
+
+
+def sweep_parameter(
+    base: GPUArchitecture,
+    parameter: str,
+    values: Sequence[object],
+    metric: Metric,
+    higher_is_better: bool = True,
+) -> SweepResult:
+    """Evaluate ``metric`` across variants of ``base``.
+
+    ``parameter`` must be a field of :class:`GPUArchitecture` (nested
+    memory-model fields use a ``memory.`` prefix).
+    """
+    if not values:
+        raise ModelError("sweep_parameter: empty value list")
+    arch_fields = {f.name for f in dataclasses.fields(GPUArchitecture)}
+    memory_fields = {f.name for f in dataclasses.fields(type(base.memory))}
+    points = []
+    for value in values:
+        if parameter in arch_fields:
+            variant = dataclasses.replace(base, **{parameter: value})
+        elif parameter.startswith("memory.") and parameter[7:] in memory_fields:
+            memory = dataclasses.replace(base.memory, **{parameter[7:]: value})
+            variant = dataclasses.replace(base, memory=memory)
+        else:
+            raise ModelError(
+                f"sweep_parameter: unknown parameter {parameter!r}"
+            )
+        points.append(SweepPoint(value=value, metric=metric(variant)))
+    return SweepResult(
+        parameter=parameter,
+        points=tuple(points),
+        higher_is_better=higher_is_better,
+    )
+
+
+def peak_metric(op: ComparisonOp | str = ComparisonOp.AND) -> Metric:
+    """Metric: theoretical peak word-ops/s for one micro-kernel."""
+
+    def metric(arch: GPUArchitecture) -> float:
+        return peak_word_ops_per_second(arch, op)
+
+    return metric
+
+
+def kernel_time_metric(
+    m: int,
+    n: int,
+    k_words: int,
+    m_c: int = 32,
+    k_c: int = 256,
+    m_r: int = 4,
+    n_r: int = 384,
+    grid: tuple[int, int] | None = None,
+    op: ComparisonOp | str = ComparisonOp.AND,
+) -> Metric:
+    """Metric: modeled kernel seconds for a fixed problem/blocking."""
+
+    def metric(arch: GPUArchitecture) -> float:
+        rows, cols = grid if grid else (1, arch.n_c)
+        plan = BlockingPlan(
+            m=m, n=n, k=k_words, m_c=m_c, k_c=k_c, m_r=m_r, n_r=n_r,
+            grid_rows=rows, grid_cols=cols,
+        )
+        return kernel_cycles(arch, plan, op).seconds
+
+    return metric

@@ -1,0 +1,72 @@
+"""Theoretical peak throughput (the dotted lines of Fig. 5).
+
+Peaks are computed from the per-pipe functional-unit counts and the
+kernel instruction mix via the bottleneck rule of Section V-D: "The
+peak throughput per functional unit can be determined by identifying
+the bottleneck (i.e. the minimum throughput on all pipelines in use)."
+
+Units: *word-ops per second*, where one word-op is the full comparison
+(logical op + POPC + ADD) of one packed 32-bit word.  The CPU peak is
+normalized to 32-bit-equivalent word-ops so devices are directly
+comparable (the Xeon's POPCNT processes 64-bit words).
+"""
+
+from __future__ import annotations
+
+from repro.blis.microkernel import ComparisonOp
+from repro.cpu.arch import CPUArchitecture, XEON_E5_2620_V2
+from repro.gpu.arch import ALL_GPUS, GPUArchitecture
+from repro.gpu.cycles import bottleneck_pipe, peak_word_ops_per_second
+
+__all__ = [
+    "device_peak_word_ops",
+    "cpu_peak_word32_ops",
+    "device_peak_summary",
+    "gpops",
+]
+
+
+def gpops(word_ops_per_second: float) -> float:
+    """Convert word-ops/s to giga-word-ops/s (the figures' axis unit)."""
+    return word_ops_per_second / 1e9
+
+
+def device_peak_word_ops(
+    arch: GPUArchitecture,
+    op: ComparisonOp | str = ComparisonOp.AND,
+    n_cores: int | None = None,
+) -> float:
+    """GPU theoretical peak for one micro-kernel (word-ops/s)."""
+    return peak_word_ops_per_second(arch, op, n_cores)
+
+
+def cpu_peak_word32_ops(arch: CPUArchitecture = XEON_E5_2620_V2) -> float:
+    """CPU theoretical peak in 32-bit-equivalent word-ops/s."""
+    return arch.peak_word32_ops_per_second()
+
+
+def device_peak_summary(
+    op: ComparisonOp | str = ComparisonOp.AND,
+) -> list[dict[str, object]]:
+    """Per-device peak table for one micro-kernel (plus the CPU row)."""
+    rows: list[dict[str, object]] = []
+    for arch in ALL_GPUS:
+        peak = device_peak_word_ops(arch, op)
+        rows.append(
+            {
+                "device": arch.name,
+                "microarchitecture": arch.microarchitecture,
+                "peak_gpops": round(gpops(peak), 1),
+                "bottleneck_pipe": bottleneck_pipe(arch, op).value,
+            }
+        )
+    cpu = XEON_E5_2620_V2
+    rows.append(
+        {
+            "device": cpu.name,
+            "microarchitecture": cpu.microarchitecture,
+            "peak_gpops": round(gpops(cpu_peak_word32_ops(cpu)), 1),
+            "bottleneck_pipe": "popc",
+        }
+    )
+    return rows

@@ -1,0 +1,129 @@
+"""Roofline analysis: where each workload sits on each device.
+
+The roofline model bounds attainable throughput by
+
+    min( pipe peak,  arithmetic_intensity * memory bandwidth )
+
+with arithmetic intensity in word-ops per byte of *global-memory*
+traffic.  For the tiled SNP kernel, traffic per core tile is dominated
+by the streamed B panel plus the staged A panel and the C write-back:
+
+    bytes/word-op ~ 4/m_c  (B)  +  4/n_per_core (A)  +  4/k_words (C)
+
+so the intensity grows with the tile height ``m_c`` -- the reuse
+argument behind the paper's shared-memory staging.  The analysis
+classifies each (device, workload) pair as compute- or bandwidth-bound
+and quantifies the margin; it also exposes the *host-link* roofline
+that dominates end-to-end FastID (the Fig. 8 regime), where intensity
+is measured against PCIe bytes instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blis.microkernel import ComparisonOp
+from repro.errors import ModelError
+from repro.gpu.arch import GPUArchitecture
+from repro.gpu.cycles import peak_word_ops_per_second
+
+__all__ = ["RooflinePoint", "kernel_roofline", "host_roofline"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload's position against one ceiling pair."""
+
+    device: str
+    label: str
+    arithmetic_intensity: float      # word-ops per byte
+    compute_peak_ops: float          # word-ops/s
+    bandwidth_bytes_per_s: float
+    attainable_ops: float
+
+    @property
+    def bound(self) -> str:
+        """"compute" or "bandwidth" -- which ceiling binds."""
+        bandwidth_ceiling = self.arithmetic_intensity * self.bandwidth_bytes_per_s
+        return "compute" if self.compute_peak_ops <= bandwidth_ceiling else "bandwidth"
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Intensity at which the two ceilings intersect."""
+        return self.compute_peak_ops / self.bandwidth_bytes_per_s
+
+    @property
+    def headroom(self) -> float:
+        """attainable / binding-ceiling margin against the other ceiling."""
+        bandwidth_ceiling = self.arithmetic_intensity * self.bandwidth_bytes_per_s
+        return min(self.compute_peak_ops, bandwidth_ceiling) / max(
+            self.compute_peak_ops, bandwidth_ceiling
+        )
+
+
+def kernel_roofline(
+    arch: GPUArchitecture,
+    m_c: int,
+    n_per_core: float,
+    k_words: int,
+    op: ComparisonOp | str = ComparisonOp.AND,
+) -> RooflinePoint:
+    """Device-memory roofline of the tiled kernel.
+
+    Traffic model per word-op: the B stream amortized over the ``m_c``
+    tile rows, the A panel amortized over the per-core output columns,
+    and the C write-back amortized over the reduction length.
+    """
+    if m_c <= 0 or n_per_core <= 0 or k_words <= 0:
+        raise ModelError("kernel_roofline: extents must be positive")
+    word_bytes = arch.word_bytes
+    bytes_per_op = (
+        word_bytes / m_c          # B word shared by the tile's rows
+        + word_bytes / n_per_core  # A word reused across the columns
+        + 4.0 / k_words            # C accumulator written once per k sweep
+    )
+    intensity = 1.0 / bytes_per_op
+    compute = peak_word_ops_per_second(arch, op)
+    bandwidth = arch.memory.global_bandwidth_gbs * 1e9
+    attainable = min(compute, intensity * bandwidth)
+    return RooflinePoint(
+        device=arch.name,
+        label=f"kernel m_c={m_c}",
+        arithmetic_intensity=intensity,
+        compute_peak_ops=compute,
+        bandwidth_bytes_per_s=bandwidth,
+        attainable_ops=attainable,
+    )
+
+
+def host_roofline(
+    arch: GPUArchitecture,
+    m: int,
+    k_words: int,
+    op: ComparisonOp | str = ComparisonOp.AND,
+) -> RooflinePoint:
+    """Host-link roofline of the end-to-end pipeline.
+
+    Every database row crosses PCIe once (k_words words in, one
+    4-byte count per query out), and contributes ``m * k_words``
+    word-ops -- so intensity grows with the query count ``m``, which is
+    why FastID with 32 queries is hopelessly transfer-bound (Fig. 8)
+    while large-query problems become compute-bound end to end.
+    """
+    if m <= 0 or k_words <= 0:
+        raise ModelError("host_roofline: extents must be positive")
+    word_bytes = arch.word_bytes
+    bytes_per_row = k_words * word_bytes + m * 4.0
+    ops_per_row = m * k_words
+    intensity = ops_per_row / bytes_per_row
+    compute = peak_word_ops_per_second(arch, op)
+    bandwidth = arch.memory.host_bandwidth_gbs * 1e9
+    attainable = min(compute, intensity * bandwidth)
+    return RooflinePoint(
+        device=arch.name,
+        label=f"host link m={m}",
+        arithmetic_intensity=intensity,
+        compute_peak_ops=compute,
+        bandwidth_bytes_per_s=bandwidth,
+        attainable_ops=attainable,
+    )

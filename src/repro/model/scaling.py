@@ -1,0 +1,51 @@
+"""Per-core scaling curves (Fig. 7).
+
+The paper's Fig. 7 runs the largest supported LD tile *per core* (weak
+scaling) and plots each device's performance per core relative to its
+own single-core measurement.  In the model this relative quantity is
+
+    rel(c) = [scaling_eff(c) * f(c)] / [scaling_eff(1) * f(1)]
+
+with ``scaling_eff(1) = 1`` by construction, so the curve is shaped by
+the contention decay past the knee and -- on the Titan V -- by the
+single-core DVFS term that pushes mid-range counts above 100 %
+(Section VI-C's hypothesis, encoded in the architecture preset).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.gpu.arch import GPUArchitecture
+from repro.gpu.cycles import effective_frequency_hz, scaling_efficiency
+
+__all__ = ["relative_per_core_performance", "scaling_curve"]
+
+
+def relative_per_core_performance(arch: GPUArchitecture, n_cores: int) -> float:
+    """Fig. 7's y-axis: per-core performance relative to one core."""
+    if not (1 <= n_cores <= arch.n_c):
+        raise ModelError(
+            f"relative_per_core_performance: n_cores={n_cores} outside "
+            f"[1, {arch.n_c}]"
+        )
+    baseline = scaling_efficiency(arch, 1) * effective_frequency_hz(arch, 1)
+    at_n = scaling_efficiency(arch, n_cores) * effective_frequency_hz(arch, n_cores)
+    return at_n / baseline
+
+
+def scaling_curve(
+    arch: GPUArchitecture, core_counts: list[int] | None = None
+) -> list[tuple[int, float]]:
+    """(cores, relative per-core performance) series for one device.
+
+    Defaults to powers of two up to the device core count, plus the
+    full device -- the sampling Fig. 7 uses.
+    """
+    if core_counts is None:
+        core_counts = []
+        c = 1
+        while c < arch.n_c:
+            core_counts.append(c)
+            c *= 2
+        core_counts.append(arch.n_c)
+    return [(c, relative_per_core_performance(arch, c)) for c in core_counts]

@@ -1,0 +1,50 @@
+"""Multi-GPU extension (the paper's Section VII future work).
+
+"We believe that our framework can be extended to handle even larger
+problem sizes [by] exploit[ing] multi-GPU systems such as the DGX-2
+... the increased number of functional units (especially the
+population count instruction) and the collective memory on the GPUs
+would facilitate the storage of even larger datasets ... However, this
+comes at the cost of having to communicate between multi-GPUs."
+
+This package implements that extension over the simulated substrate:
+
+* :mod:`repro.multigpu.interconnect` -- host-link topology model:
+  a shared PCIe switch (transfers to different GPUs serialize) or
+  per-device dedicated links (NVLink/NVSwitch-class, transfers run in
+  parallel).
+* :mod:`repro.multigpu.system` -- :class:`MultiGPUSystem`: N identical
+  devices plus an interconnect; presets for a DGX-2-like 16x Volta
+  node and a quad GTX 980 workstation.
+* :mod:`repro.multigpu.partition` -- database-dimension partitioning
+  across devices (each device owns a contiguous slice of profiles and
+  the full query set -- the natural FastID/LD decomposition).
+* :mod:`repro.multigpu.executor` -- functional execution (bit-exact,
+  per-device slices concatenated) and end-to-end estimation with the
+  per-device double-buffered pipelines sharing or not sharing the host
+  link; scaling reports.
+"""
+
+from repro.multigpu.interconnect import InterconnectModel, PCIE_SHARED, NVLINK_DEDICATED
+from repro.multigpu.system import MultiGPUSystem, DGX2_LIKE, QUAD_GTX980
+from repro.multigpu.partition import partition_database
+from repro.multigpu.executor import (
+    MultiGPUReport,
+    run_multi_gpu,
+    estimate_multi_gpu,
+    scaling_series,
+)
+
+__all__ = [
+    "InterconnectModel",
+    "PCIE_SHARED",
+    "NVLINK_DEDICATED",
+    "MultiGPUSystem",
+    "DGX2_LIKE",
+    "QUAD_GTX980",
+    "partition_database",
+    "MultiGPUReport",
+    "run_multi_gpu",
+    "estimate_multi_gpu",
+    "scaling_series",
+]

@@ -1,0 +1,79 @@
+"""Host-link topology models for multi-GPU systems.
+
+Two topologies bracket the design space the paper's DGX-2 remark opens:
+
+* **shared PCIe switch** -- all devices sit behind one host link;
+  concurrent H2D (or D2H) transfers to different devices serialize.
+  This is the commodity multi-GPU workstation.
+* **dedicated links** -- every device has its own full-bandwidth host
+  path (NVSwitch-class fabrics approximate this for staged data);
+  transfers to different devices proceed in parallel.
+
+The model prices *host-to-device staging*, which is what the SNP
+pipelines move (the comparison itself needs no device-to-device
+traffic: each device owns disjoint database rows and the full query
+set).  ``d2d_bandwidth_gbs`` is carried for completeness and used by
+the scaling analysis to price hypothetical result reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+__all__ = ["InterconnectModel", "PCIE_SHARED", "NVLINK_DEDICATED"]
+
+
+@dataclass(frozen=True)
+class InterconnectModel:
+    """Host-link topology of one multi-GPU node.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label.
+    shared_host_link:
+        True when transfers to *different* devices contend for one
+        link (PCIe switch); False when each device streams at full
+        bandwidth concurrently.
+    host_bandwidth_gbs:
+        Per-link host bandwidth (GB/s); with a shared link this is the
+        total across devices.
+    d2d_bandwidth_gbs:
+        Device-to-device bandwidth (GB/s) for collective operations.
+    """
+
+    name: str
+    shared_host_link: bool
+    host_bandwidth_gbs: float
+    d2d_bandwidth_gbs: float
+
+    def __post_init__(self) -> None:
+        if self.host_bandwidth_gbs <= 0 or self.d2d_bandwidth_gbs <= 0:
+            raise ModelError(f"InterconnectModel {self.name!r}: bandwidths must be positive")
+
+    def effective_host_bandwidth(self, n_active_devices: int) -> float:
+        """Per-device host bandwidth with ``n_active_devices`` streaming."""
+        if n_active_devices <= 0:
+            raise ModelError("effective_host_bandwidth: need >= 1 active device")
+        if self.shared_host_link:
+            return self.host_bandwidth_gbs / n_active_devices
+        return self.host_bandwidth_gbs
+
+
+#: Commodity workstation: devices behind one PCIe 3.0 x16 switch.
+PCIE_SHARED = InterconnectModel(
+    name="shared PCIe 3.0 x16 switch",
+    shared_host_link=True,
+    host_bandwidth_gbs=12.0,
+    d2d_bandwidth_gbs=10.0,
+)
+
+#: NVSwitch-class fabric: every device streams host data at full rate.
+NVLINK_DEDICATED = InterconnectModel(
+    name="dedicated NVLink/NVSwitch links",
+    shared_host_link=False,
+    host_bandwidth_gbs=12.0,
+    d2d_bandwidth_gbs=120.0,
+)

@@ -1,0 +1,68 @@
+"""Multi-GPU node descriptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.gpu.arch import GPUArchitecture, GTX_980, TITAN_V
+from repro.multigpu.interconnect import (
+    InterconnectModel,
+    NVLINK_DEDICATED,
+    PCIE_SHARED,
+)
+
+__all__ = ["MultiGPUSystem", "DGX2_LIKE", "QUAD_GTX980"]
+
+
+@dataclass(frozen=True)
+class MultiGPUSystem:
+    """``n_devices`` identical GPUs behind one interconnect."""
+
+    name: str
+    device: GPUArchitecture
+    n_devices: int
+    interconnect: InterconnectModel
+
+    def __post_init__(self) -> None:
+        if self.n_devices <= 0:
+            raise ModelError(f"MultiGPUSystem {self.name!r}: n_devices must be positive")
+
+    @property
+    def total_global_memory_bytes(self) -> int:
+        """The "collective memory" the paper's remark highlights."""
+        return self.n_devices * self.device.global_memory_bytes
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_devices * self.device.n_c
+
+    def subsystem(self, n_devices: int) -> "MultiGPUSystem":
+        """The same node restricted to ``n_devices`` (scaling sweeps)."""
+        if not (1 <= n_devices <= self.n_devices):
+            raise ModelError(
+                f"subsystem: n_devices={n_devices} outside [1, {self.n_devices}]"
+            )
+        return MultiGPUSystem(
+            name=f"{self.name} ({n_devices} devices)",
+            device=self.device,
+            n_devices=n_devices,
+            interconnect=self.interconnect,
+        )
+
+
+#: A DGX-2-like node: 16 Volta-class devices on a dedicated fabric.
+DGX2_LIKE = MultiGPUSystem(
+    name="DGX-2-like (16x Volta)",
+    device=TITAN_V,
+    n_devices=16,
+    interconnect=NVLINK_DEDICATED,
+)
+
+#: A commodity quad-GPU workstation on a shared PCIe switch.
+QUAD_GTX980 = MultiGPUSystem(
+    name="quad GTX 980 workstation",
+    device=GTX_980,
+    n_devices=4,
+    interconnect=PCIE_SHARED,
+)

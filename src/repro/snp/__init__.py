@@ -1,0 +1,108 @@
+"""Genetics substrate: SNP datasets, synthetic populations, forensic DBs.
+
+This package provides everything *upstream* of the comparison kernels:
+
+* :mod:`repro.snp.alleles` -- encoding of genotypes into the binary
+  minor-allele presence/absence representation the paper computes on
+  (Fig. 2 of the paper).
+* :mod:`repro.snp.dataset` -- the :class:`SNPDataset` container
+  (samples x sites binary matrix plus metadata).
+* :mod:`repro.snp.generator` -- synthetic population generation with a
+  realistic allele-frequency spectrum and optional LD block structure.
+* :mod:`repro.snp.forensic` -- forensic profile databases, queries and
+  DNA mixtures for the FastID workloads.
+* :mod:`repro.snp.stats` -- naive (unpacked, quadratic) reference
+  implementations of LD statistics used as test oracles.
+* :mod:`repro.snp.io` -- simple text and NPZ persistence.
+"""
+
+from repro.snp.alleles import (
+    GENOTYPE_HOMOZYGOUS_MAJOR,
+    GENOTYPE_HETEROZYGOUS,
+    GENOTYPE_HOMOZYGOUS_MINOR,
+    GENOTYPE_MISSING,
+    encode_genotypes,
+    minor_allele_presence,
+)
+from repro.snp.dataset import SNPDataset
+from repro.snp.generator import PopulationModel, generate_population
+from repro.snp.forensic import (
+    ForensicDatabase,
+    generate_database,
+    generate_queries,
+    make_mixture,
+)
+from repro.snp.stats import (
+    ld_counts_naive,
+    ld_d,
+    ld_d_prime,
+    ld_r_squared,
+    identity_distances_naive,
+    mixture_scores_naive,
+)
+from repro.snp.kinship import KinshipResult, ibs_matrix, kinship_screen
+from repro.snp.panels import (
+    ALL_PANELS,
+    FORENSIC_CORE,
+    FORENSIC_EXTENDED,
+    GWAS_ARRAY,
+    WGS_COMMON,
+    PanelSpec,
+    get_panel,
+)
+from repro.snp.significance import (
+    ld_chi_square_pvalues,
+    random_match_probability,
+    panel_sites_for_target_rmp,
+)
+from repro.snp.ld_decay import (
+    DecayCurve,
+    detect_blocks,
+    half_decay_distance,
+    ld_decay_curve,
+)
+from repro.snp.popstats import gene_diversity, hudson_fst
+from repro.snp.pedigree import Pedigree, expected_ibs
+
+__all__ = [
+    "GENOTYPE_HOMOZYGOUS_MAJOR",
+    "GENOTYPE_HETEROZYGOUS",
+    "GENOTYPE_HOMOZYGOUS_MINOR",
+    "GENOTYPE_MISSING",
+    "encode_genotypes",
+    "minor_allele_presence",
+    "SNPDataset",
+    "PopulationModel",
+    "generate_population",
+    "ForensicDatabase",
+    "generate_database",
+    "generate_queries",
+    "make_mixture",
+    "ld_counts_naive",
+    "ld_d",
+    "ld_d_prime",
+    "ld_r_squared",
+    "identity_distances_naive",
+    "mixture_scores_naive",
+    "KinshipResult",
+    "ibs_matrix",
+    "kinship_screen",
+    "ALL_PANELS",
+    "FORENSIC_CORE",
+    "FORENSIC_EXTENDED",
+    "GWAS_ARRAY",
+    "WGS_COMMON",
+    "PanelSpec",
+    "get_panel",
+    "ld_chi_square_pvalues",
+    "random_match_probability",
+    "panel_sites_for_target_rmp",
+    "DecayCurve",
+    "detect_blocks",
+    "half_decay_distance",
+    "ld_decay_curve",
+    "gene_diversity",
+    "hudson_fst",
+    "Pedigree",
+    "expected_ibs",
+]

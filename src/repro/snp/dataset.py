@@ -1,0 +1,124 @@
+"""The :class:`SNPDataset` container.
+
+A dataset is a binary (samples x sites) minor-allele presence matrix
+plus optional identifiers.  It is the boundary object between the
+genetics substrate and the comparison framework: everything downstream
+(packing, kernels) consumes ``dataset.matrix``.
+
+Terminology note: the paper calls a row a "SNP string" or "sequence"
+(one individual's packed bitvector across SNP sites); we call rows
+*samples* and columns *sites* throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+__all__ = ["SNPDataset"]
+
+
+@dataclass
+class SNPDataset:
+    """Binary SNP matrix with sample/site identifiers.
+
+    Parameters
+    ----------
+    matrix:
+        ``uint8`` array of shape ``(n_samples, n_sites)`` with values
+        in {0, 1}: 1 marks presence of the minor allele.
+    sample_ids:
+        Optional sequence of unique sample identifiers; defaults to
+        ``sample_0000`` style names.
+    site_ids:
+        Optional sequence of unique site identifiers; defaults to
+        ``rs<index>`` style names.
+    """
+
+    matrix: np.ndarray
+    sample_ids: list[str] = field(default_factory=list)
+    site_ids: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        m = np.asarray(self.matrix)
+        if m.ndim != 2:
+            raise DatasetError(f"SNPDataset: matrix must be 2-D, got ndim={m.ndim}")
+        if m.dtype != np.uint8:
+            if m.dtype == np.bool_:
+                m = m.astype(np.uint8)
+            else:
+                if m.size and not np.isin(m, (0, 1)).all():
+                    raise DatasetError("SNPDataset: matrix must be binary (0/1)")
+                m = m.astype(np.uint8)
+        elif m.size and m.max(initial=0) > 1:
+            raise DatasetError("SNPDataset: matrix must be binary (0/1)")
+        self.matrix = m
+        if not self.sample_ids:
+            self.sample_ids = [f"sample_{i:04d}" for i in range(m.shape[0])]
+        if not self.site_ids:
+            self.site_ids = [f"rs{i}" for i in range(m.shape[1])]
+        if len(self.sample_ids) != m.shape[0]:
+            raise DatasetError(
+                f"SNPDataset: {len(self.sample_ids)} sample_ids for "
+                f"{m.shape[0]} samples"
+            )
+        if len(self.site_ids) != m.shape[1]:
+            raise DatasetError(
+                f"SNPDataset: {len(self.site_ids)} site_ids for {m.shape[1]} sites"
+            )
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples (rows / "SNP strings")."""
+        return int(self.matrix.shape[0])
+
+    @property
+    def n_sites(self) -> int:
+        """Number of SNP sites (columns)."""
+        return int(self.matrix.shape[1])
+
+    def minor_allele_frequency(self) -> np.ndarray:
+        """Per-site fraction of samples carrying the minor allele."""
+        if self.n_samples == 0:
+            return np.zeros(self.n_sites)
+        return self.matrix.mean(axis=0)
+
+    def subset_samples(self, indices: np.ndarray | list[int]) -> "SNPDataset":
+        """New dataset restricted to the given sample indices (in order)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return SNPDataset(
+            matrix=self.matrix[idx].copy(),
+            sample_ids=[self.sample_ids[i] for i in idx],
+            site_ids=list(self.site_ids),
+        )
+
+    def subset_sites(self, indices: np.ndarray | list[int]) -> "SNPDataset":
+        """New dataset restricted to the given site indices (in order)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return SNPDataset(
+            matrix=self.matrix[:, idx].copy(),
+            sample_ids=list(self.sample_ids),
+            site_ids=[self.site_ids[i] for i in idx],
+        )
+
+    def concat_samples(self, other: "SNPDataset") -> "SNPDataset":
+        """Stack another dataset's samples below this one (same sites)."""
+        if other.n_sites != self.n_sites:
+            raise DatasetError(
+                f"concat_samples: site count mismatch "
+                f"({self.n_sites} vs {other.n_sites})"
+            )
+        return SNPDataset(
+            matrix=np.vstack([self.matrix, other.matrix]),
+            sample_ids=list(self.sample_ids) + list(other.sample_ids),
+            site_ids=list(self.site_ids),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SNPDataset(n_samples={self.n_samples}, n_sites={self.n_sites}, "
+            f"maf_mean={self.minor_allele_frequency().mean():.3f})"
+        )

@@ -1,0 +1,173 @@
+"""Forensic profile databases, queries, and DNA mixtures (FastID world).
+
+The paper's FastID experiments compare a small set of *query* profiles
+against a reference database sized like the FBI NDIS database (around
+18-20 million profiles as of the paper's writing).  We cannot ship real
+profiles, so this module generates synthetic ones:
+
+* a **database** of i.i.d. profiles drawn from a shared allele-frequency
+  spectrum (the realistic structure that matters for score
+  distributions),
+* **queries** that are either true database members (optionally
+  perturbed by genotyping error) or unrelated individuals, and
+* **mixtures** formed as the bitwise OR of several contributor
+  profiles, which is the standard dense-representation model of a DNA
+  mixture: a minor allele is observed in the mixture iff at least one
+  contributor carries it.
+
+These generators preserve exactly the decision semantics the paper's
+kernels implement: identity search finds ``XOR``-distance zero for a
+true member, and mixture analysis finds ``popcount(r & ~m) == 0`` for a
+true contributor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+__all__ = [
+    "ForensicDatabase",
+    "generate_database",
+    "generate_queries",
+    "make_mixture",
+    "perturb_profile",
+]
+
+
+@dataclass
+class ForensicDatabase:
+    """A reference database of binary SNP profiles.
+
+    Attributes
+    ----------
+    profiles:
+        ``uint8`` matrix of shape ``(n_profiles, n_sites)``.
+    frequencies:
+        The per-site minor-allele frequencies the profiles were drawn
+        from (used to generate consistent unrelated queries).
+    """
+
+    profiles: np.ndarray
+    frequencies: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        p = np.asarray(self.profiles, dtype=np.uint8)
+        if p.ndim != 2:
+            raise DatasetError("ForensicDatabase: profiles must be 2-D")
+        f = np.asarray(self.frequencies, dtype=np.float64)
+        if f.shape != (p.shape[1],):
+            raise DatasetError(
+                f"ForensicDatabase: frequencies shape {f.shape} does not match "
+                f"{p.shape[1]} sites"
+            )
+        self.profiles = p
+        self.frequencies = f
+
+    @property
+    def n_profiles(self) -> int:
+        return int(self.profiles.shape[0])
+
+    @property
+    def n_sites(self) -> int:
+        return int(self.profiles.shape[1])
+
+
+def generate_database(
+    n_profiles: int,
+    n_sites: int,
+    rng: np.random.Generator | int | None = None,
+    maf_alpha: float = 1.2,
+    maf_beta: float = 3.0,
+) -> ForensicDatabase:
+    """Generate a synthetic forensic reference database.
+
+    Forensic SNP panels deliberately select *common* variants (higher
+    discriminating power), so the default frequency spectrum is less
+    rare-skewed than the population-genetics default.
+    """
+    if n_profiles <= 0 or n_sites <= 0:
+        raise DatasetError(
+            f"generate_database: shape must be positive, got "
+            f"({n_profiles}, {n_sites})"
+        )
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    freqs = np.clip(rng.beta(maf_alpha, maf_beta, size=n_sites), 0.05, 0.5)
+    profiles = (rng.random((n_profiles, n_sites)) < freqs).astype(np.uint8)
+    return ForensicDatabase(profiles=profiles, frequencies=freqs)
+
+
+def perturb_profile(
+    profile: np.ndarray,
+    error_rate: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Flip each bit independently with probability ``error_rate``.
+
+    Models genotyping error / degraded-sample noise in a query.
+    """
+    if not (0.0 <= error_rate <= 1.0):
+        raise DatasetError(f"perturb_profile: error_rate must be in [0,1], got {error_rate}")
+    flips = (rng.random(profile.shape) < error_rate).astype(np.uint8)
+    return np.bitwise_xor(profile, flips)
+
+
+def generate_queries(
+    database: ForensicDatabase,
+    n_member_queries: int,
+    n_unrelated_queries: int,
+    rng: np.random.Generator | int | None = None,
+    error_rate: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build a query set of known members plus unrelated individuals.
+
+    Returns
+    -------
+    (queries, member_indices)
+        ``queries`` has shape
+        ``(n_member_queries + n_unrelated_queries, n_sites)``;
+        ``member_indices[i]`` is the database row a member query was
+        copied from, or ``-1`` for unrelated queries.  Member queries
+        come first.
+    """
+    if n_member_queries < 0 or n_unrelated_queries < 0:
+        raise DatasetError("generate_queries: query counts must be >= 0")
+    if n_member_queries > database.n_profiles:
+        raise DatasetError(
+            f"generate_queries: requested {n_member_queries} member queries from "
+            f"a database of {database.n_profiles}"
+        )
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+
+    member_rows = rng.choice(database.n_profiles, size=n_member_queries, replace=False)
+    members = database.profiles[member_rows].copy()
+    if error_rate > 0 and n_member_queries:
+        members = perturb_profile(members, error_rate, rng)
+    unrelated = (
+        rng.random((n_unrelated_queries, database.n_sites)) < database.frequencies
+    ).astype(np.uint8)
+    queries = np.vstack([members, unrelated]) if (n_member_queries or n_unrelated_queries) else np.zeros((0, database.n_sites), dtype=np.uint8)
+    member_indices = np.concatenate(
+        [member_rows.astype(np.int64), np.full(n_unrelated_queries, -1, dtype=np.int64)]
+    )
+    return queries, member_indices
+
+
+def make_mixture(contributors: np.ndarray) -> np.ndarray:
+    """Combine contributor profiles into a mixture profile (bitwise OR).
+
+    A minor allele is detected in the mixed sample iff any contributor
+    carries it; this is the dense-bitvector mixture model FastID [16]
+    assumes.  ``contributors`` has shape ``(k, n_sites)`` with k >= 1.
+    """
+    c = np.asarray(contributors, dtype=np.uint8)
+    if c.ndim != 2 or c.shape[0] < 1:
+        raise DatasetError(
+            "make_mixture: contributors must be (k, n_sites) with k >= 1"
+        )
+    return np.bitwise_or.reduce(c, axis=0)

@@ -1,0 +1,143 @@
+"""Dataset persistence: NPZ (binary) and a PLINK-inspired text format.
+
+Two formats are supported:
+
+* **NPZ** -- the fast path for round-tripping :class:`SNPDataset` and
+  :class:`ForensicDatabase` objects between runs.
+* **``.snptxt``** -- a human-readable, PLINK-``.tped``-inspired format
+  for small datasets and test fixtures::
+
+      # repro snptxt v1
+      #samples: s0 s1 s2
+      rs1  0 1 0
+      rs2  1 1 0
+
+  One line per site: site id followed by one 0/1 token per sample
+  (site-major, like ``.tped``).  Lines starting with ``#`` other than
+  the two headers are comments.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.snp.dataset import SNPDataset
+from repro.snp.forensic import ForensicDatabase
+
+__all__ = [
+    "save_dataset_npz",
+    "load_dataset_npz",
+    "save_database_npz",
+    "load_database_npz",
+    "write_snptxt",
+    "read_snptxt",
+]
+
+_SNPTXT_MAGIC = "# repro snptxt v1"
+
+
+def save_dataset_npz(path: str | os.PathLike, dataset: SNPDataset) -> None:
+    """Save a dataset to ``path`` (NPZ, compressed)."""
+    np.savez_compressed(
+        path,
+        matrix=np.packbits(dataset.matrix, axis=1),
+        n_sites=np.int64(dataset.n_sites),
+        sample_ids=np.array(dataset.sample_ids, dtype=np.str_),
+        site_ids=np.array(dataset.site_ids, dtype=np.str_),
+    )
+
+
+def load_dataset_npz(path: str | os.PathLike) -> SNPDataset:
+    """Load a dataset previously written by :func:`save_dataset_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            packed = data["matrix"]
+            n_sites = int(data["n_sites"])
+            sample_ids = [str(s) for s in data["sample_ids"]]
+            site_ids = [str(s) for s in data["site_ids"]]
+        except KeyError as exc:
+            raise DatasetError(f"load_dataset_npz: missing field {exc}") from exc
+    matrix = np.unpackbits(packed, axis=1)[:, :n_sites].astype(np.uint8)
+    return SNPDataset(matrix=matrix, sample_ids=sample_ids, site_ids=site_ids)
+
+
+def save_database_npz(path: str | os.PathLike, database: ForensicDatabase) -> None:
+    """Save a forensic database to ``path`` (NPZ, compressed)."""
+    np.savez_compressed(
+        path,
+        profiles=np.packbits(database.profiles, axis=1),
+        n_sites=np.int64(database.n_sites),
+        frequencies=database.frequencies,
+    )
+
+
+def load_database_npz(path: str | os.PathLike) -> ForensicDatabase:
+    """Load a database previously written by :func:`save_database_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            packed = data["profiles"]
+            n_sites = int(data["n_sites"])
+            frequencies = data["frequencies"]
+        except KeyError as exc:
+            raise DatasetError(f"load_database_npz: missing field {exc}") from exc
+    profiles = np.unpackbits(packed, axis=1)[:, :n_sites].astype(np.uint8)
+    return ForensicDatabase(profiles=profiles, frequencies=frequencies)
+
+
+def write_snptxt(path: str | os.PathLike, dataset: SNPDataset) -> None:
+    """Write a dataset in the ``.snptxt`` text format (site-major)."""
+    lines = [_SNPTXT_MAGIC, "#samples: " + " ".join(dataset.sample_ids)]
+    for j, site_id in enumerate(dataset.site_ids):
+        tokens = " ".join(str(int(v)) for v in dataset.matrix[:, j])
+        lines.append(f"{site_id} {tokens}")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def read_snptxt(path: str | os.PathLike) -> SNPDataset:
+    """Read a ``.snptxt`` file written by :func:`write_snptxt`."""
+    text = Path(path).read_text(encoding="utf-8")
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != _SNPTXT_MAGIC:
+        raise DatasetError(f"read_snptxt: {path} is not a snptxt v1 file")
+    sample_ids: list[str] | None = None
+    site_ids: list[str] = []
+    rows: list[list[int]] = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("#samples:"):
+            sample_ids = stripped[len("#samples:") :].split()
+            continue
+        if stripped.startswith("#"):
+            continue
+        tokens = stripped.split()
+        site_ids.append(tokens[0])
+        try:
+            values = [int(t) for t in tokens[1:]]
+        except ValueError as exc:
+            raise DatasetError(
+                f"read_snptxt: non-integer genotype at line {lineno}"
+            ) from exc
+        if any(v not in (0, 1) for v in values):
+            raise DatasetError(f"read_snptxt: non-binary genotype at line {lineno}")
+        rows.append(values)
+    if sample_ids is None:
+        raise DatasetError("read_snptxt: missing '#samples:' header")
+    if not rows:
+        matrix = np.zeros((len(sample_ids), 0), dtype=np.uint8)
+        return SNPDataset(matrix=matrix, sample_ids=sample_ids, site_ids=[])
+    widths = {len(r) for r in rows}
+    if widths != {len(sample_ids)}:
+        raise DatasetError(
+            f"read_snptxt: rows have sample counts {sorted(widths)}, "
+            f"expected {len(sample_ids)}"
+        )
+    site_major = np.array(rows, dtype=np.uint8)
+    return SNPDataset(
+        matrix=site_major.T.copy(), sample_ids=sample_ids, site_ids=site_ids
+    )

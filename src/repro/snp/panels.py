@@ -1,0 +1,147 @@
+"""Named SNP panel presets: parameterized workload families.
+
+The evaluation workloads of the paper and the broader literature fall
+into a few recognizable families.  This module names them, so benches
+and examples can say *which* kind of panel they model instead of
+passing bare numbers:
+
+* ``FORENSIC_CORE`` -- a compact identity panel (dozens of highly
+  informative common SNPs, in the spirit of selected AISNP/IISNP core
+  sets).
+* ``FORENSIC_EXTENDED`` -- the FastID-scale kilosnp panel the paper's
+  Fig. 8 sweeps toward (hundreds to ~1024 sites).
+* ``GWAS_ARRAY`` -- genotyping-array scale for LD scans (tens of
+  thousands of sites, rare-skewed spectrum, block structure).
+* ``WGS_COMMON`` -- sequencing-derived common variants (large site
+  count, strongly rare-skewed).
+
+Each preset bundles the site count, the frequency-spectrum parameters
+of the generators, and block structure, and knows how to materialize
+datasets/databases.  All panels are synthetic; the names encode the
+*shape*, not real marker lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.snp.dataset import SNPDataset
+from repro.snp.forensic import ForensicDatabase, generate_database
+from repro.snp.generator import PopulationModel, generate_population
+
+__all__ = [
+    "PanelSpec",
+    "FORENSIC_CORE",
+    "FORENSIC_EXTENDED",
+    "GWAS_ARRAY",
+    "WGS_COMMON",
+    "ALL_PANELS",
+    "get_panel",
+]
+
+
+@dataclass(frozen=True)
+class PanelSpec:
+    """A named SNP panel family."""
+
+    name: str
+    description: str
+    n_sites: int
+    maf_alpha: float
+    maf_beta: float
+    block_size: int = 1
+    founders_per_block: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_sites <= 0:
+            raise DatasetError(f"PanelSpec {self.name!r}: n_sites must be positive")
+
+    def population(
+        self, n_samples: int, rng: np.random.Generator | int | None = None
+    ) -> SNPDataset:
+        """A cohort genotyped on this panel."""
+        model = PopulationModel(
+            n_samples=n_samples,
+            n_sites=self.n_sites,
+            maf_alpha=self.maf_alpha,
+            maf_beta=self.maf_beta,
+            block_size=self.block_size,
+            founders_per_block=self.founders_per_block,
+        )
+        return generate_population(model, rng=rng)
+
+    def database(
+        self, n_profiles: int, rng: np.random.Generator | int | None = None
+    ) -> ForensicDatabase:
+        """A reference database of profiles on this panel."""
+        return generate_database(
+            n_profiles,
+            self.n_sites,
+            rng=rng,
+            maf_alpha=self.maf_alpha,
+            maf_beta=self.maf_beta,
+        )
+
+    @property
+    def expected_density(self) -> float:
+        """Mean MAF implied by the Beta spectrum (clipped at 0.5)."""
+        mean = self.maf_alpha / (self.maf_alpha + self.maf_beta)
+        return min(mean, 0.5)
+
+
+FORENSIC_CORE = PanelSpec(
+    name="forensic-core",
+    description="compact identity panel of highly informative common SNPs",
+    n_sites=96,
+    maf_alpha=6.0,
+    maf_beta=6.0,
+)
+
+FORENSIC_EXTENDED = PanelSpec(
+    name="forensic-extended",
+    description="FastID-scale kilosnp identity/mixture panel (Fig. 8 regime)",
+    n_sites=1024,
+    maf_alpha=2.0,
+    maf_beta=3.0,
+)
+
+GWAS_ARRAY = PanelSpec(
+    name="gwas-array",
+    description="genotyping-array LD-scan panel with haplotype blocks",
+    n_sites=20_000,
+    maf_alpha=0.9,
+    maf_beta=4.0,
+    block_size=50,
+    founders_per_block=6,
+)
+
+WGS_COMMON = PanelSpec(
+    name="wgs-common",
+    description="sequencing-derived panel, strongly rare-skewed spectrum",
+    n_sites=50_000,
+    maf_alpha=0.4,
+    maf_beta=8.0,
+    block_size=100,
+    founders_per_block=8,
+)
+
+ALL_PANELS: tuple[PanelSpec, ...] = (
+    FORENSIC_CORE,
+    FORENSIC_EXTENDED,
+    GWAS_ARRAY,
+    WGS_COMMON,
+)
+
+_BY_NAME = {p.name: p for p in ALL_PANELS}
+
+
+def get_panel(name: str) -> PanelSpec:
+    """Look up a panel preset by name."""
+    panel = _BY_NAME.get(name.strip().lower())
+    if panel is None:
+        valid = ", ".join(sorted(_BY_NAME))
+        raise DatasetError(f"get_panel: unknown panel {name!r} (valid: {valid})")
+    return panel

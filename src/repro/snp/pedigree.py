@@ -1,0 +1,159 @@
+"""Pedigree simulation: genetically related profiles with known truth.
+
+The kinship screen (:mod:`repro.snp.kinship`) needs validation data
+where relatedness is *known by construction*.  This module simulates
+presence/absence profiles under a simple transmission model consistent
+with the library's binary representation:
+
+* a **founder** carries each site's minor allele with probability
+  ``p_k`` (the panel frequency);
+* a **child** of two parents carries the minor allele if it inherits
+  it from either parent -- each parental minor allele transmits
+  independently with probability 1/2 (one of two chromosomes), so
+
+      P(child has allele) = 1 - (1 - m/2)^(parents with allele m in {0,1,2})
+                            adjusted for the population allele the
+                            untransmitted chromosome may carry.
+
+  We use the standard presence-state approximation: a parent showing
+  the allele transmits it with probability 1/2; a parent not showing
+  it contributes population background with probability ``p_k / 2``
+  (the untyped second haplotype).  This yields the qualitative IBS
+  ordering the screen must recover: duplicates > parent-child ≈
+  siblings > unrelated.
+
+Expected IBS values under this model are exposed analytically
+(:func:`expected_ibs`) so tests can check the screen against theory,
+not just against sampled data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+__all__ = ["Pedigree", "expected_ibs"]
+
+
+@dataclass
+class Pedigree:
+    """A growing set of profiles with recorded parentage.
+
+    Parameters
+    ----------
+    frequencies:
+        Per-site minor-allele frequencies of the founding population.
+    rng:
+        Seed or generator for reproducibility.
+    """
+
+    frequencies: np.ndarray
+    rng: np.random.Generator | int | None = None
+    profiles: list[np.ndarray] = field(default_factory=list)
+    parents: list[tuple[int, int] | None] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.frequencies = np.asarray(self.frequencies, dtype=np.float64)
+        if self.frequencies.ndim != 1 or self.frequencies.size == 0:
+            raise DatasetError("Pedigree: frequencies must be a non-empty vector")
+        if self.frequencies.min() < 0 or self.frequencies.max() > 1:
+            raise DatasetError("Pedigree: frequencies outside [0, 1]")
+        if not isinstance(self.rng, np.random.Generator):
+            self.rng = np.random.default_rng(self.rng)
+
+    @property
+    def n_sites(self) -> int:
+        return int(self.frequencies.size)
+
+    @property
+    def n_individuals(self) -> int:
+        return len(self.profiles)
+
+    def add_founder(self) -> int:
+        """Draw an unrelated individual from the population; returns id."""
+        profile = (self.rng.random(self.n_sites) < self.frequencies).astype(np.uint8)
+        self.profiles.append(profile)
+        self.parents.append(None)
+        return len(self.profiles) - 1
+
+    def add_child(self, mother: int, father: int) -> int:
+        """Simulate a child of two existing individuals; returns id."""
+        for name, idx in (("mother", mother), ("father", father)):
+            if not (0 <= idx < self.n_individuals):
+                raise DatasetError(f"add_child: unknown {name} index {idx}")
+        p = self.frequencies
+        child = np.zeros(self.n_sites, dtype=np.uint8)
+        for parent_idx in (mother, father):
+            parent = self.profiles[parent_idx]
+            # A displaying parent transmits the allele w.p. 1/2; a
+            # non-displaying parent's transmitted haplotype carries the
+            # population allele w.p. p/2 (one untyped chromosome).
+            transmit_prob = np.where(parent == 1, 0.5, p / 2.0)
+            transmitted = self.rng.random(self.n_sites) < transmit_prob
+            child |= transmitted.astype(np.uint8)
+        self.profiles.append(child)
+        self.parents.append((mother, father))
+        return len(self.profiles) - 1
+
+    def matrix(self) -> np.ndarray:
+        """All profiles as a (n_individuals, n_sites) binary matrix."""
+        if not self.profiles:
+            return np.zeros((0, self.n_sites), dtype=np.uint8)
+        return np.vstack(self.profiles)
+
+    def relationship(self, a: int, b: int) -> str:
+        """"self", "parent-child", "siblings", or "unrelated" (by records)."""
+        if a == b:
+            return "self"
+        pa, pb = self.parents[a], self.parents[b]
+        if pa is not None and b in pa:
+            return "parent-child"
+        if pb is not None and a in pb:
+            return "parent-child"
+        if pa is not None and pb is not None and set(pa) & set(pb):
+            return "siblings"
+        return "unrelated"
+
+
+def expected_ibs(frequencies: np.ndarray, relationship: str = "unrelated") -> float:
+    """Analytical mean IBS between two profiles of a given relationship.
+
+    Computed *exactly* under the transmission model of
+    :meth:`Pedigree.add_child` by enumerating the four parent-state
+    combinations per site: with transmit probabilities
+    ``t(1) = 1/2`` and ``t(0) = p/2``, a child shows the allele with
+    ``P(C=1 | M, D) = 1 - (1 - t(M))(1 - t(D))``.
+
+    * unrelated: ``mean(p^2 + (1-p)^2)``;
+    * parent-child: agreement of (M, C) marginalized over D;
+    * siblings: agreement of two conditionally independent children
+      marginalized over (M, D);
+    * self: 1.
+    """
+    p = np.asarray(frequencies, dtype=np.float64)
+    if relationship == "unrelated":
+        return float(np.mean(p**2 + (1 - p) ** 2))
+    if relationship == "self":
+        return 1.0
+    if relationship not in ("parent-child", "siblings"):
+        raise DatasetError(f"expected_ibs: unknown relationship {relationship!r}")
+
+    def transmit(state: int) -> np.ndarray:
+        return np.full_like(p, 0.5) if state else p / 2.0
+
+    parent_child = np.zeros_like(p)
+    siblings = np.zeros_like(p)
+    for m_state in (0, 1):
+        w_m = p if m_state else 1 - p
+        for d_state in (0, 1):
+            w = w_m * (p if d_state else 1 - p)
+            child_shows = 1.0 - (1.0 - transmit(m_state)) * (1.0 - transmit(d_state))
+            agree_mc = child_shows if m_state else 1.0 - child_shows
+            parent_child += w * agree_mc
+            # Two children are i.i.d. given the parents.
+            siblings += w * (child_shows**2 + (1.0 - child_shows) ** 2)
+    chosen = parent_child if relationship == "parent-child" else siblings
+    return float(np.mean(chosen))

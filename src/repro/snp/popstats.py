@@ -1,0 +1,111 @@
+"""Population-genetics summary statistics over binary SNP matrices.
+
+Light statistical companions to the LD application (Section II-A's
+domain): per-site diversity and between-cohort differentiation.  All
+operate on the presence/absence representation, treating each row as a
+haploid presence vector (consistent with the rest of the library).
+
+* **Expected heterozygosity** ``H_exp = 2 p (1 - p)`` per site, and its
+  mean over sites (gene diversity).
+* **Hudson's Fst** between two cohorts, site-wise and as the standard
+  ratio-of-averages estimator (Bhatia et al. 2013's recommendation):
+
+      Fst = sum_k N_k / sum_k D_k,
+      N_k = (p1 - p2)^2 - p1(1-p1)/(n1-1) - p2(1-p2)/(n2-1),
+      D_k = p1(1-p2) + p2(1-p1)
+
+* **Site-frequency spectrum** histogram, the generator-validation tool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+__all__ = [
+    "expected_heterozygosity",
+    "gene_diversity",
+    "hudson_fst",
+    "site_frequency_spectrum",
+]
+
+
+def _as_binary(name: str, matrix: np.ndarray) -> np.ndarray:
+    m = np.asarray(matrix)
+    if m.ndim != 2:
+        raise DatasetError(f"{name}: expected a 2-D binary matrix")
+    if m.size and not np.isin(m, (0, 1)).all():
+        raise DatasetError(f"{name}: matrix must be binary")
+    return m
+
+
+def expected_heterozygosity(matrix: np.ndarray) -> np.ndarray:
+    """Per-site ``2 p (1 - p)`` from sample frequencies."""
+    m = _as_binary("expected_heterozygosity", matrix)
+    if m.shape[0] == 0:
+        raise DatasetError("expected_heterozygosity: no samples")
+    p = m.mean(axis=0)
+    return 2.0 * p * (1.0 - p)
+
+
+def gene_diversity(matrix: np.ndarray) -> float:
+    """Mean expected heterozygosity over sites (0 for zero sites)."""
+    h = expected_heterozygosity(matrix)
+    return float(h.mean()) if h.size else 0.0
+
+
+def hudson_fst(
+    cohort_a: np.ndarray, cohort_b: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Hudson's Fst between two cohorts.
+
+    Returns ``(ratio_of_averages, per_site_numerator/denominator)``;
+    sites with zero denominator contribute NaN site-wise and are
+    excluded from the global ratio.
+    """
+    a = _as_binary("hudson_fst", cohort_a)
+    b = _as_binary("hudson_fst", cohort_b)
+    if a.shape[1] != b.shape[1]:
+        raise DatasetError(
+            f"hudson_fst: site counts differ ({a.shape[1]} vs {b.shape[1]})"
+        )
+    n1, n2 = a.shape[0], b.shape[0]
+    if n1 < 2 or n2 < 2:
+        raise DatasetError("hudson_fst: each cohort needs >= 2 samples")
+    p1 = a.mean(axis=0)
+    p2 = b.mean(axis=0)
+    num = (
+        (p1 - p2) ** 2
+        - p1 * (1 - p1) / (n1 - 1)
+        - p2 * (1 - p2) / (n2 - 1)
+    )
+    den = p1 * (1 - p2) + p2 * (1 - p1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        per_site = np.where(den > 0, num / den, np.nan)
+    informative = den > 0
+    if not informative.any():
+        raise DatasetError("hudson_fst: no polymorphic sites shared")
+    global_fst = float(num[informative].sum() / den[informative].sum())
+    return global_fst, per_site
+
+
+def site_frequency_spectrum(
+    matrix: np.ndarray, n_bins: int = 10
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of per-site frequencies over (0, 0.5].
+
+    Returns ``(counts, bin_edges)``; monomorphic sites (p = 0) are
+    excluded, frequencies above 0.5 are folded (minor-allele
+    convention).
+    """
+    m = _as_binary("site_frequency_spectrum", matrix)
+    if m.shape[0] == 0:
+        raise DatasetError("site_frequency_spectrum: no samples")
+    if n_bins <= 0:
+        raise DatasetError("site_frequency_spectrum: n_bins must be positive")
+    p = m.mean(axis=0)
+    folded = np.minimum(p, 1.0 - p)
+    folded = folded[folded > 0]
+    counts, edges = np.histogram(folded, bins=n_bins, range=(0.0, 0.5))
+    return counts, edges

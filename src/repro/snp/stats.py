@@ -1,0 +1,169 @@
+"""Naive reference implementations of the three SNP-comparison statistics.
+
+These are deliberately simple, *unpacked* (boolean matrix) computations
+used as oracles by the test suite and as the statistical layer on top
+of the raw popcount tables the kernels produce:
+
+* LD joint counts and the derived D, D', r-squared statistics
+  (Section II-A of the paper),
+* FastID identity distances, ``gamma = popcount(a XOR b)``
+  (Section II-B),
+* FastID mixture scores, ``gamma = popcount(r AND NOT m)``
+  (Section II-C, after the paper's simplification).
+
+The "pair" orientation differs between applications and mirrors the
+paper's Fig. 1:
+
+* LD compares *sites across samples*: inputs are the same matrix, and
+  the output is sites x sites (when called with the transposed
+  site-major matrix) or samples x samples for string comparison -- the
+  functions here are orientation-agnostic and simply compare rows of
+  their inputs.
+* Identity/mixture compare *query rows against database rows*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+__all__ = [
+    "ld_counts_naive",
+    "ld_d",
+    "ld_d_prime",
+    "ld_r_squared",
+    "identity_distances_naive",
+    "mixture_scores_naive",
+]
+
+
+def _as_binary_2d(name: str, m: np.ndarray) -> np.ndarray:
+    a = np.asarray(m)
+    if a.ndim != 2:
+        raise DatasetError(f"{name}: expected 2-D binary matrix, got ndim={a.ndim}")
+    if a.dtype != np.bool_:
+        if a.size and not np.isin(a, (0, 1)).all():
+            raise DatasetError(f"{name}: matrix must be binary (0/1)")
+        a = a.astype(bool)
+    return a
+
+
+def ld_counts_naive(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:
+    """Joint minor-allele counts: ``counts[i, j] = sum_k a[i,k] & b[j,k]``.
+
+    This is the paper's Eq. (1) evaluated naively (no packing).  With
+    ``b is None`` the comparison is ``a`` against itself.
+
+    Rows are the entities being compared (sites in site-major layout);
+    columns are the observations the AND runs over.
+    """
+    a = _as_binary_2d("ld_counts_naive", a)
+    b = a if b is None else _as_binary_2d("ld_counts_naive", b)
+    if a.shape[1] != b.shape[1]:
+        raise DatasetError(
+            f"ld_counts_naive: inner dimensions differ ({a.shape[1]} vs {b.shape[1]})"
+        )
+    return (a.astype(np.int64) @ b.astype(np.int64).T).astype(np.int64)
+
+
+def ld_d(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:
+    """Linkage-disequilibrium coefficient ``D = p_AB - p_A * p_B``.
+
+    ``a`` (and optionally ``b``) are (entities, observations) binary
+    matrices; the result ``D[i, j]`` is the LD between row i of ``a``
+    and row j of ``b`` across the shared observations.
+    """
+    a = _as_binary_2d("ld_d", a)
+    b_mat = a if b is None else _as_binary_2d("ld_d", b)
+    n = a.shape[1]
+    if n == 0:
+        raise DatasetError("ld_d: cannot compute LD over zero observations")
+    p_ab = ld_counts_naive(a, b_mat) / n
+    p_a = a.mean(axis=1)
+    p_b = b_mat.mean(axis=1)
+    return p_ab - np.outer(p_a, p_b)
+
+
+def ld_d_prime(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:
+    """Normalized LD coefficient D' = D / D_max (Lewontin 1964).
+
+    ``D_max`` is ``min(p_A (1-p_B), (1-p_A) p_B)`` when ``D > 0`` and
+    ``min(p_A p_B, (1-p_A)(1-p_B))`` when ``D < 0``.  Pairs where a
+    frequency is 0 or 1 (monomorphic) return 0.
+    """
+    a = _as_binary_2d("ld_d_prime", a)
+    b_mat = a if b is None else _as_binary_2d("ld_d_prime", b)
+    d = ld_d(a, b_mat)
+    p_a = a.mean(axis=1)[:, None]
+    p_b = b_mat.mean(axis=1)[None, :]
+    d_max_pos = np.minimum(p_a * (1 - p_b), (1 - p_a) * p_b)
+    d_max_neg = np.minimum(p_a * p_b, (1 - p_a) * (1 - p_b))
+    d_max = np.where(d >= 0, d_max_pos, d_max_neg)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        result = np.where(d_max > 0, d / d_max, 0.0)
+    return result
+
+
+def ld_r_squared(a: np.ndarray, b: np.ndarray | None = None) -> np.ndarray:
+    """Squared correlation ``r^2 = D^2 / (p_A(1-p_A) p_B(1-p_B))``.
+
+    Monomorphic pairs (zero variance) return 0.
+    """
+    a = _as_binary_2d("ld_r_squared", a)
+    b_mat = a if b is None else _as_binary_2d("ld_r_squared", b)
+    d = ld_d(a, b_mat)
+    var_a = a.mean(axis=1) * (1 - a.mean(axis=1))
+    var_b = b_mat.mean(axis=1) * (1 - b_mat.mean(axis=1))
+    denom = np.outer(var_a, var_b)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        result = np.where(denom > 0, d * d / denom, 0.0)
+    return result
+
+
+def identity_distances_naive(
+    queries: np.ndarray, database: np.ndarray
+) -> np.ndarray:
+    """FastID identity distances: ``dist[q, d] = sum_k q_row XOR d_row``.
+
+    The paper's Eq. (2); zero distance marks a positive match.
+    """
+    q = _as_binary_2d("identity_distances_naive", queries)
+    d = _as_binary_2d("identity_distances_naive", database)
+    if q.shape[1] != d.shape[1]:
+        raise DatasetError(
+            f"identity_distances_naive: site counts differ "
+            f"({q.shape[1]} vs {d.shape[1]})"
+        )
+    # XOR popcount decomposes as |a| + |b| - 2 a.b, which keeps the
+    # naive oracle O(n m k) via one integer GEMM instead of a broadcast
+    # XOR over a (n, m, k) cube.
+    qi = q.astype(np.int64)
+    di = d.astype(np.int64)
+    dots = qi @ di.T
+    return (qi.sum(axis=1)[:, None] + di.sum(axis=1)[None, :] - 2 * dots).astype(
+        np.int64
+    )
+
+
+def mixture_scores_naive(
+    references: np.ndarray, mixtures: np.ndarray
+) -> np.ndarray:
+    """FastID mixture scores: ``score[r, m] = sum_k ref AND NOT mix``.
+
+    The paper's Eq. (3) after the simplification
+    ``(r XOR m) AND r == r AND NOT m``.  Zero means every minor allele
+    of the reference appears in the mixture (consistent contributor);
+    larger scores mean less likely containment.
+    """
+    r = _as_binary_2d("mixture_scores_naive", references)
+    m = _as_binary_2d("mixture_scores_naive", mixtures)
+    if r.shape[1] != m.shape[1]:
+        raise DatasetError(
+            f"mixture_scores_naive: site counts differ "
+            f"({r.shape[1]} vs {m.shape[1]})"
+        )
+    # popcount(r & ~m) = |r| - r.m
+    ri = r.astype(np.int64)
+    mi = m.astype(np.int64)
+    return (ri.sum(axis=1)[:, None] - ri @ mi.T).astype(np.int64)

@@ -1,0 +1,140 @@
+"""Minimal VCF reader: the interchange format of real SNP pipelines.
+
+Parses the subset of the Variant Call Format (v4.x) the comparison
+framework needs -- biallelic SNP records with per-sample ``GT``
+genotype fields -- and reduces directly to the binary minor-allele
+presence representation of :class:`~repro.snp.dataset.SNPDataset`.
+
+Supported / enforced:
+
+* header ``#CHROM`` line defining sample columns;
+* ``GT`` as the first (or only) FORMAT key; separators ``/`` and ``|``;
+  haploid calls; missing calls (``.``) treated as absence (matching
+  :mod:`repro.snp.alleles`);
+* multi-allelic records (``ALT`` with commas): any non-reference
+  allele counts as "minor allele present" after reduction, which is
+  the only semantics the bit-packed kernels can represent;
+* records failing ``FILTER`` (anything but ``PASS`` or ``.``) are
+  skipped by default.
+
+Deliberately out of scope: ``##contig`` metadata, INFO parsing,
+structural variants, gVCF blocks, bgzip (feed decompressed text).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.snp.dataset import SNPDataset
+
+__all__ = ["read_vcf", "write_vcf"]
+
+
+def _parse_gt(token: str, line_no: int) -> int:
+    """GT field -> 1 iff any non-reference allele is called."""
+    gt = token.split(":", 1)[0]
+    if not gt:
+        raise DatasetError(f"read_vcf: empty sample field at line {line_no}")
+    alleles = gt.replace("|", "/").split("/")
+    present = 0
+    for allele in alleles:
+        if allele in (".", ""):
+            continue
+        try:
+            idx = int(allele)
+        except ValueError as exc:
+            raise DatasetError(
+                f"read_vcf: malformed GT {gt!r} at line {line_no}"
+            ) from exc
+        if idx > 0:
+            present = 1
+    return present
+
+
+def read_vcf(
+    path: str | os.PathLike,
+    require_pass: bool = True,
+) -> SNPDataset:
+    """Read a (plain-text) VCF into a binary :class:`SNPDataset`.
+
+    Rows are samples, columns are sites (the library's sample-major
+    orientation); site ids come from the ID column, falling back to
+    ``chrom:pos`` for ``.`` ids.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    sample_ids: list[str] | None = None
+    site_ids: list[str] = []
+    columns: list[list[int]] = []
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("##"):
+            continue
+        if line.startswith("#CHROM"):
+            fields = line.rstrip("\n").split("\t")
+            if len(fields) < 10 or fields[8] != "FORMAT":
+                raise DatasetError(
+                    f"read_vcf: malformed #CHROM header at line {line_no} "
+                    "(need FORMAT plus at least one sample column)"
+                )
+            sample_ids = fields[9:]
+            continue
+        if line.startswith("#"):
+            continue
+        if sample_ids is None:
+            raise DatasetError(
+                f"read_vcf: data record before #CHROM header at line {line_no}"
+            )
+        fields = line.rstrip("\n").split("\t")
+        if len(fields) != 9 + len(sample_ids):
+            raise DatasetError(
+                f"read_vcf: line {line_no} has {len(fields)} columns, "
+                f"expected {9 + len(sample_ids)}"
+            )
+        chrom, pos, vid, ref, alt, _qual, filt, _info, fmt = fields[:9]
+        if require_pass and filt not in ("PASS", "."):
+            continue
+        if not fmt.split(":")[0] == "GT":
+            raise DatasetError(
+                f"read_vcf: FORMAT at line {line_no} does not lead with GT"
+            )
+        if len(ref) != 1 or any(len(a) != 1 for a in alt.split(",")):
+            # Indel / structural record: not a SNP, skip.
+            continue
+        site_ids.append(vid if vid != "." else f"{chrom}:{pos}")
+        columns.append([_parse_gt(tok, line_no) for tok in fields[9:]])
+
+    if sample_ids is None:
+        raise DatasetError("read_vcf: no #CHROM header found")
+    if columns:
+        matrix = np.array(columns, dtype=np.uint8).T.copy()
+    else:
+        matrix = np.zeros((len(sample_ids), 0), dtype=np.uint8)
+    return SNPDataset(matrix=matrix, sample_ids=sample_ids, site_ids=site_ids)
+
+
+def write_vcf(path: str | os.PathLike, dataset: SNPDataset) -> None:
+    """Write a dataset as a minimal VCF (synthetic REF/ALT of A/G).
+
+    Presence of the minor allele becomes a heterozygous ``0/1`` call;
+    absence ``0/0`` -- the information the binary representation holds.
+    """
+    lines = [
+        "##fileformat=VCFv4.2",
+        "##source=repro",
+        '##FORMAT=<ID=GT,Number=1,Type=String,Description="Genotype">',
+        "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\t"
+        + "\t".join(dataset.sample_ids),
+    ]
+    for j, site_id in enumerate(dataset.site_ids):
+        calls = "\t".join(
+            "0/1" if dataset.matrix[i, j] else "0/0"
+            for i in range(dataset.n_samples)
+        )
+        lines.append(f"1\t{j + 1}\t{site_id}\tA\tG\t.\tPASS\t.\tGT\t{calls}")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")

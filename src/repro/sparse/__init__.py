@@ -1,0 +1,46 @@
+"""Sparse SNP representation (the paper's Section VII future work).
+
+"This approach represents SNP strings as dense bitvectors, but a
+typical DNA sample is expected to contain mostly major alleles.  This
+suggests that sparse representations of the SNP strings may be
+beneficial.  Extending the framework to sparse matrix-matrix
+multiplication operations is a goal for future work."
+
+This package implements that extension:
+
+* :mod:`repro.sparse.matrix` -- :class:`SparseSNPMatrix`, a CSR-style
+  store of minor-allele *positions* per row.
+* :mod:`repro.sparse.kernels` -- sparse comparison kernels: the three
+  micro-kernel semantics (AND / XOR / AND-NOT popcount accumulation)
+  via sorted-set intersection arithmetic, plus a sparse-times-dense
+  path for asymmetric density (sparse queries vs a dense database).
+* :mod:`repro.sparse.cost` -- an operation-count cost model and the
+  density crossover analysis: below which minor-allele frequency the
+  sparse representation wins over the dense popcount kernel.
+* :mod:`repro.sparse.auto` -- automatic format selection for the
+  framework, driven by the cost model.
+
+All sparse kernels are bit-exact with the dense drivers (asserted by
+tests and property-based checks).
+"""
+
+from repro.sparse.matrix import SparseSNPMatrix
+from repro.sparse.kernels import (
+    sparse_comparison,
+    sparse_dense_comparison,
+)
+from repro.sparse.cost import (
+    SparseCostModel,
+    density_crossover,
+)
+from repro.sparse.auto import choose_representation, RepresentationChoice
+
+__all__ = [
+    "SparseSNPMatrix",
+    "sparse_comparison",
+    "sparse_dense_comparison",
+    "SparseCostModel",
+    "density_crossover",
+    "choose_representation",
+    "RepresentationChoice",
+]

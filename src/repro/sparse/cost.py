@@ -1,0 +1,103 @@
+"""Cost model and density crossover for sparse vs dense comparison.
+
+The dense kernel's work is density-independent: every packed word costs
+one (op, POPC, ADD) regardless of content --
+
+    dense_ops(m, n, k_bits) = m * n * ceil(k_bits / word_bits)
+
+The sparse-sparse kernel's expected work under i.i.d. density ``d`` is
+the expected intersection workload --
+
+    sparse_ops(m, n, k_bits, d) ~ m * n * k_bits * d^2 * C_sparse
+    (each of the k_bits sites contributes a_row-hit * b_row-hit work)
+
+plus a per-pair fixed overhead.  Equating the two gives the density
+crossover the paper's future-work remark anticipates: sparse wins when
+the minor-allele frequency is below roughly
+``sqrt(1 / (word_bits * C_sparse))`` -- a few percent for realistic
+constants, which is precisely the regime of rare-variant panels.
+
+``C_sparse`` (cost of one index-match relative to one dense word-op)
+and the per-pair overhead are parameters: index arithmetic lacks the
+dense kernel's regularity (no vector POPC, scattered access), so a
+single sparse "op" is substantially more expensive than a dense one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+__all__ = ["SparseCostModel", "density_crossover"]
+
+
+@dataclass(frozen=True)
+class SparseCostModel:
+    """Relative-cost model for format selection.
+
+    Parameters
+    ----------
+    word_bits:
+        Dense packing width (32 on the modeled GPUs).
+    sparse_op_cost:
+        Cost of one sparse index match, in units of one dense word-op.
+        Default 8: scattered integer compares vs pipelined POPC.
+    pair_overhead:
+        Fixed per-(row pair) cost of the sparse kernel (loop setup,
+        pointer chasing), in dense-word-op units.
+    """
+
+    word_bits: int = 32
+    sparse_op_cost: float = 8.0
+    pair_overhead: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.word_bits <= 0 or self.sparse_op_cost <= 0 or self.pair_overhead < 0:
+            raise ModelError("SparseCostModel: parameters must be positive")
+
+    def dense_ops(self, m: int, n: int, k_bits: int) -> float:
+        """Dense kernel work in dense-word-op units."""
+        self._check(m, n, k_bits)
+        return m * n * (-(-k_bits // self.word_bits))
+
+    def sparse_ops(self, m: int, n: int, k_bits: int, density: float) -> float:
+        """Expected sparse-sparse work in dense-word-op units."""
+        self._check(m, n, k_bits)
+        if not (0.0 <= density <= 1.0):
+            raise ModelError(f"sparse_ops: density must be in [0, 1], got {density}")
+        expected_matches = m * n * k_bits * density * density
+        return expected_matches * self.sparse_op_cost + m * n * self.pair_overhead
+
+    def sparse_wins(self, m: int, n: int, k_bits: int, density: float) -> bool:
+        """Whether the sparse representation is cheaper for this problem."""
+        return self.sparse_ops(m, n, k_bits, density) < self.dense_ops(m, n, k_bits)
+
+    @staticmethod
+    def _check(m: int, n: int, k_bits: int) -> None:
+        if min(m, n, k_bits) <= 0:
+            raise ModelError("cost model: extents must be positive")
+
+
+def density_crossover(
+    model: SparseCostModel | None = None,
+    k_bits: int = 10_000,
+    tolerance: float = 1e-6,
+) -> float:
+    """Density below which sparse beats dense (bisection on the model).
+
+    Analytically ``d* ~ sqrt((1/word_bits - pair_overhead/k_bits) /
+    sparse_op_cost)``; the bisection keeps the function authoritative
+    if the model grows terms.
+    """
+    model = model or SparseCostModel()
+    lo, hi = 0.0, 1.0
+    if not model.sparse_wins(1, 1, k_bits, lo):
+        return 0.0  # overhead alone exceeds dense cost: sparse never wins
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        if model.sparse_wins(1, 1, k_bits, mid):
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)

@@ -1,0 +1,127 @@
+"""CSR-style sparse storage of SNP matrices.
+
+A binary SNP matrix with mostly-zero entries (mostly major alleles) is
+stored as the sorted positions of its 1s per row:
+
+* ``indices`` -- concatenated, per-row-sorted site indices of minor
+  alleles (``int32``),
+* ``indptr`` -- row boundaries into ``indices`` (``int64``,
+  length ``n_rows + 1``),
+* ``n_sites`` -- the logical row width.
+
+This is the classic CSR pattern restricted to binary values (no
+``data`` array -- presence is the value), which is exactly what the
+sparse comparison kernels need: popcounts of AND/XOR/AND-NOT become
+sorted-set intersection/symmetric-difference/difference sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+__all__ = ["SparseSNPMatrix"]
+
+
+@dataclass
+class SparseSNPMatrix:
+    """Binary sparse matrix in index-list (CSR) form."""
+
+    indices: np.ndarray
+    indptr: np.ndarray
+    n_sites: int
+
+    def __post_init__(self) -> None:
+        self.indices = np.asarray(self.indices, dtype=np.int32)
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        if self.indptr.ndim != 1 or self.indptr.size == 0:
+            raise DatasetError("SparseSNPMatrix: indptr must be 1-D, non-empty")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise DatasetError(
+                "SparseSNPMatrix: indptr must start at 0 and end at nnz"
+            )
+        if (np.diff(self.indptr) < 0).any():
+            raise DatasetError("SparseSNPMatrix: indptr must be non-decreasing")
+        if self.n_sites < 0:
+            raise DatasetError("SparseSNPMatrix: n_sites must be >= 0")
+        if self.indices.size:
+            if self.indices.min() < 0 or self.indices.max() >= self.n_sites:
+                raise DatasetError(
+                    "SparseSNPMatrix: site indices out of [0, n_sites)"
+                )
+            for r in range(self.n_rows):
+                row = self.row(r)
+                if (np.diff(row) <= 0).any():
+                    raise DatasetError(
+                        f"SparseSNPMatrix: row {r} not strictly sorted"
+                    )
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, bits: np.ndarray) -> "SparseSNPMatrix":
+        """Build from a dense binary (rows, sites) matrix."""
+        arr = np.asarray(bits)
+        if arr.ndim != 2:
+            raise DatasetError("from_dense: expected a 2-D binary matrix")
+        if arr.size and not np.isin(arr, (0, 1)).all():
+            raise DatasetError("from_dense: matrix must be binary")
+        rows, cols = np.nonzero(arr)
+        order = np.lexsort((cols, rows))
+        rows, cols = rows[order], cols[order]
+        indptr = np.zeros(arr.shape[0] + 1, dtype=np.int64)
+        np.add.at(indptr, rows + 1, 1)
+        indptr = np.cumsum(indptr)
+        return cls(indices=cols.astype(np.int32), indptr=indptr, n_sites=arr.shape[1])
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the dense binary matrix."""
+        out = np.zeros((self.n_rows, self.n_sites), dtype=np.uint8)
+        for r in range(self.n_rows):
+            out[r, self.row(r)] = 1
+        return out
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return int(self.indptr.size - 1)
+
+    @property
+    def nnz(self) -> int:
+        """Total minor-allele count."""
+        return int(self.indices.size)
+
+    @property
+    def density(self) -> float:
+        """Fraction of entries set (mean minor-allele frequency)."""
+        total = self.n_rows * self.n_sites
+        return self.nnz / total if total else 0.0
+
+    def row(self, r: int) -> np.ndarray:
+        """Sorted minor-allele site indices of row ``r`` (a view)."""
+        if not (0 <= r < self.n_rows):
+            raise DatasetError(f"row: index {r} out of range [0, {self.n_rows})")
+        return self.indices[self.indptr[r] : self.indptr[r + 1]]
+
+    def row_counts(self) -> np.ndarray:
+        """Per-row minor-allele counts (|r| in the kernel identities)."""
+        return np.diff(self.indptr)
+
+    def subset_rows(self, rows: list[int] | np.ndarray) -> "SparseSNPMatrix":
+        """New sparse matrix containing the given rows, in order."""
+        rows = np.asarray(rows, dtype=np.int64)
+        pieces = [self.row(int(r)) for r in rows]
+        indices = np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.int32)
+        lengths = np.array([p.size for p in pieces], dtype=np.int64)
+        indptr = np.concatenate([[0], np.cumsum(lengths)])
+        return SparseSNPMatrix(indices=indices, indptr=indptr, n_sites=self.n_sites)
+
+    def __repr__(self) -> str:
+        return (
+            f"SparseSNPMatrix({self.n_rows}x{self.n_sites}, nnz={self.nnz}, "
+            f"density={self.density:.4f})"
+        )

@@ -1,0 +1,57 @@
+"""Shared low-level utilities: bit manipulation, timing, formatting.
+
+These helpers are deliberately dependency-free (NumPy only) and are used
+by every other subpackage.  Nothing here knows about SNPs, GPUs, or the
+BLIS structure.
+"""
+
+from repro.util.bitops import (
+    popcount,
+    popcount_sum,
+    pack_bits,
+    unpack_bits,
+    words_needed,
+    WORD_BITS_32,
+    WORD_BITS_64,
+)
+from repro.util.timing import Stopwatch, TimeLine
+from repro.util.units import (
+    format_bytes,
+    format_count,
+    format_ops,
+    format_seconds,
+    gib,
+    kib,
+    mib,
+)
+from repro.util.validation import (
+    check_dtype,
+    check_positive,
+    check_power_of_two,
+    check_multiple,
+    check_in_range,
+)
+
+__all__ = [
+    "popcount",
+    "popcount_sum",
+    "pack_bits",
+    "unpack_bits",
+    "words_needed",
+    "WORD_BITS_32",
+    "WORD_BITS_64",
+    "Stopwatch",
+    "TimeLine",
+    "format_bytes",
+    "format_count",
+    "format_ops",
+    "format_seconds",
+    "gib",
+    "kib",
+    "mib",
+    "check_dtype",
+    "check_positive",
+    "check_power_of_two",
+    "check_multiple",
+    "check_in_range",
+]

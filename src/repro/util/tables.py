@@ -1,0 +1,82 @@
+"""Plain-text table rendering for bench output and reports.
+
+The bench harness regenerates the paper's tables and figure series as
+aligned ASCII tables (the "same rows the paper reports").  This module
+is a tiny, dependency-free renderer: columns are sized to content,
+numeric cells are right-aligned, text cells left-aligned.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "render_kv"]
+
+
+def _is_numeric(cell: str) -> bool:
+    text = cell.strip().rstrip("%x")
+    if not text:
+        return False
+    try:
+        float(text.replace(",", ""))
+        return True
+    except ValueError:
+        return False
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Every cell is converted with ``str``; ``None`` renders as ``-``.
+    """
+    str_rows: list[list[str]] = []
+    for row in rows:
+        cells = ["-" if c is None else str(c) for c in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(headers)}: {cells!r}"
+            )
+        str_rows.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in str_rows:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str], numeric_align: bool) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if numeric_align and _is_numeric(cell):
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers), numeric_align=False))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in str_rows:
+        lines.append(fmt_row(cells, numeric_align=True))
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Iterable[tuple[str, object]], title: str | None = None) -> str:
+    """Render key/value pairs as an aligned two-column block."""
+    items = [(str(k), "-" if v is None else str(v)) for k, v in pairs]
+    if not items:
+        return title or ""
+    key_width = max(len(k) for k, _ in items)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for key, value in items:
+        lines.append(f"{key.ljust(key_width)} : {value}")
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Human-readable unit formatting and binary-size constants.
+
+The paper reports memory in GiB/KiB, throughput in giga-operations per
+second, and times in milliseconds; these helpers keep the bench output
+consistent with those conventions.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "kib",
+    "mib",
+    "gib",
+    "format_bytes",
+    "format_count",
+    "format_ops",
+    "format_seconds",
+    "format_percent",
+]
+
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+
+def kib(n: float) -> int:
+    """``n`` KiB in bytes."""
+    return int(n * KIB)
+
+
+def mib(n: float) -> int:
+    """``n`` MiB in bytes."""
+    return int(n * MIB)
+
+
+def gib(n: float) -> int:
+    """``n`` GiB in bytes."""
+    return int(n * GIB)
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Format a byte count with a binary prefix (``1.50 MiB``)."""
+    value = float(n_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.2f} {unit}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def format_count(n: float) -> str:
+    """Format a plain count with an SI prefix (``18.0 M``)."""
+    value = float(n)
+    for unit in ("", "K", "M", "G", "T"):
+        if abs(value) < 1000 or unit == "T":
+            if unit == "":
+                return f"{value:g}"
+            return f"{value:.1f} {unit}"
+        value /= 1000
+    raise AssertionError("unreachable")
+
+
+def format_ops(ops_per_second: float) -> str:
+    """Format a throughput in operations/second (``1.86 Gops/s``)."""
+    value = float(ops_per_second)
+    for unit in ("ops/s", "Kops/s", "Mops/s", "Gops/s", "Tops/s"):
+        if abs(value) < 1000 or unit == "Tops/s":
+            return f"{value:.2f} {unit}"
+        value /= 1000
+    raise AssertionError("unreachable")
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a duration, scaling to ns/us/ms/s as appropriate."""
+    s = float(seconds)
+    if s == 0:
+        return "0 s"
+    if abs(s) >= 1:
+        return f"{s:.3f} s"
+    if abs(s) >= 1e-3:
+        return f"{s * 1e3:.3f} ms"
+    if abs(s) >= 1e-6:
+        return f"{s * 1e6:.3f} us"
+    return f"{s * 1e9:.1f} ns"
+
+
+def format_percent(fraction: float) -> str:
+    """Format a fraction as a percentage (``97.1%``)."""
+    return f"{fraction * 100:.1f}%"

@@ -1,0 +1,77 @@
+"""Argument-validation helpers.
+
+Small, composable checks used at public-API boundaries.  Each raises
+:class:`ValueError`/:class:`TypeError` subclasses with messages that
+name the offending parameter, so configuration mistakes surface with
+actionable errors instead of downstream shape mismatches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_nonnegative",
+    "check_power_of_two",
+    "check_multiple",
+    "check_in_range",
+    "check_dtype",
+    "check_choice",
+]
+
+
+def check_positive(name: str, value: int | float) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_nonnegative(name: str, value: int | float) -> None:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Require ``value`` to be a positive power of two."""
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ValueError(f"{name} must be a power of two, got {value!r}")
+
+
+def check_multiple(name: str, value: int, base: int) -> None:
+    """Require ``value`` to be a positive multiple of ``base``."""
+    if base <= 0:
+        raise ValueError(f"base for {name} must be positive, got {base!r}")
+    if value <= 0 or value % base != 0:
+        raise ValueError(f"{name} must be a positive multiple of {base}, got {value!r}")
+
+
+def check_in_range(
+    name: str,
+    value: int | float,
+    low: int | float,
+    high: int | float,
+) -> None:
+    """Require ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+
+
+def check_dtype(name: str, array: np.ndarray, allowed: Iterable[type]) -> None:
+    """Require ``array.dtype`` to be one of ``allowed`` NumPy dtypes."""
+    allowed_dtypes = tuple(np.dtype(a) for a in allowed)
+    if np.asarray(array).dtype not in allowed_dtypes:
+        names = ", ".join(str(d) for d in allowed_dtypes)
+        raise TypeError(
+            f"{name} must have dtype in {{{names}}}, got {np.asarray(array).dtype}"
+        )
+
+
+def check_choice(name: str, value: object, choices: Iterable[object]) -> None:
+    """Require ``value`` to be one of ``choices``."""
+    options = tuple(choices)
+    if value not in options:
+        raise ValueError(f"{name} must be one of {options!r}, got {value!r}")

@@ -1,0 +1,126 @@
+"""Tests for repro.core.autotune and repro.model.roofline."""
+
+import pytest
+
+from repro.core.autotune import autotune, candidate_configs
+from repro.core.config import Algorithm
+from repro.core.planner import ProblemShape, derive_config, n_r_lower_bound
+from repro.errors import ModelError
+from repro.gpu.arch import ALL_GPUS, GTX_980, TITAN_V, VEGA_64
+from repro.model.roofline import host_roofline, kernel_roofline
+
+
+class TestCandidateEnumeration:
+    def test_all_candidates_within_corridor(self):
+        for arch in ALL_GPUS:
+            cfg0 = derive_config(arch, Algorithm.LD)
+            lower = n_r_lower_bound(arch)
+            for cand in candidate_configs(arch, Algorithm.LD, cfg0.op):
+                assert cand.n_r >= lower
+                assert cand.n_r % arch.l_fn == 0
+                assert cand.n_cores <= arch.n_c
+                assert cand.m_c == cfg0.m_c and cand.k_c == cfg0.k_c
+
+    def test_candidate_count_reasonable(self):
+        cands = candidate_configs(GTX_980, Algorithm.LD,
+                                  derive_config(GTX_980, Algorithm.LD).op)
+        assert 10 < len(cands) < 5000
+
+
+class TestAutotune:
+    @pytest.mark.parametrize("arch", ALL_GPUS, ids=lambda a: a.name)
+    def test_never_worse_than_published(self, arch):
+        # The published config is in (or dominated by) the search
+        # space, so the tuner can never lose to it under the model.
+        problem = ProblemShape(m=8192, n=8192, k_bits=10_000)
+        result = autotune(arch, Algorithm.LD, problem)
+        assert result.modeled_seconds <= result.published_seconds * (1 + 1e-9)
+        assert result.gain_over_published >= 1.0 - 1e-9
+        assert result.candidates_evaluated > 10
+
+    def test_fastid_shape_respects_query_parallelism(self):
+        problem = ProblemShape(m=32, n=1_000_000, k_bits=1024)
+        result = autotune(TITAN_V, Algorithm.FASTID_IDENTITY, problem)
+        # 32 queries hold only 8 micro-panel rows: more grid rows than
+        # that would idle cores, and the database dimension must absorb
+        # (nearly) the whole device.
+        assert result.config.grid_rows <= 8
+        assert result.config.n_cores >= TITAN_V.n_c // 2
+
+    def test_tiny_problem_uses_few_cores(self):
+        problem = ProblemShape(m=8, n=100, k_bits=512)
+        result = autotune(GTX_980, Algorithm.LD, problem)
+        # 2 micro-panel rows x (at most) 2 n_r column units: more than
+        # 4 cores can never be busy, and the tuner must notice.
+        assert result.config.n_cores <= 4
+
+    def test_skip_published_comparison(self):
+        problem = ProblemShape(m=512, n=512, k_bits=1000)
+        result = autotune(VEGA_64, Algorithm.LD, problem, compare_published=False)
+        assert result.published_seconds is None
+        assert result.gain_over_published is None
+
+    def test_string_algorithm(self):
+        result = autotune(
+            GTX_980, "fastid_identity", ProblemShape(m=32, n=10_000, k_bits=512)
+        )
+        assert result.config.op.value == "xor"
+
+
+class TestKernelRoofline:
+    def test_ld_kernel_is_compute_bound_on_nvidia(self):
+        # m_c = 32 gives ~0.146 bytes/op against 185-560 GB/s: the
+        # POPC pipes bind long before memory.
+        for arch in (GTX_980, TITAN_V):
+            point = kernel_roofline(arch, m_c=32, n_per_core=2048, k_words=320)
+            assert point.bound == "compute"
+
+    def test_vega_sits_near_its_ridge(self):
+        # Vega's huge ALU peak against derated HBM: the kernel lands
+        # near the ridge, consistent with its observed contention.
+        point = kernel_roofline(VEGA_64, m_c=32, n_per_core=8192, k_words=1280)
+        ratio = point.arithmetic_intensity / point.ridge_intensity
+        assert 0.5 < ratio < 2.0
+
+    def test_small_tile_becomes_bandwidth_bound(self):
+        point = kernel_roofline(TITAN_V, m_c=4, n_per_core=64, k_words=32)
+        assert point.bound == "bandwidth"
+
+    def test_attainable_below_both_ceilings(self):
+        point = kernel_roofline(GTX_980, m_c=32, n_per_core=1024, k_words=128)
+        assert point.attainable_ops <= point.compute_peak_ops
+        assert point.attainable_ops <= (
+            point.arithmetic_intensity * point.bandwidth_bytes_per_s
+        )
+
+    def test_intensity_grows_with_tile_height(self):
+        low = kernel_roofline(GTX_980, m_c=8, n_per_core=1024, k_words=128)
+        high = kernel_roofline(GTX_980, m_c=32, n_per_core=1024, k_words=128)
+        assert high.arithmetic_intensity > low.arithmetic_intensity
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            kernel_roofline(GTX_980, m_c=0, n_per_core=1, k_words=1)
+
+
+class TestHostRoofline:
+    def test_fig8_regime_is_host_bandwidth_bound(self):
+        # 32 queries: the end-to-end FastID pipeline starves on PCIe.
+        point = host_roofline(TITAN_V, m=32, k_words=32)
+        assert point.bound == "bandwidth"
+        assert point.attainable_ops < 0.05 * point.compute_peak_ops
+
+    def test_large_query_sets_become_compute_bound(self):
+        # Intensity saturates at min(m, k_words)/4 ops per byte (the
+        # C write-back charges 4 bytes per query-row pair), so escaping
+        # the host-bandwidth ceiling needs *both* dimensions large.
+        point = host_roofline(TITAN_V, m=100_000, k_words=2048)
+        assert point.bound == "compute"
+
+    def test_headroom_in_unit_interval(self):
+        point = host_roofline(GTX_980, m=32, k_words=32)
+        assert 0 < point.headroom <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            host_roofline(GTX_980, m=0, k_words=4)

@@ -1,0 +1,168 @@
+"""Tests for repro.bench: series builders, table reports, CLI runner."""
+
+import pytest
+
+from repro.bench.figures import (
+    FIG5_LIMITS,
+    fig5_series,
+    fig6_series,
+    fig7_series,
+    fig8_series,
+    fig9_series,
+)
+from repro.bench.report import render_all_reports, render_figure_report
+from repro.bench.runner import main
+from repro.bench.tables import table1_report, table2_report
+from repro.gpu.arch import ALL_GPUS, GTX_980, TITAN_V, VEGA_64
+
+
+class TestFig5:
+    @pytest.mark.parametrize("arch", ALL_GPUS, ids=lambda a: a.name)
+    def test_efficiency_rises_to_paper_value(self, arch):
+        series = fig5_series(arch)
+        effs = [p["efficiency"] for p in series]
+        # The curve rises toward the asymptote (Fig. 5's shape) ...
+        assert effs[0] < effs[-1]
+        assert all(b >= a * 0.999 for a, b in zip(effs, effs[1:]))
+        # ... and the final point matches the paper's reported number.
+        expected = {"GTX 980": 0.907, "Titan V": 0.971, "Vega 64": 0.549}[arch.name]
+        assert effs[-1] == pytest.approx(expected, abs=0.01)
+
+    def test_throughput_below_peak(self):
+        for p in fig5_series(GTX_980):
+            assert p["gpops"] <= p["peak_gpops"]
+
+    def test_axis_limits_match_caption(self):
+        assert FIG5_LIMITS["GTX 980"] == (15_360, 12_256)
+        assert FIG5_LIMITS["Vega 64"] == (40_960, 16_384)
+        series = fig5_series(VEGA_64)
+        assert series[-1]["snp_strings"] == 16_384
+
+
+class TestFig6:
+    def test_crossover_exists(self):
+        series = fig6_series()
+        small = series[0]
+        large = series[-1]
+        # Small problems: CPU wins (init dominates the GPU).
+        assert small["cpu_s"] < small["titan_v_s"]
+        # Large problems: every GPU beats the CPU end-to-end.
+        for arch in ALL_GPUS:
+            key = arch.name.lower().replace(" ", "_")
+            assert large[f"{key}_speedup"] > 1.0
+
+    def test_speedup_within_abstract_band(self):
+        # Abstract: end-to-end between 47 % and 677 % faster.
+        series = fig6_series([12_000])
+        for arch in ALL_GPUS:
+            key = arch.name.lower().replace(" ", "_")
+            speedup = series[0][f"{key}_speedup"]
+            assert 1.47 <= speedup <= 7.77
+
+    def test_custom_sizes(self):
+        series = fig6_series([500, 1000])
+        assert [p["sequences"] for p in series] == [500, 1000]
+
+
+class TestFig7:
+    def test_series_shape(self):
+        series = fig7_series(VEGA_64)
+        assert series[0]["cores"] == 1
+        assert series[-1]["cores"] == 64
+        assert series[0]["relative_per_core"] == pytest.approx(1.0)
+
+    def test_vega_drop_and_titan_rise(self):
+        vega = {p["cores"]: p["relative_per_core"] for p in fig7_series(VEGA_64)}
+        titan = {p["cores"]: p["relative_per_core"] for p in fig7_series(TITAN_V)}
+        assert vega[64] < 0.6
+        assert titan[80] > 1.0
+
+
+class TestFig8:
+    def test_series_structure(self):
+        series = fig8_series([128, 1024], db_rows=20 * 1024 * 1024)
+        assert [p["snps"] for p in series] == [128, 1024]
+        for p in series:
+            for arch in ALL_GPUS:
+                key = arch.name.lower().replace(" ", "_")
+                assert p[f"{key}_s"] > 0
+
+    def test_time_grows_with_snp_count(self):
+        series = fig8_series([128, 1024])
+        for arch in ALL_GPUS:
+            key = arch.name.lower().replace(" ", "_")
+            assert series[-1][f"{key}_s"] > series[0][f"{key}_s"]
+
+    def test_gtx980_tiles_more_than_titan(self):
+        point = fig8_series([1024])[0]
+        assert point["gtx_980_tiles"] > point["titan_v_tiles"]
+
+
+class TestFig9:
+    def test_nvidia_flat_vega_penalized(self):
+        rows = {p["device"]: p for p in fig9_series()}
+        assert rows["GTX 980"]["andnot_penalty"] == pytest.approx(0.0, abs=0.01)
+        assert rows["Titan V"]["andnot_penalty"] == pytest.approx(0.0, abs=0.01)
+        # Vega: the NOT adds a third op to the 2-op ALU bottleneck.
+        assert rows["Vega 64"]["andnot_penalty"] == pytest.approx(1 / 3, abs=0.02)
+
+
+class TestTables:
+    def test_table1_devices(self):
+        report = table1_report(include_microbench=False)
+        assert "2x Intel Xeon E5-2620 v2" in report
+        assert report["GTX 980"]["Compute Cores (N_c)"] == 16
+
+    def test_table1_microbench_recovery(self):
+        report = table1_report(include_microbench=True)
+        for arch in ALL_GPUS:
+            row = report[arch.name]
+            assert row["POPC units (measured, per cluster)"] == pytest.approx(
+                arch.popc_units, rel=0.05
+            )
+            assert row["POPC/ALU pipes shared (measured)"] is False
+
+    def test_table2_matches_paper(self):
+        report = table2_report()
+        assert report["Linkage disequilibrium / GTX 980"]["n_r"] == 384
+        assert report["Linkage disequilibrium / Titan V"]["Core configuration"] == "80 x 1"
+        assert report["FastID / Vega 64"]["k_c"] == 512
+
+
+class TestReportRendering:
+    def test_each_artifact_renders(self):
+        for name in ("table2", "fig5", "fig6", "fig7", "fig8", "fig9"):
+            text = render_figure_report(name)
+            assert len(text) > 100
+
+    def test_extension_artifacts_render(self):
+        sparse = render_figure_report("ext-sparse")
+        assert "crossover density" in sparse
+        assert "sparse" in sparse and "dense" in sparse
+        multi = render_figure_report("ext-multigpu")
+        assert "DGX-2-like" in multi
+        assert "speedup" in multi
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(KeyError):
+            render_figure_report("fig99")
+
+    def test_render_all(self):
+        text = render_all_reports()
+        for marker in ("Table I", "Table II", "Fig. 5", "Fig. 9"):
+            assert marker in text
+
+
+class TestRunnerCli:
+    def test_specific_artifact(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+
+    def test_unknown_artifact_errors(self, capsys):
+        assert main(["nonsense"]) == 2
+
+    def test_multiple_artifacts(self, capsys):
+        assert main(["fig9", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 9" in out and "Table II" in out

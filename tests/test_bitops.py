@@ -1,0 +1,142 @@
+"""Tests for repro.util.bitops: popcount and bit packing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PackingError
+from repro.util.bitops import (
+    HAS_NATIVE_POPCOUNT,
+    pack_bits,
+    popcount,
+    popcount_native,
+    popcount_sum,
+    popcount_table,
+    unpack_bits,
+    words_needed,
+)
+
+
+class TestPopcount:
+    def test_known_values_u32(self):
+        words = np.array([0, 1, 3, 0xFFFFFFFF, 0x80000000, 0xAAAAAAAA], dtype=np.uint32)
+        expected = np.array([0, 1, 2, 32, 1, 16])
+        assert (popcount(words) == expected).all()
+
+    def test_known_values_u64(self):
+        words = np.array([0, 2**63, 2**64 - 1, 0x0123456789ABCDEF], dtype=np.uint64)
+        expected = np.array([0, 1, 64, bin(0x0123456789ABCDEF).count("1")])
+        assert (popcount(words) == expected).all()
+
+    def test_table_matches_native(self):
+        if not HAS_NATIVE_POPCOUNT:
+            pytest.skip("no native popcount on this NumPy")
+        rng = np.random.default_rng(0)
+        for dtype in (np.uint8, np.uint16, np.uint32, np.uint64):
+            info = np.iinfo(dtype)
+            w = rng.integers(0, info.max, size=500, dtype=dtype, endpoint=True)
+            assert (popcount_table(w) == popcount_native(w)).all()
+
+    def test_table_rejects_signed(self):
+        with pytest.raises(PackingError):
+            popcount_table(np.array([1, 2], dtype=np.int32))
+
+    def test_preserves_shape(self):
+        w = np.zeros((3, 4, 5), dtype=np.uint32)
+        assert popcount(w).shape == (3, 4, 5)
+
+    def test_result_dtype_is_int64(self):
+        assert popcount(np.array([7], dtype=np.uint8)).dtype == np.int64
+
+
+class TestPopcountSum:
+    def test_total(self):
+        w = np.array([[1, 3], [7, 0]], dtype=np.uint32)
+        assert popcount_sum(w) == 1 + 2 + 3 + 0
+
+    def test_axis(self):
+        w = np.array([[1, 3], [7, 0]], dtype=np.uint32)
+        assert (popcount_sum(w, axis=1) == [3, 3]).all()
+
+    def test_total_is_python_int(self):
+        assert isinstance(popcount_sum(np.array([1], dtype=np.uint32)), int)
+
+
+class TestWordsNeeded:
+    @pytest.mark.parametrize(
+        "bits,word_bits,expected",
+        [(0, 32, 0), (1, 32, 1), (32, 32, 1), (33, 32, 2), (64, 64, 1), (65, 64, 2)],
+    )
+    def test_values(self, bits, word_bits, expected):
+        assert words_needed(bits, word_bits) == expected
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(PackingError):
+            words_needed(-1)
+
+    def test_bad_word_width_rejected(self):
+        with pytest.raises(PackingError):
+            words_needed(10, word_bits=12)
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("word_bits", [8, 16, 32, 64])
+    def test_roundtrip(self, word_bits):
+        rng = np.random.default_rng(1)
+        bits = (rng.random((13, 77)) < 0.4).astype(np.uint8)
+        packed = pack_bits(bits, word_bits=word_bits)
+        assert packed.dtype == np.dtype(f"uint{word_bits}")
+        assert (unpack_bits(packed, 77) == bits).all()
+
+    def test_popcount_preserved(self):
+        rng = np.random.default_rng(2)
+        bits = (rng.random((5, 100)) < 0.3).astype(np.uint8)
+        packed = pack_bits(bits, 32)
+        assert (popcount(packed).sum(axis=1) == bits.sum(axis=1)).all()
+
+    def test_padding_words_are_zero(self):
+        bits = np.ones((2, 10), dtype=np.uint8)
+        packed = pack_bits(bits, 32, pad_to_words=4)
+        assert packed.shape == (2, 4)
+        assert (packed[:, 1:] == 0).all()
+
+    def test_pad_too_small_rejected(self):
+        bits = np.ones((1, 100), dtype=np.uint8)
+        with pytest.raises(PackingError):
+            pack_bits(bits, 32, pad_to_words=1)
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(PackingError):
+            pack_bits(np.array([[0, 2]]), 32)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(PackingError):
+            pack_bits(np.zeros(5), 32)
+
+    def test_bool_input_accepted(self):
+        bits = np.array([[True, False, True]])
+        packed = pack_bits(bits, 32)
+        assert popcount(packed).sum() == 2
+
+    def test_empty_rows(self):
+        packed = pack_bits(np.zeros((0, 64), dtype=np.uint8), 32)
+        assert packed.shape == (0, 2)
+
+    def test_zero_columns(self):
+        packed = pack_bits(np.zeros((3, 0), dtype=np.uint8), 32)
+        assert packed.shape == (3, 0)
+
+    def test_unpack_rejects_bad_nbits(self):
+        packed = pack_bits(np.zeros((1, 32), dtype=np.uint8), 32)
+        with pytest.raises(PackingError):
+            unpack_bits(packed, 64)
+
+    def test_unpack_full_width_by_default(self):
+        packed = pack_bits(np.ones((1, 10), dtype=np.uint8), 32)
+        assert unpack_bits(packed).shape == (1, 32)
+
+    def test_bit_order_is_msb_first(self):
+        # First bit of the row lands in the most significant position.
+        bits = np.zeros((1, 32), dtype=np.uint8)
+        bits[0, 0] = 1
+        packed = pack_bits(bits, 32)
+        assert packed[0, 0] == np.uint32(0x80000000)

@@ -1,0 +1,85 @@
+"""Tests for repro.blis.microkernel: op semantics and instruction mixes."""
+
+import numpy as np
+import pytest
+
+from repro.blis.microkernel import (
+    MICROKERNELS,
+    ComparisonOp,
+    get_microkernel,
+)
+from repro.errors import ModelError
+
+
+class TestCombiners:
+    a = np.array([0b1100, 0b1010], dtype=np.uint32)
+    b = np.array([0b1010, 0b0110], dtype=np.uint32)
+
+    def test_and(self):
+        k = get_microkernel(ComparisonOp.AND)
+        assert (k.combine(self.a, self.b) == [0b1000, 0b0010]).all()
+
+    def test_xor(self):
+        k = get_microkernel(ComparisonOp.XOR)
+        assert (k.combine(self.a, self.b) == [0b0110, 0b1100]).all()
+
+    def test_andnot(self):
+        k = get_microkernel(ComparisonOp.ANDNOT)
+        assert (k.combine(self.a, self.b) == [0b0100, 0b1000]).all()
+
+    def test_and_prenegated_is_plain_and(self):
+        k = get_microkernel(ComparisonOp.AND_PRENEGATED)
+        assert (k.combine(self.a, self.b) == [0b1000, 0b0010]).all()
+
+    def test_andnot_equals_prenegated_with_negated_operand(self):
+        # The Section II-C equivalence at word level.
+        k_fused = get_microkernel(ComparisonOp.ANDNOT)
+        k_pre = get_microkernel(ComparisonOp.AND_PRENEGATED)
+        assert (
+            k_fused.combine(self.a, self.b)
+            == k_pre.combine(self.a, np.bitwise_not(self.b))
+        ).all()
+
+
+class TestInstructionMixes:
+    def test_and_mix(self):
+        mix = get_microkernel(ComparisonOp.AND).mix
+        assert (mix.alu, mix.popc) == (2, 1)  # AND + ADD, POPC
+
+    def test_xor_mix(self):
+        mix = get_microkernel(ComparisonOp.XOR).mix
+        assert (mix.alu, mix.popc) == (2, 1)
+
+    def test_andnot_mix_depends_on_fusion(self):
+        mix = get_microkernel(ComparisonOp.ANDNOT).mix
+        assert mix.alu_ops(has_fused_andnot=True) == 2   # ANDN + ADD
+        assert mix.alu_ops(has_fused_andnot=False) == 3  # NOT + AND + ADD
+        assert mix.popc == 1
+
+    def test_prenegated_mix_matches_and(self):
+        assert (
+            get_microkernel(ComparisonOp.AND_PRENEGATED).mix
+            == get_microkernel(ComparisonOp.AND).mix
+        )
+
+
+class TestRegistry:
+    def test_all_ops_registered(self):
+        for op in ComparisonOp:
+            assert op in MICROKERNELS
+
+    def test_lookup_by_string(self):
+        assert get_microkernel("xor").op is ComparisonOp.XOR
+
+    def test_unknown_string_rejected(self):
+        with pytest.raises(ModelError, match="unknown op"):
+            get_microkernel("nand")
+
+    def test_symmetry_flags(self):
+        assert ComparisonOp.AND.is_symmetric
+        assert ComparisonOp.XOR.is_symmetric
+        assert not ComparisonOp.ANDNOT.is_symmetric
+
+    def test_descriptions_present(self):
+        for kernel in MICROKERNELS.values():
+            assert kernel.description

@@ -1,0 +1,100 @@
+"""Tests for repro.blis.packing: A/B panel pack buffers."""
+
+import numpy as np
+import pytest
+
+from repro.blis.packing import (
+    pack_a_panel,
+    pack_b_panel,
+    unpack_a_panel,
+    unpack_b_panel,
+)
+from repro.errors import PackingError
+
+
+def random_words(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2**32, size=shape, dtype=np.uint32)
+
+
+class TestPackA:
+    def test_roundtrip_exact(self):
+        panel = random_words((16, 10))
+        packed = pack_a_panel(panel, m_r=4)
+        assert packed.shape == (4, 10, 4)
+        assert (unpack_a_panel(packed, 16) == panel).all()
+
+    def test_roundtrip_with_padding(self):
+        panel = random_words((10, 6))
+        packed = pack_a_panel(panel, m_r=4)
+        assert packed.shape == (3, 6, 4)
+        assert (unpack_a_panel(packed, 10) == panel).all()
+
+    def test_padding_is_zero(self):
+        panel = random_words((5, 3))
+        packed = pack_a_panel(panel, m_r=4)
+        # Second micro-panel has rows 4 (live) and 5..7 (padding).
+        assert (packed[1, :, 1:] == 0).all()
+
+    def test_micro_panel_layout(self):
+        # Element (row r, col k) lands at packed[r // m_r, k, r % m_r].
+        panel = np.arange(8, dtype=np.uint32).reshape(4, 2)
+        packed = pack_a_panel(panel, m_r=2)
+        assert packed[0, 0, 0] == panel[0, 0]
+        assert packed[0, 0, 1] == panel[1, 0]
+        assert packed[1, 1, 0] == panel[2, 1]
+
+    def test_empty_panel(self):
+        packed = pack_a_panel(np.zeros((0, 5), dtype=np.uint32), m_r=4)
+        assert packed.shape == (0, 5, 4)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PackingError):
+            pack_a_panel(np.zeros(5, dtype=np.uint32), m_r=4)
+        with pytest.raises(PackingError):
+            pack_a_panel(np.zeros((4, 4), dtype=np.float64), m_r=4)
+        with pytest.raises(PackingError):
+            pack_a_panel(random_words((4, 4)), m_r=0)
+
+    def test_unpack_bad_m(self):
+        packed = pack_a_panel(random_words((8, 4)), m_r=4)
+        with pytest.raises(PackingError):
+            unpack_a_panel(packed, 9)
+
+
+class TestPackB:
+    def test_roundtrip_exact(self):
+        panel = random_words((10, 32), seed=1)
+        packed = pack_b_panel(panel, n_r=8)
+        assert packed.shape == (4, 10, 8)
+        assert (unpack_b_panel(packed, 32) == panel).all()
+
+    def test_roundtrip_with_padding(self):
+        panel = random_words((7, 11), seed=2)
+        packed = pack_b_panel(panel, n_r=4)
+        assert packed.shape == (3, 7, 4)
+        assert (unpack_b_panel(packed, 11) == panel).all()
+
+    def test_padding_is_zero(self):
+        panel = random_words((3, 5), seed=3)
+        packed = pack_b_panel(panel, n_r=4)
+        assert (packed[1, :, 1:] == 0).all()
+
+    def test_micro_panel_layout(self):
+        # Element (k, col c) lands at packed[c // n_r, k, c % n_r].
+        panel = np.arange(6, dtype=np.uint32).reshape(2, 3)
+        packed = pack_b_panel(panel, n_r=2)
+        assert packed[0, 0, 0] == panel[0, 0]
+        assert packed[0, 1, 1] == panel[1, 1]
+        assert packed[1, 0, 0] == panel[0, 2]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PackingError):
+            pack_b_panel(np.zeros((2, 2, 2), dtype=np.uint32), n_r=2)
+        with pytest.raises(PackingError):
+            pack_b_panel(random_words((4, 4)), n_r=-1)
+
+    def test_unpack_bad_n(self):
+        packed = pack_b_panel(random_words((4, 8)), n_r=4)
+        with pytest.raises(PackingError):
+            unpack_b_panel(packed, 100)

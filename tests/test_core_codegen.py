@@ -1,0 +1,92 @@
+"""Tests for repro.core.codegen: the emitted OpenCL C program."""
+
+import re
+
+import pytest
+
+from repro.core.codegen import render_full_program, render_kernel_source
+from repro.core.config import Algorithm
+from repro.core.planner import derive_config
+from repro.gpu.arch import ALL_GPUS, GTX_980, VEGA_64
+
+
+@pytest.fixture(params=ALL_GPUS, ids=lambda a: a.name)
+def program(request):
+    arch = request.param
+    config = derive_config(arch, Algorithm.LD)
+    return arch, config, render_full_program(config, arch.l_fn)
+
+
+class TestStructure:
+    def test_balanced_braces_and_parens(self, program):
+        _, _, text = program
+        assert text.count("{") == text.count("}")
+        assert text.count("(") == text.count(")")
+
+    def test_single_kernel_entry(self, program):
+        _, _, text = program
+        assert text.count("__kernel void") == 1
+        assert "snp_compare" in text
+
+    def test_no_unresolved_includes(self, program):
+        _, _, text = program
+        assert "#include" not in text  # header inlined for single-file build
+
+    def test_macros_defined_before_use(self, program):
+        _, _, text = program
+        for macro in ("SNP_MC", "SNP_KC", "SNP_NR", "SNP_MR",
+                      "SNP_LFN_GROUPS", "SNP_THREADS_PER_COL"):
+            define_pos = text.find(f"#define {macro}")
+            assert define_pos >= 0, macro
+            uses = [m.start() for m in re.finditer(rf"\b{macro}\b", text)]
+            assert any(u > define_pos for u in uses), macro
+
+
+class TestConfigurationAgreement:
+    def test_header_values_match_config(self, program):
+        arch, config, text = program
+        assert f"#define SNP_KC            {config.k_c}" in text
+        assert f"#define SNP_NR            {config.n_r}" in text
+        assert f"#define SNP_LFN_GROUPS      {arch.l_fn}" in text
+        assert (
+            f"#define SNP_THREADS_PER_COL {config.m_c // config.m_r}" in text
+        )
+
+    def test_microkernel_macro_per_algorithm(self):
+        ld = derive_config(GTX_980, Algorithm.LD)
+        assert "SNP_OP_AND\n" in render_full_program(ld, GTX_980.l_fn)
+        ident = derive_config(GTX_980, Algorithm.FASTID_IDENTITY)
+        assert "SNP_OP_XOR" in render_full_program(ident, GTX_980.l_fn)
+        mix_nv = derive_config(GTX_980, Algorithm.FASTID_MIXTURE)
+        assert "SNP_OP_ANDNOT" in render_full_program(mix_nv, GTX_980.l_fn)
+        mix_vega = derive_config(VEGA_64, Algorithm.FASTID_MIXTURE)
+        assert "SNP_OP_AND_PRENEGATED" in render_full_program(mix_vega, VEGA_64.l_fn)
+
+    def test_all_op_variants_defined(self, program):
+        _, _, text = program
+        for variant in ("SNP_OP_AND", "SNP_OP_XOR", "SNP_OP_ANDNOT",
+                        "SNP_OP_AND_PRENEGATED"):
+            assert f"#define {variant}(a, b)" in text
+
+    def test_popcount_and_local_staging_present(self, program):
+        _, _, text = program
+        assert "popcount(" in text
+        assert "__local uint a_tile[SNP_MC * SNP_KC]" in text
+        assert "barrier(CLK_LOCAL_MEM_FENCE)" in text
+
+
+class TestValidation:
+    def test_indivisible_n_r_rejected(self):
+        config = derive_config(GTX_980, Algorithm.LD)  # n_r = 384
+        with pytest.raises(ValueError, match="not divisible"):
+            render_full_program(config, l_fn_groups=5)
+
+    def test_nonpositive_groups_rejected(self):
+        config = derive_config(GTX_980, Algorithm.LD)
+        with pytest.raises(ValueError):
+            render_full_program(config, l_fn_groups=0)
+
+    def test_kernel_source_alone_includes_header(self):
+        config = derive_config(GTX_980, Algorithm.LD)
+        source = render_kernel_source(config)
+        assert '#include "snp_config.h"' in source

@@ -1,0 +1,81 @@
+"""Tests for repro.core.config: KernelConfig and header emission."""
+
+import pytest
+
+from repro.blis.microkernel import ComparisonOp
+from repro.core.config import Algorithm, KernelConfig, render_header
+from repro.errors import ConfigurationError
+
+
+def make_config(**overrides):
+    kw = dict(
+        device="GTX 980",
+        algorithm=Algorithm.LD,
+        op=ComparisonOp.AND,
+        m_r=4,
+        n_r=384,
+        k_c=383,
+        m_c=32,
+        grid_rows=4,
+        grid_cols=4,
+    )
+    kw.update(overrides)
+    return KernelConfig(**kw)
+
+
+class TestAlgorithm:
+    def test_default_ops(self):
+        assert Algorithm.LD.default_op is ComparisonOp.AND
+        assert Algorithm.FASTID_IDENTITY.default_op is ComparisonOp.XOR
+        assert Algorithm.FASTID_MIXTURE.default_op is ComparisonOp.ANDNOT
+
+    def test_from_string(self):
+        assert Algorithm("ld") is Algorithm.LD
+
+
+class TestKernelConfig:
+    def test_valid(self):
+        cfg = make_config()
+        assert cfg.n_cores == 16
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_config(n_r=0)
+
+    def test_m_c_alignment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_config(m_c=30)
+
+    def test_table_row(self):
+        row = make_config().as_table_row()
+        assert row["Core configuration"] == "4 x 4"
+        assert row["k_c"] == 383
+
+
+class TestRenderHeader:
+    def test_contains_all_macros(self):
+        header = render_header(make_config())
+        for macro in (
+            "#define SNP_MR            4",
+            "#define SNP_NR            384",
+            "#define SNP_KC            383",
+            "#define SNP_MC            32",
+            "#define SNP_GRID_ROWS     4",
+            "#define SNP_GRID_COLS     4",
+            "#define SNP_CORES_USED    16",
+        ):
+            assert macro in header
+
+    def test_include_guard(self):
+        header = render_header(make_config())
+        assert "#ifndef SNP_CONFIG_H" in header
+        assert header.rstrip().endswith("#endif /* SNP_CONFIG_H */")
+
+    def test_device_and_op_named(self):
+        header = render_header(make_config(op=ComparisonOp.XOR))
+        assert 'SNP_DEVICE        "GTX 980"' in header
+        assert "SNP_OP_XOR" in header
+
+    def test_derivation_comments_present(self):
+        header = render_header(make_config())
+        assert "Eq. 4" in header and "Eq. 7" in header

@@ -1,0 +1,88 @@
+"""Tests for repro.core.packing: operand preparation and cropping."""
+
+import numpy as np
+import pytest
+
+from repro.core.packing import crop_result, pack_operand
+from repro.errors import PackingError
+from repro.util.bitops import popcount, unpack_bits
+
+
+class TestPackOperand:
+    def test_basic_shape(self):
+        bits = np.ones((5, 40), dtype=np.uint8)
+        op = pack_operand(bits, word_bits=32, row_multiple=4)
+        assert op.padded_rows == 8
+        assert op.k_words == 2
+        assert op.n_rows == 5
+        assert op.n_bits == 40
+
+    def test_padding_rows_zero(self):
+        bits = np.ones((3, 32), dtype=np.uint8)
+        op = pack_operand(bits, row_multiple=4)
+        assert (op.words[3:] == 0).all()
+
+    def test_data_preserved(self):
+        rng = np.random.default_rng(0)
+        bits = (rng.random((6, 70)) < 0.5).astype(np.uint8)
+        op = pack_operand(bits, row_multiple=4)
+        assert (unpack_bits(op.words[:6], 70) == bits).all()
+
+    def test_negate_flips_data_not_padding(self):
+        bits = np.zeros((2, 40), dtype=np.uint8)
+        op = pack_operand(bits, row_multiple=4, negate=True)
+        assert op.negated
+        # Data rows: 40 bits set per row; padding bits within the last
+        # word (bits 40..63) stay zero, and padding rows stay zero.
+        counts = popcount(op.words).sum(axis=1)
+        assert counts[0] == counts[1] == 40
+        assert counts[2] == counts[3] == 0
+
+    def test_negate_requires_binary(self):
+        with pytest.raises(PackingError):
+            pack_operand(np.array([[0, 2]]), negate=True)
+
+    def test_uint64_packing(self):
+        bits = np.ones((2, 100), dtype=np.uint8)
+        op = pack_operand(bits, word_bits=64)
+        assert op.words.dtype == np.uint64
+        assert op.k_words == 2
+
+    def test_nbytes(self):
+        op = pack_operand(np.zeros((4, 64), dtype=np.uint8), word_bits=32)
+        assert op.nbytes == 4 * 2 * 4
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PackingError):
+            pack_operand(np.zeros(5))
+        with pytest.raises(PackingError):
+            pack_operand(np.zeros((2, 2)), row_multiple=0)
+
+    def test_zero_rows_padded_to_multiple(self):
+        op = pack_operand(np.zeros((0, 32), dtype=np.uint8), row_multiple=4)
+        assert op.n_rows == 0
+        assert op.padded_rows == 4  # at least one micro-panel
+
+
+class TestCropResult:
+    def test_crops_padding(self):
+        a = pack_operand(np.zeros((5, 32), dtype=np.uint8), row_multiple=4)
+        b = pack_operand(np.zeros((6, 32), dtype=np.uint8), row_multiple=4)
+        table = np.arange(8 * 8).reshape(8, 8)
+        out = crop_result(table, a, b)
+        assert out.shape == (5, 6)
+        assert (out == table[:5, :6]).all()
+
+    def test_too_small_table_rejected(self):
+        a = pack_operand(np.zeros((5, 32), dtype=np.uint8))
+        b = pack_operand(np.zeros((5, 32), dtype=np.uint8))
+        with pytest.raises(PackingError):
+            crop_result(np.zeros((2, 2)), a, b)
+
+    def test_returns_copy(self):
+        a = pack_operand(np.zeros((2, 32), dtype=np.uint8))
+        b = pack_operand(np.zeros((2, 32), dtype=np.uint8))
+        table = np.zeros((2, 2))
+        out = crop_result(table, a, b)
+        out[0, 0] = 99
+        assert table[0, 0] == 0

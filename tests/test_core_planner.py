@@ -1,0 +1,175 @@
+"""Tests for repro.core.planner: the Table II derivation.
+
+This is the heart of the reproduction: the analytic formulas of
+Section V-A must regenerate the paper's published software
+configurations from the hardware features alone.
+"""
+
+import pytest
+
+from repro.blis.microkernel import ComparisonOp
+from repro.core.config import Algorithm
+from repro.core.planner import (
+    ProblemShape,
+    PUBLISHED_CONFIGS,
+    derive_config,
+    derive_core_grid,
+    derive_k_c,
+    derive_m_c,
+    derive_m_r,
+    derive_n_r,
+    n_r_lower_bound,
+    n_r_register_cap,
+    published_config,
+)
+from repro.errors import ConfigurationError
+from repro.gpu.arch import ALL_GPUS, GTX_980, TITAN_V, VEGA_64, GPUArchitecture
+from repro.gpu.arch import MemorySystemModel
+from repro.util.units import gib, kib
+
+
+class TestEquationDerivations:
+    def test_eq4_m_r_is_vector_width(self):
+        for arch in ALL_GPUS:
+            assert derive_m_r(arch) == arch.n_vec == 4
+
+    def test_m_c_is_bank_count(self):
+        for arch in ALL_GPUS:
+            assert derive_m_c(arch) == 32
+
+    def test_eq6_k_c_with_nvidia_reservation(self):
+        # 48 KiB minus the OpenCL reservation over 4-byte words x 32
+        # banks: 383, not 384 -- the Section V-E effect.
+        assert derive_k_c(GTX_980) == 383
+        assert derive_k_c(TITAN_V) == 383
+
+    def test_eq6_k_c_vega_full_shared(self):
+        assert derive_k_c(VEGA_64) == 512
+
+    def test_eq7_lower_bounds(self):
+        assert n_r_lower_bound(GTX_980) == 96
+        assert n_r_lower_bound(TITAN_V) == 64
+        assert n_r_lower_bound(VEGA_64) == 128
+
+    def test_register_cap_above_published(self):
+        for arch in ALL_GPUS:
+            for algo in (Algorithm.LD, Algorithm.FASTID_IDENTITY):
+                n_r, _, _ = PUBLISHED_CONFIGS[(arch.name, algo)]
+                assert n_r <= n_r_register_cap(arch)
+
+    def test_analytic_n_r_is_bound_multiple(self):
+        for arch in ALL_GPUS:
+            n_r = derive_n_r(arch)
+            assert n_r % n_r_lower_bound(arch) == 0
+            assert n_r <= n_r_register_cap(arch)
+
+
+class TestTable2Regeneration:
+    """Pin every cell of Table II."""
+
+    @pytest.mark.parametrize(
+        "arch,algo,expected_nr,expected_grid",
+        [
+            (GTX_980, Algorithm.LD, 384, (4, 4)),
+            (TITAN_V, Algorithm.LD, 1024, (80, 1)),
+            (VEGA_64, Algorithm.LD, 1024, (32, 2)),
+            (GTX_980, Algorithm.FASTID_IDENTITY, 768, (1, 16)),
+            (TITAN_V, Algorithm.FASTID_IDENTITY, 1024, (1, 80)),
+            (VEGA_64, Algorithm.FASTID_IDENTITY, 1024, (1, 64)),
+        ],
+        ids=lambda v: str(getattr(v, "name", v)),
+    )
+    def test_published_rows(self, arch, algo, expected_nr, expected_grid):
+        cfg = derive_config(arch, algo)
+        assert cfg.m_r == 4
+        assert cfg.m_c == 32
+        assert cfg.k_c == (512 if arch is VEGA_64 else 383)
+        assert cfg.n_r == expected_nr
+        assert (cfg.grid_rows, cfg.grid_cols) == expected_grid
+
+    def test_published_config_api(self):
+        cfg = published_config(TITAN_V, Algorithm.LD)
+        assert cfg.n_r == 1024
+
+    def test_unknown_device_published_rejected(self):
+        custom = _custom_arch()
+        with pytest.raises(ConfigurationError, match="no Table II entry"):
+            published_config(custom, Algorithm.LD)
+
+
+class TestMixtureOpSelection:
+    def test_nvidia_uses_fused_andnot(self):
+        for arch in (GTX_980, TITAN_V):
+            cfg = derive_config(arch, Algorithm.FASTID_MIXTURE)
+            assert cfg.op is ComparisonOp.ANDNOT
+
+    def test_vega_prefers_prenegation(self):
+        cfg = derive_config(VEGA_64, Algorithm.FASTID_MIXTURE)
+        assert cfg.op is ComparisonOp.AND_PRENEGATED
+
+    def test_forced_prenegation(self):
+        cfg = derive_config(TITAN_V, Algorithm.FASTID_MIXTURE, prenegate=True)
+        assert cfg.op is ComparisonOp.AND_PRENEGATED
+
+    def test_forced_fused_on_vega(self):
+        cfg = derive_config(VEGA_64, Algorithm.FASTID_MIXTURE, prenegate=False)
+        assert cfg.op is ComparisonOp.ANDNOT
+
+
+class TestCoreGridHeuristics:
+    def test_fastid_all_cores_on_database(self):
+        for arch in ALL_GPUS:
+            assert derive_core_grid(arch, Algorithm.FASTID_IDENTITY) == (1, arch.n_c)
+
+    def test_small_m_behaves_like_fastid(self):
+        grid = derive_core_grid(
+            GTX_980, Algorithm.LD, ProblemShape(m=16, n=100_000, k_bits=1024)
+        )
+        assert grid == (1, 16)
+
+    def test_ld_fallback_near_square(self):
+        custom = _custom_arch(n_c=36)
+        assert derive_core_grid(custom, Algorithm.LD) == (6, 6)
+
+
+class TestAnalyticFallback:
+    def test_unknown_device_fully_derived(self):
+        custom = _custom_arch()
+        cfg = derive_config(custom, Algorithm.LD)
+        assert cfg.m_r == custom.n_vec
+        assert cfg.m_c == custom.shared_memory_banks
+        assert cfg.n_r % n_r_lower_bound(custom) == 0
+
+    def test_use_published_false_still_valid(self):
+        cfg = derive_config(GTX_980, Algorithm.LD, use_published=False)
+        assert cfg.n_r >= n_r_lower_bound(GTX_980)
+        assert cfg.n_r <= n_r_register_cap(GTX_980)
+
+    def test_problem_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProblemShape(m=0, n=1, k_bits=1)
+
+
+def _custom_arch(n_c: int = 8) -> GPUArchitecture:
+    """A device the paper never measured: forces the analytic path."""
+    return GPUArchitecture(
+        name="Custom X1",
+        vendor="acme",
+        microarchitecture="custom",
+        frequency_ghz=1.0,
+        n_t=32,
+        n_grp_max=32,
+        n_c=n_c,
+        n_cl=4,
+        alu_units=16,
+        popc_units=8,
+        l_fn=4,
+        global_memory_bytes=gib(4),
+        max_alloc_bytes=gib(1),
+        shared_memory_bytes=kib(48),
+        shared_memory_banks=32,
+        shared_memory_reserved_bytes=0,
+        registers_per_core=64 * 1024,
+        max_registers_per_thread=255,
+        memory=MemorySystemModel(global_bandwidth_gbs=200.0),
+    )

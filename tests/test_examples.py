@@ -1,0 +1,44 @@
+"""Every example script must run cleanly -- examples are part of CI.
+
+Each test executes one ``examples/*.py`` in a subprocess and checks
+exit status plus a content marker proving the scenario reached its
+conclusion (not just imported successfully).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: script name -> substring its successful output must contain.
+EXPECTED_MARKERS = {
+    "quickstart.py": "performance report",
+    "ld_population_scan.py": "bit-identical LD tables",
+    "forensic_identity_search.py": "projection to NDIS scale",
+    "mixture_analysis.py": "all devices agree bit-exactly",
+    "device_tuning_report.py": "#define SNP_KC",
+    "future_work_extensions.py": "density crossover",
+    "pipeline_visualization.py": "trace events",
+    "forensic_casework_pipeline.py": "kinship fallback",
+}
+
+
+def test_every_example_has_a_marker():
+    """New examples must register an output marker here."""
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_MARKERS)
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_MARKERS))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED_MARKERS[script] in result.stdout

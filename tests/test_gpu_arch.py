@@ -1,0 +1,160 @@
+"""Tests for repro.gpu.arch: Table I presets and derived quantities."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.arch import (
+    ALL_GPUS,
+    GTX_980,
+    TITAN_V,
+    VEGA_64,
+    GPUArchitecture,
+    MemorySystemModel,
+    get_gpu,
+)
+from repro.util.units import gib, kib
+
+
+class TestTable1Values:
+    """Pin the presets to the paper's Table I."""
+
+    def test_gtx_980(self):
+        g = GTX_980
+        assert g.microarchitecture == "Maxwell"
+        assert g.frequency_ghz == 1.367
+        assert (g.n_t, g.n_grp_max, g.n_c, g.n_cl) == (32, 32, 16, 4)
+        assert (g.alu_units, g.popc_units, g.l_fn) == (32, 8, 6)
+        assert g.shared_memory_bytes == kib(48)
+        assert g.shared_memory_banks == 32
+        assert g.registers_per_core == 64 * 1024
+        assert g.max_registers_per_thread == 255
+
+    def test_titan_v(self):
+        g = TITAN_V
+        assert g.microarchitecture == "Volta"
+        assert g.frequency_ghz == 1.455
+        assert (g.n_t, g.n_grp_max, g.n_c, g.n_cl) == (32, 32, 80, 4)
+        assert (g.alu_units, g.popc_units, g.l_fn) == (16, 4, 4)
+        assert g.global_memory_bytes == int(11.754 * gib(1))
+
+    def test_vega_64(self):
+        g = VEGA_64
+        assert g.microarchitecture == "Vega (GCN5)"
+        assert g.frequency_ghz == 1.663
+        assert (g.n_t, g.n_grp_max, g.n_c, g.n_cl) == (64, 16, 64, 4)
+        assert (g.alu_units, g.popc_units, g.l_fn) == (16, 16, 4)
+        assert g.shared_memory_bytes == kib(64)
+        assert g.max_registers_per_thread == 256
+        assert not g.has_fused_andnot
+
+    def test_nvidia_shared_reservation(self):
+        # Section V-E: NVIDIA's OpenCL reserves shared memory; Vega not.
+        assert GTX_980.shared_memory_reserved_bytes > 0
+        assert TITAN_V.shared_memory_reserved_bytes > 0
+        assert VEGA_64.shared_memory_reserved_bytes == 0
+
+    def test_describe_has_table1_fields(self):
+        row = GTX_980.describe()
+        assert row["Compute Cores (N_c)"] == 16
+        assert row["Shared Memory (KiB)"] == 48
+        assert row["Global Memory (GiB)"] == pytest.approx(3.934)
+
+
+class TestDerivedQuantities:
+    def test_frequency_hz(self):
+        assert GTX_980.frequency_hz == pytest.approx(1.367e9)
+
+    def test_usable_shared_memory(self):
+        assert GTX_980.usable_shared_memory_bytes == kib(48) - 16
+        assert VEGA_64.usable_shared_memory_bytes == kib(64)
+
+    def test_threads_per_core_is_framework_occupancy(self):
+        # N_cl * L_fn thread groups of N_T threads.
+        assert GTX_980.threads_per_core == 4 * 6 * 32
+        assert VEGA_64.threads_per_core == 4 * 4 * 64
+
+    def test_registers_per_thread(self):
+        assert TITAN_V.registers_per_thread() == 64 * 1024 // (4 * 4 * 32)
+
+    def test_word_bytes(self):
+        assert all(g.word_bytes == 4 for g in ALL_GPUS)
+
+
+class TestLookup:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("GTX 980", GTX_980),
+            ("gtx 980", GTX_980),
+            ("maxwell", GTX_980),
+            ("Titan V", TITAN_V),
+            ("volta", TITAN_V),
+            ("vega", VEGA_64),
+            ("Vega 64", VEGA_64),
+        ],
+    )
+    def test_get_gpu(self, name, expected):
+        assert get_gpu(name) is expected
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown GPU"):
+            get_gpu("RTX 5090")
+
+
+class TestValidation:
+    def base_kwargs(self):
+        return dict(
+            name="t", vendor="v", microarchitecture="m", frequency_ghz=1.0,
+            n_t=32, n_grp_max=32, n_c=4, n_cl=2, alu_units=8, popc_units=4,
+            l_fn=4, global_memory_bytes=gib(1), max_alloc_bytes=gib(1) // 2,
+            shared_memory_bytes=kib(48), shared_memory_banks=32,
+            shared_memory_reserved_bytes=0, registers_per_core=1024,
+            max_registers_per_thread=64,
+        )
+
+    def test_valid_construction(self):
+        GPUArchitecture(**self.base_kwargs())
+
+    def test_nonpositive_rejected(self):
+        kw = self.base_kwargs()
+        kw["n_c"] = 0
+        with pytest.raises(ConfigurationError):
+            GPUArchitecture(**kw)
+
+    def test_reservation_exceeding_shared_rejected(self):
+        kw = self.base_kwargs()
+        kw["shared_memory_reserved_bytes"] = kib(48)
+        with pytest.raises(ConfigurationError):
+            GPUArchitecture(**kw)
+
+    def test_max_alloc_beyond_global_rejected(self):
+        kw = self.base_kwargs()
+        kw["max_alloc_bytes"] = gib(2)
+        with pytest.raises(ConfigurationError):
+            GPUArchitecture(**kw)
+
+    def test_bad_word_bits_rejected(self):
+        kw = self.base_kwargs()
+        kw["word_bits"] = 16
+        with pytest.raises(ConfigurationError):
+            GPUArchitecture(**kw)
+
+
+class TestMemorySystemModel:
+    def test_presets_have_calibration(self):
+        for g in ALL_GPUS:
+            assert isinstance(g.memory, MemorySystemModel)
+            assert g.memory.global_bandwidth_gbs > 0
+            assert g.memory.host_bandwidth_gbs > 0
+            assert g.memory.init_overhead_s > 0.1  # "hundreds of ms"
+
+    def test_titan_has_dvfs_term(self):
+        assert TITAN_V.memory.single_core_frequency_scale < 1.0
+        assert GTX_980.memory.single_core_frequency_scale == 1.0
+
+    def test_vega_decays_fastest(self):
+        assert (
+            VEGA_64.memory.scaling_decay
+            > GTX_980.memory.scaling_decay
+            > TITAN_V.memory.scaling_decay
+        )

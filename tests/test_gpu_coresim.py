@@ -1,0 +1,138 @@
+"""Tests for repro.gpu.coresim: the cycle-level core simulator."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.gpu.arch import GTX_980, TITAN_V, VEGA_64
+from repro.gpu.coresim import CoreSimulator, Program, ProgramInstruction
+from repro.gpu.isa import Instruction
+
+
+class TestProgram:
+    def test_dependent_chain_structure(self):
+        p = Program.dependent_chain(Instruction.POPC, length=4, iterations=2)
+        assert p.dynamic_length == 8
+        assert p.body[0].carried
+        assert p.body[1].deps == (0,)
+
+    def test_forward_dependency_rejected(self):
+        with pytest.raises(ModelError):
+            Program(body=(ProgramInstruction(op=Instruction.IADD, deps=(0,)),))
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ModelError):
+            Program(body=(), iterations=0)
+
+    def test_interleaved_streams_alternate(self):
+        p = Program.interleaved_streams((Instruction.POPC, Instruction.IADD), 2)
+        ops = [i.op for i in p.body]
+        assert ops == [Instruction.POPC, Instruction.IADD] * 2
+
+
+class TestLatencyMeasurement:
+    def test_dependent_chain_exposes_latency_maxwell(self):
+        # Maxwell POPC: L_fn = 6, issue gap = 32/8 = 4 -> chain = 6.
+        sim = CoreSimulator(GTX_980)
+        p = Program.dependent_chain(Instruction.POPC, length=16, iterations=4)
+        r = sim.run(p, n_groups=1)
+        assert r.cycles / p.dynamic_length == pytest.approx(6.0, rel=0.02)
+
+    def test_issue_gap_dominates_on_volta_popc(self):
+        # Volta POPC: gap = 32/4 = 8 > L_fn = 4 -> chain = 8.
+        sim = CoreSimulator(TITAN_V)
+        p = Program.dependent_chain(Instruction.POPC, length=16, iterations=4)
+        r = sim.run(p, n_groups=1)
+        assert r.cycles / p.dynamic_length == pytest.approx(8.0, rel=0.02)
+
+    def test_alu_chain_latency(self):
+        # Maxwell ALU: gap = 1, L_fn = 6 -> chain = 6.
+        sim = CoreSimulator(GTX_980)
+        p = Program.dependent_chain(Instruction.IADD, length=16, iterations=4)
+        r = sim.run(p, n_groups=1)
+        assert r.cycles / p.dynamic_length == pytest.approx(6.0, rel=0.02)
+
+
+class TestThroughputMeasurement:
+    @pytest.mark.parametrize(
+        "arch,instr,expected_per_cluster",
+        [
+            (GTX_980, Instruction.POPC, 8),
+            (GTX_980, Instruction.IADD, 32),
+            (TITAN_V, Instruction.POPC, 4),
+            (VEGA_64, Instruction.POPC, 16),
+            (VEGA_64, Instruction.IADD, 16),
+        ],
+    )
+    def test_saturated_throughput_recovers_units(
+        self, arch, instr, expected_per_cluster
+    ):
+        sim = CoreSimulator(arch)
+        groups = min(arch.n_grp_max, arch.n_cl * arch.l_fn)
+        p = Program.independent_stream(instr, length=32, iterations=8)
+        r = sim.run(p, n_groups=groups)
+        word_ops_per_cycle = r.dynamic_instructions * arch.n_t / r.cycles
+        assert word_ops_per_cycle / arch.n_cl == pytest.approx(
+            expected_per_cluster, rel=0.05
+        )
+
+    def test_throughput_flat_up_to_cluster_count(self):
+        # Paper: "execution time to remain nearly constant for
+        # N_grp <= N_cl" -- each group lands on its own cluster.
+        sim = CoreSimulator(GTX_980)
+        p = Program.independent_stream(Instruction.POPC, length=32, iterations=4)
+        times = [sim.run(p, n_groups=g).cycles for g in range(1, GTX_980.n_cl + 1)]
+        assert max(times) - min(times) <= times[0] * 0.05
+
+    def test_residency_limit_enforced(self):
+        sim = CoreSimulator(VEGA_64)
+        p = Program.independent_stream(Instruction.IADD, length=4)
+        with pytest.raises(ModelError):
+            sim.run(p, n_groups=VEGA_64.n_grp_max + 1)
+
+    def test_zero_groups_rejected(self):
+        sim = CoreSimulator(GTX_980)
+        with pytest.raises(ModelError):
+            sim.run(Program.independent_stream(Instruction.IADD, 4), n_groups=0)
+
+
+class TestDualPipes:
+    def test_popc_and_alu_overlap_on_nvidia(self):
+        # Separate pipes: interleaved time ~ slower stream alone.
+        sim = CoreSimulator(GTX_980)
+        groups = 24
+        popc_alone = sim.run(
+            Program.independent_stream(Instruction.POPC, 32, 4), groups
+        ).cycles
+        both = sim.run(
+            Program.interleaved_streams((Instruction.POPC, Instruction.IADD), 32, 4),
+            groups,
+        ).cycles
+        assert both <= popc_alone * 1.2
+
+    def test_add_and_and_share_on_vega(self):
+        # Same pipe: interleaved time ~ sum of the streams.
+        sim = CoreSimulator(VEGA_64)
+        groups = 16
+        add_alone = sim.run(
+            Program.independent_stream(Instruction.IADD, 32, 4), groups
+        ).cycles
+        both = sim.run(
+            Program.interleaved_streams((Instruction.IADD, Instruction.AND), 32, 4),
+            groups,
+        ).cycles
+        assert both >= add_alone * 1.8
+
+    def test_empty_program(self):
+        sim = CoreSimulator(GTX_980)
+        r = sim.run(Program(body=(), iterations=1), n_groups=2)
+        assert r.cycles == 0
+
+
+class TestSimResult:
+    def test_metrics(self):
+        sim = CoreSimulator(GTX_980)
+        p = Program.independent_stream(Instruction.IADD, length=8, iterations=2)
+        r = sim.run(p, n_groups=2)
+        assert r.dynamic_instructions == 32
+        assert r.instructions_per_cycle() > 0
+        assert r.cycles_per_instruction() > 0

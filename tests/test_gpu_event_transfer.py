@@ -1,0 +1,76 @@
+"""Tests for repro.gpu.event and repro.gpu.transfer."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu.arch import GTX_980
+from repro.gpu.event import Event, EventStatus
+from repro.gpu.transfer import D2H, H2D, TRANSFER_SETUP_S, TransferEngine
+
+
+class TestEvent:
+    def test_lifecycle(self):
+        e = Event(label="k", queued_at=1.0)
+        assert e.status is EventStatus.QUEUED
+        e.complete(submitted_at=1.0, started_at=2.0, ended_at=3.5)
+        assert e.status is EventStatus.COMPLETE
+        assert e.duration == pytest.approx(1.5)
+        assert e.latency == pytest.approx(2.5)
+
+    def test_profiling_before_completion_rejected(self):
+        e = Event(label="k", queued_at=0.0)
+        with pytest.raises(DeviceError):
+            _ = e.duration
+        with pytest.raises(DeviceError):
+            _ = e.latency
+
+    def test_inverted_interval_rejected(self):
+        e = Event(label="k", queued_at=0.0)
+        with pytest.raises(DeviceError):
+            e.complete(0.0, 2.0, 1.0)
+
+    def test_repr(self):
+        e = Event(label="x", queued_at=0.0)
+        assert "pending" in repr(e)
+        e.complete(0.0, 0.0, 1.0)
+        assert "end=" in repr(e)
+
+
+class TestTransferEngine:
+    def test_transfer_time_formula(self):
+        eng = TransferEngine(GTX_980)
+        bw = GTX_980.memory.host_bandwidth_gbs * 1e9
+        assert eng.transfer_time(bw) == pytest.approx(TRANSFER_SETUP_S + 1.0)
+        assert eng.transfer_time(0) == pytest.approx(TRANSFER_SETUP_S)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(DeviceError):
+            TransferEngine(GTX_980).transfer_time(-1)
+
+    def test_same_direction_serializes(self):
+        eng = TransferEngine(GTX_980)
+        a = eng.schedule(H2D, 12_000_000_000, earliest_start=0.0)  # ~1 s
+        b = eng.schedule(H2D, 12_000_000_000, earliest_start=0.0)
+        assert b.start == pytest.approx(a.end)
+
+    def test_directions_overlap(self):
+        eng = TransferEngine(GTX_980)
+        up = eng.schedule(H2D, 12_000_000_000, earliest_start=0.0)
+        down = eng.schedule(D2H, 12_000_000_000, earliest_start=0.0)
+        assert down.start == 0.0
+        assert up.overlaps(down)
+
+    def test_earliest_start_respected(self):
+        eng = TransferEngine(GTX_980)
+        iv = eng.schedule(D2H, 100, earliest_start=5.0)
+        assert iv.start == 5.0
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(DeviceError):
+            TransferEngine(GTX_980).schedule("sideways", 10, 0.0)
+
+    def test_busy_time_sums_directions(self):
+        eng = TransferEngine(GTX_980)
+        eng.schedule(H2D, 1200, 0.0)
+        eng.schedule(D2H, 1200, 0.0)
+        assert eng.busy_time() == pytest.approx(2 * eng.transfer_time(1200))

@@ -1,0 +1,76 @@
+"""Tests for repro.gpu.isa: pipeline assignment and unit counts."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.gpu.arch import GTX_980, VEGA_64
+from repro.gpu.isa import (
+    Instruction,
+    PipeClass,
+    instruction_mix_pipes,
+    pipe_for,
+    supports,
+    units_per_cluster,
+)
+
+
+class TestPipeAssignment:
+    @pytest.mark.parametrize(
+        "instr",
+        [Instruction.IADD, Instruction.AND, Instruction.XOR, Instruction.NOT,
+         Instruction.ANDN, Instruction.MOV],
+    )
+    def test_integer_ops_on_alu(self, instr):
+        assert pipe_for(instr) is PipeClass.ALU
+
+    def test_popc_on_its_own_pipe(self):
+        # Section V-D: POPC never shares the integer pipe.
+        assert pipe_for(Instruction.POPC) is PipeClass.POPC
+
+    def test_memory_ops_on_mem_pipe(self):
+        assert pipe_for(Instruction.LDS) is PipeClass.MEM
+        assert pipe_for(Instruction.LDG) is PipeClass.MEM
+
+
+class TestUnits:
+    def test_maxwell_units(self):
+        assert units_per_cluster(GTX_980, PipeClass.ALU) == 32
+        assert units_per_cluster(GTX_980, PipeClass.POPC) == 8
+
+    def test_vega_equal_units(self):
+        # Section VI-E1: "as many functional units for logic/arithmetic
+        # operations as there are for population count on the Vega 64".
+        assert units_per_cluster(VEGA_64, PipeClass.ALU) == units_per_cluster(
+            VEGA_64, PipeClass.POPC
+        )
+
+
+class TestFusedAndnot:
+    def test_nvidia_supports(self):
+        assert supports(GTX_980, Instruction.ANDN)
+
+    def test_vega_does_not(self):
+        assert not supports(VEGA_64, Instruction.ANDN)
+
+    def test_plain_ops_always_supported(self):
+        assert supports(VEGA_64, Instruction.AND)
+        assert supports(VEGA_64, Instruction.POPC)
+
+
+class TestMixPipes:
+    def test_cycles_per_word(self):
+        pipes = instruction_mix_pipes(GTX_980, alu_ops=2, popc_ops=1)
+        assert pipes[PipeClass.ALU] == pytest.approx(2 / 32)
+        assert pipes[PipeClass.POPC] == pytest.approx(1 / 8)
+
+    def test_vega_alu_binds_for_ld_mix(self):
+        pipes = instruction_mix_pipes(VEGA_64, alu_ops=2, popc_ops=1)
+        assert pipes[PipeClass.ALU] > pipes[PipeClass.POPC]
+
+    def test_nvidia_popc_binds_for_ld_mix(self):
+        pipes = instruction_mix_pipes(GTX_980, alu_ops=2, popc_ops=1)
+        assert pipes[PipeClass.POPC] > pipes[PipeClass.ALU]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ModelError):
+            instruction_mix_pipes(GTX_980, alu_ops=-1, popc_ops=0)

@@ -1,0 +1,84 @@
+"""Tests for repro.gpu.kernel: configuration validation at compile."""
+
+import pytest
+
+from repro.blis.microkernel import ComparisonOp
+from repro.errors import ConfigurationError, KernelLaunchError
+from repro.gpu.arch import GTX_980, TITAN_V, VEGA_64
+from repro.gpu.kernel import KernelArgs, SnpKernel
+
+
+def compile_kernel(arch=GTX_980, **overrides):
+    kw = dict(
+        op=ComparisonOp.AND, m_c=32, m_r=4, k_c=383, n_r=384,
+        grid_rows=4, grid_cols=4,
+    )
+    kw.update(overrides)
+    return SnpKernel.compile(arch, **kw)
+
+
+class TestCompileValidation:
+    def test_published_configs_compile(self):
+        compile_kernel(GTX_980, k_c=383, n_r=384)
+        compile_kernel(TITAN_V, k_c=383, n_r=1024, grid_rows=80, grid_cols=1)
+        compile_kernel(VEGA_64, k_c=512, n_r=1024, grid_rows=32, grid_cols=2)
+
+    def test_m_r_must_match_vector_width(self):
+        # Eq. 4: m_r multiple of N_vec.
+        with pytest.raises(ConfigurationError, match="N_vec"):
+            compile_kernel(m_r=3, m_c=33)
+
+    def test_m_c_must_be_m_r_multiple(self):
+        with pytest.raises(ConfigurationError, match="multiple of m_r"):
+            compile_kernel(m_c=30, m_r=4)
+
+    def test_shared_memory_overflow_rejected(self):
+        # 32 * 384 * 4 = 49152 exceeds the 49136 usable bytes on NVIDIA
+        # after the OpenCL reservation (Section V-E).
+        with pytest.raises(ConfigurationError, match="shared memory"):
+            compile_kernel(GTX_980, k_c=384)
+
+    def test_full_shared_ok_on_vega(self):
+        # Vega has no reservation: k_c = 512 fills shared exactly.
+        compile_kernel(VEGA_64, k_c=512, n_r=1024, grid_rows=8, grid_cols=8)
+
+    def test_n_r_must_divide_by_l_fn(self):
+        with pytest.raises(ConfigurationError, match="L_fn"):
+            compile_kernel(GTX_980, n_r=100)  # 100 % 6 != 0
+
+    def test_grid_exceeding_cores_rejected(self):
+        with pytest.raises(ConfigurationError, match="compute cores"):
+            compile_kernel(GTX_980, grid_rows=4, grid_cols=5)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compile_kernel(k_c=0)
+
+    def test_string_op_accepted(self):
+        kernel = compile_kernel(op="xor")
+        assert kernel.op is ComparisonOp.XOR
+
+
+class TestKernelProperties:
+    def test_n_cores(self):
+        assert compile_kernel().n_cores == 16
+
+    def test_threads_per_core(self):
+        assert compile_kernel().threads_per_core == 4 * 6 * 32
+
+    def test_blocking_plan_mirrors_config(self):
+        kernel = compile_kernel()
+        plan = kernel.blocking_plan(100, 200, 13)
+        assert (plan.m, plan.n, plan.k) == (100, 200, 13)
+        assert (plan.m_c, plan.k_c, plan.m_r, plan.n_r) == (32, 383, 4, 384)
+        assert (plan.grid_rows, plan.grid_cols) == (4, 4)
+
+
+class TestKernelArgs:
+    def test_valid(self):
+        args = KernelArgs(m=1, n=2, k=3)
+        assert (args.m, args.n, args.k) == (1, 2, 3)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(KernelLaunchError):
+            KernelArgs(m=0, n=2, k=3)

@@ -1,0 +1,98 @@
+"""Tests for repro.gpu.memory: allocation tracking and bank conflicts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError, DeviceError
+from repro.gpu.arch import GTX_980
+from repro.gpu.memory import GlobalMemoryTracker, SharedMemoryBankModel
+
+
+class TestGlobalMemoryTracker:
+    def test_allocate_and_free(self):
+        t = GlobalMemoryTracker(GTX_980)
+        h = t.allocate(1024)
+        assert t.allocated_bytes == 1024
+        assert t.n_live == 1
+        t.free(h)
+        assert t.allocated_bytes == 0
+        assert t.n_live == 0
+
+    def test_max_alloc_enforced(self):
+        t = GlobalMemoryTracker(GTX_980)
+        with pytest.raises(AllocationError, match="max allocation"):
+            t.allocate(GTX_980.max_alloc_bytes + 1)
+
+    def test_total_memory_enforced(self):
+        t = GlobalMemoryTracker(GTX_980)
+        chunk = GTX_980.max_alloc_bytes
+        handles = []
+        # 3.934 GiB total, 0.983 GiB per alloc: the 5th chunk overflows.
+        for _ in range(4):
+            handles.append(t.allocate(chunk))
+        with pytest.raises(AllocationError, match="global memory"):
+            t.allocate(chunk)
+        t.free(handles[0])
+        t.allocate(chunk)  # fits again after freeing
+
+    def test_double_free_rejected(self):
+        t = GlobalMemoryTracker(GTX_980)
+        h = t.allocate(64)
+        t.free(h)
+        with pytest.raises(DeviceError):
+            t.free(h)
+
+    def test_zero_size_rejected(self):
+        t = GlobalMemoryTracker(GTX_980)
+        with pytest.raises(AllocationError):
+            t.allocate(0)
+
+    def test_free_bytes(self):
+        t = GlobalMemoryTracker(GTX_980)
+        t.allocate(1000)
+        assert t.free_bytes == GTX_980.global_memory_bytes - 1000
+
+
+class TestSharedMemoryBankModel:
+    banks = SharedMemoryBankModel(n_banks=32)
+
+    def test_bank_of(self):
+        assert self.banks.bank_of(0) == 0
+        assert self.banks.bank_of(33) == 1
+        with pytest.raises(DeviceError):
+            self.banks.bank_of(-1)
+
+    def test_unit_stride_conflict_free(self):
+        # Consecutive words hit distinct banks.
+        assert self.banks.strided_conflict_factor(1, 32) == 1
+
+    def test_power_of_two_stride_conflicts(self):
+        # Stride 32 puts every access in bank 0: full serialization.
+        assert self.banks.strided_conflict_factor(32, 32) == 32
+        # Stride 2 halves the banks in use: 2-way conflicts.
+        assert self.banks.strided_conflict_factor(2, 32) == 2
+
+    def test_odd_stride_conflict_free(self):
+        assert self.banks.strided_conflict_factor(31, 32) == 1
+        assert self.banks.strided_conflict_factor(5, 32) == 1
+
+    def test_broadcast_is_free(self):
+        # All threads reading the same address: one pass.
+        addrs = np.zeros(32, dtype=np.int64)
+        assert self.banks.conflict_factor(addrs) == 1
+
+    def test_mixed_pattern(self):
+        # Two distinct addresses in the same bank: 2 passes.
+        addrs = np.array([0, 32, 1, 2, 3])
+        assert self.banks.conflict_factor(addrs) == 2
+
+    def test_empty_access(self):
+        assert self.banks.conflict_factor(np.array([], dtype=np.int64)) == 1
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(DeviceError):
+            self.banks.conflict_factor(np.array([-5]))
+
+    def test_fewer_threads_than_banks(self):
+        assert self.banks.strided_conflict_factor(1, 8) == 1
+        assert self.banks.strided_conflict_factor(0, 0) == 1

@@ -1,0 +1,101 @@
+"""Tests for repro.gpu.memsim: the mechanistic memory-system model."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.gpu.arch import ALL_GPUS, GTX_980, TITAN_V, VEGA_64
+from repro.gpu.cycles import scaling_efficiency
+from repro.gpu.memsim import (
+    QueueModelParams,
+    emergent_scaling_curve,
+    fit_queue_model,
+    solve_per_core_rate,
+    streaming_demand_bytes_per_cycle,
+)
+
+
+class TestDemand:
+    def test_demand_values(self):
+        # words/cycle/core x 4 bytes / m_c: 32*4/32 = 4 B/cycle on the
+        # 980 and Vega; 16*4/32 = 2 on the Titan V.
+        assert streaming_demand_bytes_per_cycle(GTX_980) == pytest.approx(4.0)
+        assert streaming_demand_bytes_per_cycle(VEGA_64) == pytest.approx(4.0)
+        assert streaming_demand_bytes_per_cycle(TITAN_V) == pytest.approx(2.0)
+
+    def test_larger_tile_reduces_demand(self):
+        assert streaming_demand_bytes_per_cycle(
+            GTX_980, m_c=64
+        ) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            streaming_demand_bytes_per_cycle(GTX_980, m_c=0)
+
+
+class TestFixedPoint:
+    params = QueueModelParams(mshr_per_core=48, base_latency_cycles=650)
+
+    def test_single_core_unconstrained(self):
+        # One core's demand is far below both bandwidth and its
+        # latency-tolerance cap: it streams at full rate.
+        x = solve_per_core_rate(VEGA_64, self.params, n_cores=1)
+        assert x == pytest.approx(streaming_demand_bytes_per_cycle(VEGA_64), rel=1e-6)
+
+    def test_rate_monotone_in_cores(self):
+        rates = [
+            solve_per_core_rate(VEGA_64, self.params, n)
+            for n in (1, 8, 16, 32, 64)
+        ]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_rate_bounded_by_demand(self):
+        d = streaming_demand_bytes_per_cycle(VEGA_64)
+        for n in (1, 16, 64):
+            assert 0 < solve_per_core_rate(VEGA_64, self.params, n) <= d + 1e-9
+
+    def test_aggregate_below_bandwidth(self):
+        bw = VEGA_64.memory.global_bandwidth_gbs * 1e9 / VEGA_64.frequency_hz
+        x = solve_per_core_rate(VEGA_64, self.params, 64)
+        assert 64 * x <= bw
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            solve_per_core_rate(VEGA_64, self.params, 0)
+        with pytest.raises(ModelError):
+            QueueModelParams(mshr_per_core=0, base_latency_cycles=100)
+
+
+class TestEmergentCurves:
+    """The headline: queueing mechanics reproduce the calibration."""
+
+    @pytest.mark.parametrize("arch", ALL_GPUS, ids=lambda a: a.name)
+    def test_fit_explains_calibrated_curve(self, arch):
+        params, err = fit_queue_model(arch)
+        # The mechanistic curve matches the Section VI phenomenology
+        # to within 5 efficiency points at every sampled core count.
+        assert err < 0.05
+
+    def test_vega_knee_emerges(self):
+        params, _ = fit_queue_model(VEGA_64)
+        curve = dict(emergent_scaling_curve(VEGA_64, params))
+        assert curve[8] > 0.99           # flat through the knee
+        assert curve[16] < 0.95          # declining beyond it
+        assert curve[64] < 0.60          # down to the Fig. 5/7 level
+
+    def test_nvidia_stays_flat(self):
+        for arch in (GTX_980, TITAN_V):
+            params, _ = fit_queue_model(arch)
+            curve = dict(emergent_scaling_curve(arch, params))
+            assert min(curve.values()) > 0.9
+
+    def test_emergent_matches_calibrated_pointwise_vega(self):
+        params, _ = fit_queue_model(VEGA_64)
+        for cores, eff in emergent_scaling_curve(VEGA_64, params):
+            assert eff == pytest.approx(
+                scaling_efficiency(VEGA_64, cores), abs=0.05
+            )
+
+    def test_custom_core_counts(self):
+        params = QueueModelParams(mshr_per_core=48, base_latency_cycles=650)
+        curve = emergent_scaling_curve(VEGA_64, params, [3, 7, 11])
+        assert [c for c, _ in curve] == [3, 7, 11]

@@ -1,0 +1,96 @@
+"""Tests for repro.gpu.microbench: the Section V-C/D procedures.
+
+These are the Table I validation: each procedure must *recover* the
+hardware parameters the simulated device was configured with.
+"""
+
+import pytest
+
+from repro.gpu.arch import ALL_GPUS, GTX_980, TITAN_V, VEGA_64
+from repro.gpu.isa import Instruction
+from repro.gpu.microbench import (
+    expected_chain_latency,
+    measure_latency,
+    measure_throughput,
+    pipes_are_shared,
+    run_microbench_suite,
+    throughput_sweep,
+)
+
+
+class TestLatencyRecovery:
+    @pytest.mark.parametrize("arch", ALL_GPUS, ids=lambda a: a.name)
+    def test_popc_latency_recovered(self, arch):
+        measured = measure_latency(arch, Instruction.POPC)
+        assert measured == pytest.approx(
+            expected_chain_latency(arch, Instruction.POPC), rel=0.02
+        )
+
+    def test_expected_chain_latency_values(self):
+        # Maxwell: L_fn=6 dominates the 4-cycle gap.
+        assert expected_chain_latency(GTX_980, Instruction.POPC) == 6
+        # Volta POPC: 8-cycle issue gap dominates L_fn=4 (see DESIGN.md).
+        assert expected_chain_latency(TITAN_V, Instruction.POPC) == 8
+        # Vega: gap = 64/16 = 4 = L_fn.
+        assert expected_chain_latency(VEGA_64, Instruction.POPC) == 4
+
+
+class TestThroughputRecovery:
+    @pytest.mark.parametrize("arch", ALL_GPUS, ids=lambda a: a.name)
+    def test_popc_units_recovered(self, arch):
+        saturating = min(arch.n_grp_max, arch.n_cl * arch.l_fn)
+        tp = measure_throughput(arch, Instruction.POPC, saturating)
+        assert tp / arch.n_cl == pytest.approx(arch.popc_units, rel=0.05)
+
+    @pytest.mark.parametrize("arch", ALL_GPUS, ids=lambda a: a.name)
+    def test_alu_units_recovered(self, arch):
+        saturating = min(arch.n_grp_max, arch.n_cl * arch.l_fn)
+        tp = measure_throughput(arch, Instruction.IADD, saturating)
+        assert tp / arch.n_cl == pytest.approx(arch.alu_units, rel=0.05)
+
+    def test_sweep_scales_then_saturates(self):
+        sweep = dict(throughput_sweep(GTX_980, Instruction.POPC, max_groups=24))
+        peak = GTX_980.n_cl * GTX_980.popc_units
+        # One group per cluster scales linearly (each cluster
+        # independent), then group counts at multiples of N_cl sit at
+        # the saturated peak; intermediate counts dip from cluster
+        # load imbalance (makespan effect), which is physical.
+        for g in range(1, GTX_980.n_cl + 1):
+            assert sweep[g] == pytest.approx(g * GTX_980.popc_units, rel=0.05)
+        for g in (8, 12, 16, 20, 24):
+            assert sweep[g] == pytest.approx(peak, rel=0.05)
+
+    def test_paper_group_count_is_sufficient(self):
+        # "N_grp = N_cl x L_fn is sufficient for achieving peak".
+        arch = VEGA_64
+        at_paper_count = measure_throughput(
+            arch, Instruction.POPC, min(arch.n_grp_max, arch.n_cl * arch.l_fn)
+        )
+        assert at_paper_count == pytest.approx(
+            arch.n_cl * arch.popc_units, rel=0.05
+        )
+
+
+class TestPipeSharing:
+    @pytest.mark.parametrize("arch", ALL_GPUS, ids=lambda a: a.name)
+    def test_popc_separate_from_alu_everywhere(self, arch):
+        assert not pipes_are_shared(arch, Instruction.POPC, Instruction.IADD)
+
+    @pytest.mark.parametrize("arch", ALL_GPUS, ids=lambda a: a.name)
+    def test_add_and_and_share_everywhere(self, arch):
+        # The sharing binds performance only on Vega, but the pipes are
+        # shared on every device (one integer ALU pipe in the model).
+        assert pipes_are_shared(arch, Instruction.IADD, Instruction.AND)
+
+
+class TestSuite:
+    @pytest.mark.parametrize("arch", ALL_GPUS, ids=lambda a: a.name)
+    def test_full_recovery(self, arch):
+        r = run_microbench_suite(arch)
+        assert r.device == arch.name
+        assert r.popc_latency == pytest.approx(r.popc_latency_expected, rel=0.02)
+        assert r.popc_throughput == pytest.approx(r.popc_throughput_expected, rel=0.05)
+        assert r.alu_throughput == pytest.approx(r.alu_throughput_expected, rel=0.05)
+        assert not r.popc_alu_shared
+        assert r.add_and_shared
+        assert r.popc_latency_isa == arch.l_fn

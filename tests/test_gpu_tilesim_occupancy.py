@@ -1,0 +1,160 @@
+"""Tests for repro.gpu.tilesim and repro.gpu.occupancy."""
+
+import numpy as np
+import pytest
+
+from repro.blis.blocking import BlockingPlan
+from repro.blis.gemm import bit_gemm_reference
+from repro.blis.microkernel import ComparisonOp
+from repro.errors import ConfigurationError, KernelLaunchError
+from repro.gpu.arch import ALL_GPUS, GTX_980, TITAN_V, VEGA_64
+from repro.gpu.cycles import kernel_cycles
+from repro.gpu.occupancy import (
+    occupancy_report,
+    registers_per_thread_for,
+)
+from repro.gpu.tilesim import simulate_core_tile
+from repro.util.bitops import pack_bits
+
+
+def random_tile(m, k_words, seed=0):
+    rng = np.random.default_rng(seed)
+    bits = (rng.random((m, k_words * 32)) < 0.4).astype(np.uint8)
+    return pack_bits(bits, 32)
+
+
+class TestTileFunctional:
+    @pytest.mark.parametrize(
+        "op", [ComparisonOp.AND, ComparisonOp.XOR, ComparisonOp.ANDNOT]
+    )
+    def test_tile_matches_reference(self, op):
+        a = random_tile(32, 12, 1)
+        b = random_tile(96, 12, 2)
+        c_tile, _ = simulate_core_tile(GTX_980, a, b, op)
+        assert (c_tile == bit_gemm_reference(a, b, op)).all()
+
+    @pytest.mark.parametrize("arch", ALL_GPUS, ids=lambda a: a.name)
+    def test_all_devices_agree(self, arch):
+        a = random_tile(32, 8, 3)
+        b = random_tile(64, 8, 4)
+        c_tile, _ = simulate_core_tile(arch, a, b)
+        assert (c_tile == bit_gemm_reference(a, b)).all()
+
+    def test_ragged_column_slice(self):
+        # n_r not divisible by L_fn groups still computes correctly.
+        a = random_tile(32, 4, 5)
+        b = random_tile(50, 4, 6)
+        c_tile, _ = simulate_core_tile(TITAN_V, a, b)
+        assert (c_tile == bit_gemm_reference(a, b)).all()
+
+    def test_validation(self):
+        a = random_tile(8, 2)
+        with pytest.raises(KernelLaunchError):
+            simulate_core_tile(GTX_980, a.astype(np.uint64), a.astype(np.uint64))
+        with pytest.raises(KernelLaunchError):
+            simulate_core_tile(GTX_980, a, random_tile(8, 3))
+
+
+class TestTileCensus:
+    def test_conflict_free_at_bank_width(self):
+        # m_c = 32 rows over 4 clusters: 8-row slices, unit stride,
+        # distinct banks -> no serialization (the Eq. 5 discussion).
+        a = random_tile(32, 10, 7)
+        b = random_tile(64, 10, 8)
+        _, stats = simulate_core_tile(GTX_980, a, b)
+        assert stats.bank_conflict_factor == 1.0
+
+    def test_op_counts(self):
+        a = random_tile(32, 6, 9)
+        b = random_tile(48, 6, 10)
+        _, stats = simulate_core_tile(GTX_980, a, b, ComparisonOp.AND)
+        assert stats.word_ops == 32 * 48 * 6
+        assert stats.popc_ops == stats.word_ops          # 1 POPC per word
+        assert stats.alu_ops == 2 * stats.word_ops       # AND + ADD
+
+    def test_andnot_costs_extra_alu_on_vega(self):
+        a = random_tile(32, 4, 11)
+        b = random_tile(32, 4, 12)
+        _, stats = simulate_core_tile(VEGA_64, a, b, ComparisonOp.ANDNOT)
+        assert stats.alu_ops == 3 * stats.word_ops       # NOT + AND + ADD
+
+    def test_global_traffic_counts_b_stream(self):
+        a = random_tile(32, 5, 13)
+        b = random_tile(40, 5, 14)
+        _, stats = simulate_core_tile(GTX_980, a, b)
+        # Every group slot streams its B slice once per k: per cluster
+        # row-slice, the full n_r columns are read each k step.
+        assert stats.global_read_words == GTX_980.n_cl * 40 * 5
+
+    def test_shared_staging_words(self):
+        a = random_tile(32, 7, 15)
+        b = random_tile(16, 7, 16)
+        _, stats = simulate_core_tile(GTX_980, a, b)
+        assert stats.shared_store_words == 32 * 7
+
+
+class TestCycleCrossValidation:
+    """Two independent cost paths must agree: the tile walk's census
+    and the closed-form model of repro.gpu.cycles."""
+
+    @pytest.mark.parametrize("arch", ALL_GPUS, ids=lambda a: a.name)
+    def test_estimate_matches_analytical_ideal(self, arch):
+        k_words = 48
+        n_r = 128
+        a = random_tile(32, k_words, 17)
+        b = random_tile(n_r, k_words, 18)
+        _, stats = simulate_core_tile(arch, a, b)
+        plan = BlockingPlan(
+            m=32, n=n_r, k=k_words, m_c=32, k_c=k_words, m_r=4, n_r=n_r,
+            grid_rows=1, grid_cols=1,
+        )
+        analytical = kernel_cycles(arch, plan)
+        ideal_with_conflicts = (
+            analytical.ideal_cycles * analytical.stall_conflict
+        )
+        assert stats.estimated_cycles == pytest.approx(
+            ideal_with_conflicts, rel=0.05
+        )
+
+
+class TestOccupancy:
+    @pytest.mark.parametrize("arch", ALL_GPUS, ids=lambda a: a.name)
+    def test_published_configs_hide_latency(self, arch):
+        from repro.core.planner import derive_config
+        from repro.core.config import Algorithm
+
+        cfg = derive_config(arch, Algorithm.LD)
+        report = occupancy_report(arch, cfg.m_c, cfg.k_c, cfg.m_r, cfg.n_r)
+        assert report.latency_hidden
+        assert report.shared_memory_fits
+        assert report.groups_chosen <= report.groups_by_device_limit
+        assert report.groups_chosen <= report.groups_by_registers
+
+    def test_framework_choice_below_device_limit(self):
+        # Section V-E: the chosen residency is "significantly less than
+        # the maximum number of thread groups allowed".
+        report = occupancy_report(GTX_980, 32, 383, 4, 384)
+        assert report.groups_chosen == 24
+        assert report.groups_by_device_limit == 32
+        assert report.binding_resource == "framework choice (N_cl * L_fn)"
+
+    def test_register_pressure_binds_for_huge_tiles(self):
+        report = occupancy_report(TITAN_V, 32, 383, 4, 65536)
+        assert report.groups_by_registers < report.groups_chosen or (
+            report.binding_resource == "register file"
+        )
+        assert report.registers_per_thread > 128
+
+    def test_shared_overflow_flagged(self):
+        report = occupancy_report(GTX_980, 64, 512, 4, 384)
+        assert not report.shared_memory_fits
+
+    def test_registers_per_thread_formula(self):
+        # Titan V LD: 4*1024/(4*32) = 32 accumulators + 16 overhead.
+        assert registers_per_thread_for(TITAN_V, 4, 1024) == 48
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            occupancy_report(GTX_980, 0, 1, 1, 1)
+        with pytest.raises(ConfigurationError):
+            registers_per_thread_for(GTX_980, 0, 128)

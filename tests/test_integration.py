@@ -1,0 +1,137 @@
+"""Integration tests: full workflows across subsystem boundaries.
+
+These exercise the library the way the examples do: generate realistic
+data with the genetics substrate, run the framework on every simulated
+device, cross-check against the CPU baseline and the naive oracles, and
+validate the performance reports against the analytical estimator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Algorithm,
+    SNPComparisonFramework,
+    identity_search,
+    linkage_disequilibrium,
+    mixture_analysis,
+)
+from repro.cpu.blis_cpu import cpu_snp_comparison
+from repro.gpu.arch import ALL_GPUS, GTX_980, TITAN_V
+from repro.model.endtoend import estimate_end_to_end
+from repro.snp.dataset import SNPDataset
+from repro.snp.forensic import generate_database, generate_queries, make_mixture
+from repro.snp.generator import PopulationModel, generate_population
+from repro.snp.io import load_dataset_npz, save_dataset_npz
+from repro.snp.stats import ld_r_squared
+from repro.util.bitops import pack_bits
+
+
+class TestPortabilityAcrossDevices:
+    """The paper's headline: one framework, identical results everywhere."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        rng = np.random.default_rng(7)
+        a = (rng.random((40, 500)) < 0.35).astype(np.uint8)
+        b = (rng.random((90, 500)) < 0.45).astype(np.uint8)
+        return a, b
+
+    @pytest.mark.parametrize("algorithm", list(Algorithm), ids=lambda a: a.value)
+    def test_gpu_results_device_independent(self, workload, algorithm):
+        a, b = workload
+        tables = []
+        for arch in ALL_GPUS:
+            fw = SNPComparisonFramework(arch, algorithm)
+            table, report = fw.run(a, b)
+            tables.append(table)
+            assert report.end_to_end_s > 0
+        for other in tables[1:]:
+            assert (tables[0] == other).all()
+
+    def test_gpu_matches_cpu_baseline(self, workload):
+        a, b = workload
+        fw = SNPComparisonFramework(TITAN_V, Algorithm.LD)
+        gpu_table, _ = fw.run(a, b)
+        cpu_table = cpu_snp_comparison(pack_bits(a, 64), pack_bits(b, 64))
+        assert (gpu_table == cpu_table).all()
+
+
+class TestPopulationLdWorkflow:
+    def test_end_to_end_with_persistence(self, tmp_path):
+        # Generate a structured population, persist, reload, analyze.
+        model = PopulationModel(
+            n_samples=150, n_sites=96, block_size=12, founders_per_block=3,
+            maf_alpha=3.0, maf_beta=3.0, recombination_noise=0.01,
+        )
+        dataset = generate_population(model, rng=11)
+        path = tmp_path / "population.npz"
+        save_dataset_npz(path, dataset)
+        dataset = load_dataset_npz(path)
+
+        result = linkage_disequilibrium(dataset, device="GTX 980", compare="sites")
+        assert np.allclose(result.r_squared, ld_r_squared(dataset.matrix.T))
+
+        # Within-block pairs carry more LD than between-block pairs.
+        r2 = result.r_squared
+        within = [r2[i, i + 1] for i in range(0, 84, 12)]
+        between = [r2[i, i + 12] for i in range(0, 84, 12)]
+        assert np.mean(within) > np.mean(between)
+
+    def test_report_matches_estimator(self):
+        dataset = generate_population(PopulationModel(64, 128), rng=3)
+        result = linkage_disequilibrium(dataset, device="Vega 64", compare="samples")
+        est = estimate_end_to_end(
+            ALL_GPUS[2], Algorithm.LD, 64, 64, 128
+        )
+        assert result.report.end_to_end_s == pytest.approx(
+            est.end_to_end_s, rel=1e-9
+        )
+
+
+class TestForensicWorkflow:
+    @pytest.fixture(scope="class")
+    def casework(self):
+        db = generate_database(800, 384, rng=21)
+        queries, members = generate_queries(db, 4, 4, rng=22, error_rate=0.01)
+        return db, queries, members
+
+    def test_identity_pipeline(self, casework):
+        db, queries, members = casework
+        result = identity_search(queries, db, device="Titan V")
+        # Perturbed member queries: nearest neighbour is still the
+        # true row, at small nonzero distance.
+        for qi in range(4):
+            best, dist = result.best_match(qi)
+            assert best == int(members[qi])
+            assert 0 <= dist <= 384 * 0.05
+        # Unrelated queries sit far from everything.
+        for qi in range(4, 8):
+            _, dist = result.best_match(qi)
+            assert dist > 384 * 0.05
+
+    def test_mixture_pipeline(self, casework):
+        db, _, _ = casework
+        contributors = db.profiles[100:103]
+        mixture = make_mixture(contributors)[None, :]
+        result = mixture_analysis(db.profiles[:200], mixture, device="Vega 64")
+        flagged = {r for r, _ in result.consistent_contributors(0)}
+        assert {100, 101, 102} <= flagged
+        # False-positive rate among non-contributors stays low.
+        assert len(flagged) < 40
+
+    def test_fastid_framework_reuse_over_growing_database(self, casework):
+        db, queries, _ = casework
+        fw = SNPComparisonFramework(GTX_980, Algorithm.FASTID_IDENTITY)
+        d_small, _ = fw.run(queries, db.profiles[:100])
+        d_large, _ = fw.run(queries, db.profiles)
+        assert (d_large[:, :100] == d_small).all()
+
+
+class TestDatasetToFrameworkBoundary:
+    def test_snpdataset_direct_use(self):
+        ds = SNPDataset(matrix=np.eye(8, 64, dtype=np.uint8))
+        result = linkage_disequilibrium(ds, device="GTX 980", compare="samples")
+        # Identity rows: diagonal 1, off-diagonal 0.
+        assert (np.diag(result.counts) == 1).all()
+        assert result.counts.sum() == 8

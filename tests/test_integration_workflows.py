@@ -1,0 +1,147 @@
+"""Cross-cutting integration tests: the extension layers working together."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.config import Algorithm
+from repro.core.streaming import StreamingIdentitySearch
+from repro.multigpu import QUAD_GTX980, run_multi_gpu
+from repro.snp.forensic import make_mixture
+from repro.snp.io import save_database_npz, save_dataset_npz
+from repro.snp.kinship import ibs_matrix
+from repro.snp.panels import FORENSIC_EXTENDED, GWAS_ARRAY, PanelSpec
+from repro.snp.pedigree import Pedigree
+from repro.snp.popstats import gene_diversity, hudson_fst
+from repro.snp.significance import random_match_probability
+from repro.snp.vcf import read_vcf, write_vcf
+from repro.sparse.auto import auto_comparison
+from repro.snp.dataset import SNPDataset
+from repro.snp.stats import ld_counts_naive
+
+
+class TestForensicCaseworkPipeline:
+    """Panel -> database -> streaming search -> statistics, end to end."""
+
+    @pytest.fixture(scope="class")
+    def case(self):
+        panel = PanelSpec(
+            name="case-panel", description="test", n_sites=256,
+            maf_alpha=3.0, maf_beta=3.0,
+        )
+        db = panel.database(2000, rng=0)
+        rng = np.random.default_rng(1)
+        suspect = db.profiles[777].copy()
+        flips = rng.choice(256, size=3, replace=False)
+        suspect[flips] ^= 1  # degraded sample
+        return panel, db, suspect
+
+    def test_streaming_finds_degraded_suspect(self, case):
+        _, db, suspect = case
+        stream = StreamingIdentitySearch(suspect[None, :], k=3, device="GTX 980")
+        for start in range(0, db.n_profiles, 512):
+            stream.add_batch(db.profiles[start : start + 512])
+        best = stream.best(0)
+        assert best.database_index == 777
+        assert best.distance == 3
+
+    def test_match_is_statistically_meaningful(self, case):
+        _, db, _ = case
+        # The hit at distance 3 must be far below random-match levels.
+        rmp = random_match_probability(db.frequencies, max_distance=3)
+        expected_false_hits = rmp * db.n_profiles
+        assert expected_false_hits < 1e-6
+
+    def test_mixture_screen_on_same_panel(self, case):
+        _, db, _ = case
+        from repro.core.mixture import mixture_analysis
+
+        mixture = make_mixture(db.profiles[[10, 20, 30]])[None, :]
+        result = mixture_analysis(db.profiles[:100], mixture, device="Vega 64")
+        flagged = {r for r, _ in result.consistent_contributors(0)}
+        assert {10, 20, 30} <= flagged
+
+    def test_family_in_database_flagged_by_kinship(self, case):
+        _, db, _ = case
+        ped = Pedigree(frequencies=db.frequencies, rng=5)
+        mom = ped.add_founder()
+        dad = ped.add_founder()
+        kid = ped.add_child(mom, dad)
+        cohort = np.vstack([db.profiles[:30], ped.matrix()])
+        result = ibs_matrix(cohort, device="Titan V")
+        pairs = {frozenset(p[:2]) for p in result.related_pairs(min_excess=0.04)}
+        assert frozenset({30 + mom, 30 + kid}) in pairs
+
+
+class TestPopulationStudyPipeline:
+    """Panels -> cohorts -> LD + popstats + sparse auto-selection."""
+
+    def test_gwas_panel_workflow(self):
+        panel = PanelSpec(
+            name="mini-gwas", description="test", n_sites=400,
+            maf_alpha=GWAS_ARRAY.maf_alpha, maf_beta=GWAS_ARRAY.maf_beta,
+            block_size=20, founders_per_block=4,
+        )
+        pooled = panel.population(300, rng=2)
+        # Two cohorts sampled from one population: near-zero Fst.
+        cohort_a = pooled.matrix[:150]
+        cohort_b = pooled.matrix[150:]
+        fst_same, _ = hudson_fst(cohort_a, cohort_b)
+        assert abs(fst_same) < 0.05
+        assert gene_diversity(cohort_a) > 0.05
+        # Independently generated populations (their own frequency
+        # draws and founder haplotypes) differentiate strongly.
+        other = panel.population(150, rng=3)
+        fst_diff, _ = hudson_fst(cohort_a, other.matrix)
+        assert fst_diff > fst_same + 0.05
+
+    def test_sparse_auto_on_rare_panel_matches_framework(self):
+        panel = PanelSpec(
+            name="rare", description="test", n_sites=600,
+            maf_alpha=0.3, maf_beta=12.0,
+        )
+        ds = panel.population(40, rng=4)
+        table, choice = auto_comparison(ds.matrix, op="and")
+        assert choice.representation == "sparse"
+        assert (table == ld_counts_naive(ds.matrix)).all()
+
+    def test_multigpu_agrees_with_streaming_totals(self):
+        panel = FORENSIC_EXTENDED
+        db = panel.database(3000, rng=6)
+        queries = db.profiles[:4]
+        table, _ = run_multi_gpu(
+            QUAD_GTX980, Algorithm.FASTID_IDENTITY, queries, db.profiles
+        )
+        stream = StreamingIdentitySearch(queries, k=1, device="GTX 980")
+        stream.add_batch(db.profiles)
+        for qi in range(4):
+            assert stream.best(qi).distance == int(table[qi].min())
+
+
+class TestFileFormatInterop:
+    """VCF -> dataset -> CLI analysis over the same data."""
+
+    def test_vcf_to_cli_ld(self, tmp_path, capsys):
+        from repro.snp.generator import PopulationModel, generate_population
+
+        ds = generate_population(PopulationModel(20, 30), rng=7)
+        vcf_path = tmp_path / "cohort.vcf"
+        write_vcf(vcf_path, ds)
+        loaded = read_vcf(vcf_path)
+        npz_path = tmp_path / "cohort.npz"
+        save_dataset_npz(npz_path, loaded)
+        assert cli_main(["ld", "--input", str(npz_path), "--device", "GTX 980"]) == 0
+        assert "mean r2" in capsys.readouterr().out
+
+    def test_vcf_database_identity_search(self, tmp_path, capsys):
+        from repro.snp.forensic import generate_database
+
+        db = generate_database(60, 64, rng=8)
+        db_path = tmp_path / "db.npz"
+        save_database_npz(db_path, db)
+        q_path = tmp_path / "q.npz"
+        save_dataset_npz(q_path, SNPDataset(matrix=db.profiles[:2].copy()))
+        assert cli_main(
+            ["identity", "--queries", str(q_path), "--database", str(db_path)]
+        ) == 0
+        assert "matches" in capsys.readouterr().out

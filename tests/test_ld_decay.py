@@ -1,0 +1,130 @@
+"""Tests for repro.snp.ld_decay."""
+
+import numpy as np
+import pytest
+
+from repro.core.ld import linkage_disequilibrium
+from repro.errors import DatasetError
+from repro.snp.generator import PopulationModel, generate_population
+from repro.snp.ld_decay import (
+    DecayCurve,
+    detect_blocks,
+    half_decay_distance,
+    ld_decay_curve,
+)
+from repro.snp.stats import ld_r_squared
+
+
+@pytest.fixture(scope="module")
+def blocked_r2():
+    ds = generate_population(
+        PopulationModel(
+            n_samples=600, n_sites=120, block_size=12, founders_per_block=3,
+            maf_alpha=5.0, maf_beta=5.0, recombination_noise=0.0,
+        ),
+        rng=0,
+    )
+    return ld_r_squared(ds.matrix.T)
+
+
+class TestDecayCurve:
+    def test_basic_shape(self, blocked_r2):
+        curve = ld_decay_curve(blocked_r2)
+        assert curve.distances[0] == 1
+        assert curve.distances[-1] == 119
+        assert (curve.pair_counts > 0).all()
+
+    def test_pair_counts_exact(self):
+        ld = np.eye(5)
+        curve = ld_decay_curve(ld)
+        # Distance d has 5-d pairs.
+        assert curve.pair_counts.tolist() == [4, 3, 2, 1]
+
+    def test_decays_with_distance_in_blocked_population(self, blocked_r2):
+        curve = ld_decay_curve(blocked_r2, max_distance=40)
+        short = curve.mean_ld[curve.distances <= 4].mean()
+        long = curve.mean_ld[curve.distances >= 20].mean()
+        assert short > long + 0.05
+
+    def test_custom_positions(self):
+        ld = np.array([[1.0, 0.5], [0.5, 1.0]])
+        curve = ld_decay_curve(ld, positions=np.array([100, 400]))
+        assert curve.distances.tolist() == [300]
+        assert curve.mean_ld[0] == 0.5
+
+    def test_max_distance_truncates(self, blocked_r2):
+        curve = ld_decay_curve(blocked_r2, max_distance=10)
+        assert curve.distances.max() <= 10
+
+    def test_empty_and_single_site(self):
+        assert ld_decay_curve(np.zeros((1, 1))).distances.size == 0
+        assert ld_decay_curve(np.zeros((0, 0))).distances.size == 0
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            ld_decay_curve(np.zeros((2, 3)))
+        with pytest.raises(DatasetError):
+            ld_decay_curve(np.zeros((3, 3)), positions=np.array([3, 2, 1]))
+        with pytest.raises(DatasetError):
+            ld_decay_curve(np.zeros((3, 3)), positions=np.array([1, 2]))
+        with pytest.raises(DatasetError):
+            DecayCurve(
+                distances=np.zeros(2), mean_ld=np.zeros(3),
+                pair_counts=np.zeros(2),
+            )
+
+
+class TestHalfDecay:
+    def test_half_distance_within_block_scale(self, blocked_r2):
+        curve = ld_decay_curve(blocked_r2)
+        half = half_decay_distance(curve)
+        # LD halves somewhere on the block length scale (12 sites).
+        assert half is not None
+        assert 1 <= half <= 24
+
+    def test_no_decay_returns_none(self):
+        ld = np.ones((6, 6))
+        assert half_decay_distance(ld_decay_curve(ld)) is None
+
+    def test_empty_curve(self):
+        assert half_decay_distance(ld_decay_curve(np.zeros((1, 1)))) is None
+
+
+class TestDetectBlocks:
+    def test_recovers_planted_blocks(self, blocked_r2):
+        blocks = detect_blocks(blocked_r2)
+        boundaries = {stop for _, stop in blocks[:-1]}
+        planted = set(range(12, 120, 12))
+        # Most planted boundaries recovered within one site of truth
+        # (windowed scores smear by up to one position); few spurious.
+        hits = sum(
+            1 for b in boundaries if min(abs(b - p) for p in planted) <= 1
+        )
+        spurious = sum(
+            1 for b in boundaries if min(abs(b - p) for p in planted) > 1
+        )
+        assert hits >= 6
+        assert spurious <= 4
+
+    def test_blocks_partition_sites(self, blocked_r2):
+        blocks = detect_blocks(blocked_r2)
+        covered = [i for s, e in blocks for i in range(s, e)]
+        assert covered == list(range(blocked_r2.shape[0]))
+
+    def test_uniform_ld_single_block(self):
+        ld = np.ones((8, 8))
+        assert detect_blocks(ld, threshold=0.5) == [(0, 8)]
+
+    def test_degenerate_sizes(self):
+        assert detect_blocks(np.zeros((0, 0))) == []
+        assert detect_blocks(np.ones((1, 1))) == [(0, 1)]
+
+    def test_framework_integration(self):
+        # The decay analysis consumes the GPU framework's LD output.
+        ds = generate_population(
+            PopulationModel(200, 60, block_size=10, founders_per_block=2,
+                            maf_alpha=4.0, maf_beta=4.0), rng=1
+        )
+        result = linkage_disequilibrium(ds, device="GTX 980", compare="sites")
+        curve = ld_decay_curve(result.r_squared)
+        assert curve.mean_ld[0] > curve.mean_ld[-1]

@@ -1,0 +1,122 @@
+"""Tests for repro.snp.pedigree and its interplay with the kinship screen."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.snp.kinship import ibs_matrix
+from repro.snp.pedigree import Pedigree, expected_ibs
+
+
+@pytest.fixture
+def freqs():
+    rng = np.random.default_rng(0)
+    return np.clip(rng.beta(2, 3, size=800), 0.05, 0.5)
+
+
+def build_family(freqs, seed=1):
+    ped = Pedigree(frequencies=freqs, rng=seed)
+    mom = ped.add_founder()
+    dad = ped.add_founder()
+    kid1 = ped.add_child(mom, dad)
+    kid2 = ped.add_child(mom, dad)
+    stranger = ped.add_founder()
+    return ped, (mom, dad, kid1, kid2, stranger)
+
+
+class TestPedigree:
+    def test_founder_frequencies(self, freqs):
+        ped = Pedigree(frequencies=freqs, rng=2)
+        for _ in range(300):
+            ped.add_founder()
+        observed = ped.matrix().mean(axis=0)
+        assert np.abs(observed - freqs).mean() < 0.03
+
+    def test_relationship_records(self, freqs):
+        ped, (mom, dad, kid1, kid2, stranger) = build_family(freqs)
+        assert ped.relationship(mom, kid1) == "parent-child"
+        assert ped.relationship(kid1, dad) == "parent-child"
+        assert ped.relationship(kid1, kid2) == "siblings"
+        assert ped.relationship(mom, dad) == "unrelated"
+        assert ped.relationship(stranger, kid1) == "unrelated"
+        assert ped.relationship(kid1, kid1) == "self"
+
+    def test_unknown_parent_rejected(self, freqs):
+        ped = Pedigree(frequencies=freqs)
+        ped.add_founder()
+        with pytest.raises(DatasetError):
+            ped.add_child(0, 5)
+
+    def test_invalid_frequencies_rejected(self):
+        with pytest.raises(DatasetError):
+            Pedigree(frequencies=np.array([1.5]))
+        with pytest.raises(DatasetError):
+            Pedigree(frequencies=np.zeros((2, 2)))
+
+    def test_matrix_shape(self, freqs):
+        ped, _ = build_family(freqs)
+        assert ped.matrix().shape == (5, freqs.size)
+
+    def test_empty_matrix(self, freqs):
+        ped = Pedigree(frequencies=freqs)
+        assert ped.matrix().shape == (0, freqs.size)
+
+    def test_deterministic_with_seed(self, freqs):
+        a = build_family(freqs, seed=9)[0].matrix()
+        b = build_family(freqs, seed=9)[0].matrix()
+        assert (a == b).all()
+
+
+class TestKinshipOrdering:
+    """The IBS ordering the screen must recover: kin > unrelated."""
+
+    def test_parent_child_ibs_above_unrelated(self, freqs):
+        # Average over several families to beat sampling noise.
+        kin_vals, unrelated_vals = [], []
+        for seed in range(6):
+            ped, (mom, dad, kid1, kid2, stranger) = build_family(freqs, seed)
+            result = ibs_matrix(ped.matrix(), device="GTX 980")
+            kin_vals += [result.ibs[mom, kid1], result.ibs[dad, kid1],
+                         result.ibs[kid1, kid2]]
+            unrelated_vals += [result.ibs[mom, dad], result.ibs[stranger, kid1]]
+        assert np.mean(kin_vals) > np.mean(unrelated_vals) + 0.03
+
+    def test_expected_ibs_matches_simulation(self, freqs):
+        sim_unrelated, sim_kin = [], []
+        for seed in range(8):
+            ped, (mom, dad, kid1, _, stranger) = build_family(freqs, seed + 100)
+            result = ibs_matrix(ped.matrix(), device="Titan V")
+            sim_unrelated.append(result.ibs[mom, dad])
+            sim_kin.append(result.ibs[mom, kid1])
+        assert np.mean(sim_unrelated) == pytest.approx(
+            expected_ibs(freqs, "unrelated"), abs=0.02
+        )
+        assert np.mean(sim_kin) == pytest.approx(
+            expected_ibs(freqs, "parent-child"), abs=0.03
+        )
+
+    def test_expected_ibs_ordering(self, freqs):
+        assert (
+            expected_ibs(freqs, "self")
+            > expected_ibs(freqs, "parent-child")
+            > expected_ibs(freqs, "unrelated")
+        )
+
+    def test_screen_flags_family_not_strangers(self, freqs):
+        ped, (mom, dad, kid1, kid2, stranger) = build_family(freqs, seed=42)
+        # Extra unrelated noise individuals.
+        for _ in range(10):
+            ped.add_founder()
+        result = ibs_matrix(ped.matrix(), device="Vega 64")
+        margin = (
+            expected_ibs(freqs, "parent-child")
+            - expected_ibs(freqs, "unrelated")
+        ) / 2
+        flagged = {frozenset(p[:2]) for p in result.related_pairs(min_excess=margin)}
+        assert frozenset({mom, kid1}) in flagged
+        assert frozenset({dad, kid2}) in flagged
+        assert frozenset({mom, dad}) not in flagged
+
+    def test_unknown_relationship_rejected(self, freqs):
+        with pytest.raises(DatasetError):
+            expected_ibs(freqs, "cousins")

@@ -1,0 +1,93 @@
+"""Property-based tests for the bit-manipulation primitives."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.util.bitops import (
+    pack_bits,
+    popcount,
+    popcount_native,
+    popcount_table,
+    unpack_bits,
+    words_needed,
+    HAS_NATIVE_POPCOUNT,
+)
+
+bit_matrices = hnp.arrays(
+    dtype=np.uint8,
+    shape=st.tuples(st.integers(0, 12), st.integers(0, 150)),
+    elements=st.integers(0, 1),
+)
+
+word_arrays_u32 = hnp.arrays(
+    dtype=np.uint32,
+    shape=st.integers(0, 64),
+    elements=st.integers(0, 2**32 - 1),
+)
+
+word_arrays_u64 = hnp.arrays(
+    dtype=np.uint64,
+    shape=st.integers(0, 64),
+    elements=st.integers(0, 2**64 - 1),
+)
+
+
+class TestPopcountProperties:
+    @given(word_arrays_u32)
+    def test_table_equals_native_u32(self, words):
+        if HAS_NATIVE_POPCOUNT:
+            assert (popcount_table(words) == popcount_native(words)).all()
+
+    @given(word_arrays_u64)
+    def test_table_equals_native_u64(self, words):
+        if HAS_NATIVE_POPCOUNT:
+            assert (popcount_table(words) == popcount_native(words)).all()
+
+    @given(word_arrays_u32)
+    def test_popcount_bounds(self, words):
+        counts = popcount(words)
+        assert (counts >= 0).all()
+        assert (counts <= 32).all()
+
+    @given(word_arrays_u32)
+    def test_popcount_of_complement(self, words):
+        assert (popcount(words) + popcount(~words) == 32).all()
+
+    @given(word_arrays_u32, word_arrays_u32)
+    def test_and_xor_decomposition(self, a, b):
+        """popc(a) + popc(b) == popc(a & b) * 2 + popc(a ^ b)."""
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        lhs = popcount(a) + popcount(b)
+        rhs = 2 * popcount(a & b) + popcount(a ^ b)
+        assert (lhs == rhs).all()
+
+
+class TestPackProperties:
+    @settings(max_examples=60)
+    @given(bit_matrices, st.sampled_from([8, 16, 32, 64]))
+    def test_roundtrip(self, bits, word_bits):
+        packed = pack_bits(bits, word_bits)
+        assert packed.shape == (bits.shape[0], words_needed(bits.shape[1], word_bits))
+        recovered = unpack_bits(packed, bits.shape[1]) if bits.shape[1] else bits
+        assert (recovered == bits).all()
+
+    @settings(max_examples=60)
+    @given(bit_matrices)
+    def test_popcount_invariant(self, bits):
+        packed = pack_bits(bits, 32)
+        row_counts = popcount(packed).sum(axis=1) if packed.size else np.zeros(bits.shape[0])
+        assert (row_counts == bits.sum(axis=1)).all()
+
+    @settings(max_examples=40)
+    @given(bit_matrices)
+    def test_packing_linear_in_or(self, bits):
+        """pack(a) | pack(b) == pack(a | b) for aligned matrices."""
+        if bits.shape[0] < 2:
+            return
+        a, b = bits[:1], bits[1:2]
+        pa, pb = pack_bits(a, 32), pack_bits(b, 32)
+        pab = pack_bits(np.bitwise_or(a, b), 32)
+        assert (np.bitwise_or(pa, pb) == pab).all()

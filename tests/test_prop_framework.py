@@ -1,0 +1,133 @@
+"""Property-based tests on the framework and model invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.blis.blocking import BlockingPlan
+from repro.core.config import Algorithm
+from repro.core.packing import crop_result, pack_operand
+from repro.core.planner import derive_config
+from repro.gpu.arch import ALL_GPUS, GTX_980
+from repro.gpu.cycles import kernel_cycles
+from repro.snp.stats import ld_counts_naive
+from repro.util.bitops import unpack_bits
+
+bit_matrices = hnp.arrays(
+    dtype=np.uint8,
+    shape=st.tuples(st.integers(1, 10), st.integers(1, 100)),
+    elements=st.integers(0, 1),
+)
+
+
+class TestPackOperandProperties:
+    @settings(max_examples=50)
+    @given(bit_matrices, st.sampled_from([1, 2, 4, 8]))
+    def test_padding_invariants(self, bits, row_multiple):
+        op = pack_operand(bits, word_bits=32, row_multiple=row_multiple)
+        assert op.padded_rows % row_multiple == 0
+        assert op.padded_rows >= bits.shape[0]
+        assert op.n_rows == bits.shape[0]
+        # Valid rows roundtrip; padding rows are all-zero words.
+        assert (unpack_bits(op.words[: op.n_rows], op.n_bits) == bits).all()
+        assert (op.words[op.n_rows :] == 0).all()
+
+    @settings(max_examples=50)
+    @given(bit_matrices)
+    def test_negation_involution(self, bits):
+        op1 = pack_operand(bits, negate=True)
+        # Negating the already-negated data returns the original words.
+        op2 = pack_operand(1 - bits, negate=True)
+        plain = pack_operand(bits)
+        assert (op2.words[: op2.n_rows] == plain.words[: plain.n_rows]).all()
+        assert op1.negated and op2.negated
+
+    @settings(max_examples=50)
+    @given(bit_matrices, bit_matrices)
+    def test_crop_result_shape(self, a_bits, b_bits):
+        a = pack_operand(a_bits, row_multiple=4)
+        b = pack_operand(b_bits, row_multiple=4)
+        table = np.zeros((a.padded_rows, b.padded_rows))
+        cropped = crop_result(table, a, b)
+        assert cropped.shape == (a_bits.shape[0], b_bits.shape[0])
+
+
+class TestCycleModelProperties:
+    plans = st.builds(
+        lambda m, n, k, grid: BlockingPlan(
+            m=m, n=n, k=k, m_c=32, k_c=128, m_r=4, n_r=384,
+            grid_rows=grid[0], grid_cols=grid[1],
+        ),
+        m=st.integers(1, 4096),
+        n=st.integers(1, 4096),
+        k=st.integers(1, 512),
+        grid=st.sampled_from([(1, 1), (2, 2), (4, 4), (1, 16), (16, 1)]),
+    )
+
+    @settings(max_examples=60)
+    @given(plans)
+    def test_efficiency_in_unit_interval(self, plan):
+        b = kernel_cycles(GTX_980, plan)
+        assert 0 < b.efficiency <= 1.0
+
+    @settings(max_examples=60)
+    @given(plans)
+    def test_total_at_least_ideal(self, plan):
+        b = kernel_cycles(GTX_980, plan)
+        assert b.total_cycles >= b.ideal_cycles
+
+    @settings(max_examples=30)
+    @given(st.integers(1, 2000), st.integers(1, 256))
+    def test_more_work_never_faster(self, n, k):
+        plan_small = BlockingPlan(
+            m=64, n=n, k=k, m_c=32, k_c=128, m_r=4, n_r=384,
+            grid_rows=1, grid_cols=16,
+        )
+        plan_big = BlockingPlan(
+            m=64, n=n * 2, k=k, m_c=32, k_c=128, m_r=4, n_r=384,
+            grid_rows=1, grid_cols=16,
+        )
+        t_small = kernel_cycles(GTX_980, plan_small).seconds
+        t_big = kernel_cycles(GTX_980, plan_big).seconds
+        # Tile quantization (n_r-unit core splits) makes the model only
+        # monotone up to sub-percent boundary effects, as on silicon.
+        assert t_big >= t_small * 0.98
+
+
+class TestFrameworkRoundtrip:
+    @settings(max_examples=10, deadline=None)
+    @given(bit_matrices)
+    def test_ld_matches_oracle_on_random_inputs(self, bits):
+        from repro.core.framework import SNPComparisonFramework
+
+        fw = SNPComparisonFramework(GTX_980, Algorithm.LD)
+        counts, _ = fw.run(bits)
+        assert (counts == ld_counts_naive(bits)).all()
+
+    def test_all_devices_agree_bitwise(self):
+        rng = np.random.default_rng(0)
+        bits = (rng.random((12, 96)) < 0.5).astype(np.uint8)
+        results = []
+        from repro.core.framework import SNPComparisonFramework
+
+        for arch in ALL_GPUS:
+            fw = SNPComparisonFramework(arch, Algorithm.LD)
+            counts, _ = fw.run(bits)
+            results.append(counts)
+        assert (results[0] == results[1]).all()
+        assert (results[1] == results[2]).all()
+
+
+class TestPlannerProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from(ALL_GPUS), st.sampled_from(list(Algorithm)))
+    def test_derived_configs_always_compile(self, arch, algorithm):
+        from repro.gpu.kernel import SnpKernel
+
+        cfg = derive_config(arch, algorithm)
+        kernel = SnpKernel.compile(
+            arch, cfg.op, m_c=cfg.m_c, m_r=cfg.m_r, k_c=cfg.k_c, n_r=cfg.n_r,
+            grid_rows=cfg.grid_rows, grid_cols=cfg.grid_cols,
+        )
+        assert kernel.n_cores <= arch.n_c

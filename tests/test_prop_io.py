@@ -1,0 +1,85 @@
+"""Property-based round-trip tests for every persistence format."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.snp.dataset import SNPDataset
+from repro.snp.io import (
+    load_dataset_npz,
+    read_snptxt,
+    save_dataset_npz,
+    write_snptxt,
+)
+from repro.snp.vcf import read_vcf, write_vcf
+
+bit_matrices = hnp.arrays(
+    dtype=np.uint8,
+    shape=st.tuples(st.integers(1, 10), st.integers(0, 40)),
+    elements=st.integers(0, 1),
+)
+
+# Identifier alphabet safe for all three text formats.
+ids = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=8,
+)
+
+
+@st.composite
+def datasets(draw):
+    matrix = draw(bit_matrices)
+    n_samples, n_sites = matrix.shape
+    sample_ids = draw(
+        st.lists(ids, min_size=n_samples, max_size=n_samples, unique=True)
+    )
+    site_ids = draw(st.lists(ids, min_size=n_sites, max_size=n_sites, unique=True))
+    return SNPDataset(matrix=matrix, sample_ids=sample_ids, site_ids=site_ids)
+
+
+class TestRoundTrips:
+    @settings(max_examples=30, deadline=None)
+    @given(datasets())
+    def test_npz(self, tmp_path_factory, dataset):
+        path = tmp_path_factory.mktemp("npz") / "d.npz"
+        save_dataset_npz(path, dataset)
+        loaded = load_dataset_npz(path)
+        assert (loaded.matrix == dataset.matrix).all()
+        assert loaded.sample_ids == dataset.sample_ids
+        assert loaded.site_ids == dataset.site_ids
+
+    @settings(max_examples=30, deadline=None)
+    @given(datasets())
+    def test_snptxt(self, tmp_path_factory, dataset):
+        path = tmp_path_factory.mktemp("txt") / "d.snptxt"
+        write_snptxt(path, dataset)
+        loaded = read_snptxt(path)
+        assert (loaded.matrix == dataset.matrix).all()
+        assert loaded.sample_ids == dataset.sample_ids
+        assert loaded.site_ids == dataset.site_ids
+
+    @settings(max_examples=30, deadline=None)
+    @given(datasets())
+    def test_vcf(self, tmp_path_factory, dataset):
+        path = tmp_path_factory.mktemp("vcf") / "d.vcf"
+        write_vcf(path, dataset)
+        loaded = read_vcf(path)
+        assert (loaded.matrix == dataset.matrix).all()
+        assert loaded.sample_ids == dataset.sample_ids
+        assert loaded.site_ids == dataset.site_ids
+
+    @settings(max_examples=20, deadline=None)
+    @given(datasets())
+    def test_format_cross_agreement(self, tmp_path_factory, dataset):
+        """All three formats reload to the same dataset."""
+        base = tmp_path_factory.mktemp("cross")
+        save_dataset_npz(base / "d.npz", dataset)
+        write_snptxt(base / "d.snptxt", dataset)
+        write_vcf(base / "d.vcf", dataset)
+        a = load_dataset_npz(base / "d.npz")
+        b = read_snptxt(base / "d.snptxt")
+        c = read_vcf(base / "d.vcf")
+        assert (a.matrix == b.matrix).all()
+        assert (b.matrix == c.matrix).all()

@@ -1,0 +1,61 @@
+"""Tests for repro.selfcheck and its CLI wiring."""
+
+import pytest
+
+from repro.cli import main
+from repro.selfcheck import CheckResult, render_selfcheck, run_selfcheck
+
+
+class TestBattery:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_selfcheck()
+
+    def test_all_checks_pass(self, results):
+        failed = [r for r in results if not r.passed]
+        assert not failed, failed
+
+    def test_expected_check_names(self, results):
+        names = {r.name for r in results}
+        assert names == {
+            "functional agreement",
+            "estimator == functional timing",
+            "microbenchmark recovery",
+            "Table II regeneration",
+            "Fig. 5 efficiency endpoints",
+        }
+
+    def test_details_populated(self, results):
+        assert all(r.detail for r in results)
+
+
+class TestRendering:
+    def test_render_pass_and_fail(self):
+        results = [
+            CheckResult("alpha", True, "fine"),
+            CheckResult("beta", False, "broken"),
+        ]
+        text = render_selfcheck(results)
+        assert "[PASS] alpha" in text
+        assert "[FAIL] beta" in text
+        assert "1/2 checks passed" in text
+
+    def test_exceptions_become_failures(self, monkeypatch):
+        import repro.selfcheck as sc
+
+        def boom():
+            raise RuntimeError("injected")
+
+        boom.__name__ = "_check_injected_failure"
+        monkeypatch.setattr(sc, "_CHECKS", (boom,))
+        results = sc.run_selfcheck()
+        assert len(results) == 1
+        assert not results[0].passed
+        assert "injected" in results[0].detail
+
+
+class TestCliVerify:
+    def test_verify_exit_zero(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "5/5 checks passed" in out

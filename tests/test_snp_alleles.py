@@ -1,0 +1,80 @@
+"""Tests for repro.snp.alleles: genotype encoding and reduction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.snp.alleles import (
+    GENOTYPE_HETEROZYGOUS,
+    GENOTYPE_HOMOZYGOUS_MAJOR,
+    GENOTYPE_HOMOZYGOUS_MINOR,
+    GENOTYPE_MISSING,
+    encode_genotypes,
+    minor_allele_frequencies,
+    minor_allele_presence,
+)
+
+
+class TestEncodeGenotypes:
+    def test_copy_counts_map_to_codes(self):
+        copies = np.array([0, 1, 2])
+        codes = encode_genotypes(copies)
+        assert codes.tolist() == [
+            GENOTYPE_HOMOZYGOUS_MAJOR,
+            GENOTYPE_HETEROZYGOUS,
+            GENOTYPE_HOMOZYGOUS_MINOR,
+        ]
+
+    def test_negative_means_missing(self):
+        assert encode_genotypes(np.array([-1])).tolist() == [GENOTYPE_MISSING]
+
+    def test_too_many_copies_rejected(self):
+        with pytest.raises(DatasetError):
+            encode_genotypes(np.array([3]))
+
+    def test_dtype_is_uint8(self):
+        assert encode_genotypes(np.array([0, 1])).dtype == np.uint8
+
+
+class TestMinorAllelePresence:
+    def test_reduction_semantics(self):
+        codes = np.array(
+            [
+                GENOTYPE_HOMOZYGOUS_MAJOR,
+                GENOTYPE_HETEROZYGOUS,
+                GENOTYPE_HOMOZYGOUS_MINOR,
+                GENOTYPE_MISSING,
+            ]
+        )
+        # Presence iff at least one minor copy; missing conservatively 0.
+        assert minor_allele_presence(codes).tolist() == [0, 1, 1, 0]
+
+    def test_invalid_codes_rejected(self):
+        with pytest.raises(DatasetError):
+            minor_allele_presence(np.array([4]))
+
+    def test_2d_shape_preserved(self):
+        codes = np.full((3, 5), GENOTYPE_HETEROZYGOUS)
+        out = minor_allele_presence(codes)
+        assert out.shape == (3, 5)
+        assert (out == 1).all()
+
+
+class TestMinorAlleleFrequencies:
+    def test_basic_frequency(self):
+        # 4 samples x 1 site: copies 0,1,2,2 -> 5/8 alleles minor.
+        g = np.array([[0], [1], [2], [2]])
+        assert minor_allele_frequencies(g)[0] == pytest.approx(5 / 8)
+
+    def test_missing_excluded(self):
+        g = np.array([[GENOTYPE_MISSING], [2]])
+        # One informative sample with 2/2 minor alleles.
+        assert minor_allele_frequencies(g)[0] == pytest.approx(1.0)
+
+    def test_all_missing_gives_zero(self):
+        g = np.full((3, 2), GENOTYPE_MISSING)
+        assert (minor_allele_frequencies(g) == 0).all()
+
+    def test_requires_2d(self):
+        with pytest.raises(DatasetError):
+            minor_allele_frequencies(np.array([0, 1]))

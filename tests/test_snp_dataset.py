@@ -1,0 +1,89 @@
+"""Tests for repro.snp.dataset.SNPDataset."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.snp.dataset import SNPDataset
+
+
+def make(matrix=None, **kwargs):
+    if matrix is None:
+        matrix = np.array([[0, 1, 0], [1, 1, 0]], dtype=np.uint8)
+    return SNPDataset(matrix=matrix, **kwargs)
+
+
+class TestConstruction:
+    def test_shapes_and_defaults(self):
+        ds = make()
+        assert ds.n_samples == 2
+        assert ds.n_sites == 3
+        assert ds.sample_ids == ["sample_0000", "sample_0001"]
+        assert ds.site_ids == ["rs0", "rs1", "rs2"]
+
+    def test_bool_matrix_converted(self):
+        ds = make(np.array([[True, False]]))
+        assert ds.matrix.dtype == np.uint8
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(DatasetError):
+            make(np.array([[0, 2]], dtype=np.uint8))
+
+    def test_non_binary_int_rejected(self):
+        with pytest.raises(DatasetError):
+            make(np.array([[0, 5]], dtype=np.int64))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(DatasetError):
+            make(np.zeros(4))
+
+    def test_id_length_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            make(sample_ids=["only_one"])
+        with pytest.raises(DatasetError):
+            make(site_ids=["a"])
+
+    def test_repr_mentions_shape(self):
+        assert "n_samples=2" in repr(make())
+
+
+class TestOperations:
+    def test_minor_allele_frequency(self):
+        ds = make()
+        assert ds.minor_allele_frequency().tolist() == [0.5, 1.0, 0.0]
+
+    def test_subset_samples(self):
+        ds = make()
+        sub = ds.subset_samples([1])
+        assert sub.n_samples == 1
+        assert sub.sample_ids == ["sample_0001"]
+        assert (sub.matrix == ds.matrix[1:2]).all()
+
+    def test_subset_sites(self):
+        ds = make()
+        sub = ds.subset_sites([2, 0])
+        assert sub.site_ids == ["rs2", "rs0"]
+        assert (sub.matrix == ds.matrix[:, [2, 0]]).all()
+
+    def test_subset_returns_copy(self):
+        ds = make()
+        sub = ds.subset_samples([0])
+        sub.matrix[0, 0] = 1
+        assert ds.matrix[0, 0] == 0
+
+    def test_concat_samples(self):
+        a = make()
+        b = make()
+        both = a.concat_samples(b)
+        assert both.n_samples == 4
+        assert both.n_sites == 3
+
+    def test_concat_mismatched_sites_rejected(self):
+        a = make()
+        b = SNPDataset(matrix=np.zeros((1, 5), dtype=np.uint8))
+        with pytest.raises(DatasetError):
+            a.concat_samples(b)
+
+    def test_empty_dataset_frequency(self):
+        ds = SNPDataset(matrix=np.zeros((0, 4), dtype=np.uint8))
+        assert ds.minor_allele_frequency().shape == (4,)

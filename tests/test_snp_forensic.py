@@ -1,0 +1,120 @@
+"""Tests for repro.snp.forensic: databases, queries, mixtures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.snp.forensic import (
+    ForensicDatabase,
+    generate_database,
+    generate_queries,
+    make_mixture,
+    perturb_profile,
+)
+
+
+class TestForensicDatabase:
+    def test_construction(self):
+        db = generate_database(100, 64, rng=0)
+        assert db.n_profiles == 100
+        assert db.n_sites == 64
+        assert db.frequencies.shape == (64,)
+
+    def test_frequency_shape_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            ForensicDatabase(
+                profiles=np.zeros((3, 4), dtype=np.uint8),
+                frequencies=np.zeros(5),
+            )
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(DatasetError):
+            ForensicDatabase(profiles=np.zeros(4, dtype=np.uint8), frequencies=np.zeros(4))
+
+    def test_invalid_shape_args_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_database(0, 10)
+
+    def test_common_variant_spectrum(self):
+        db = generate_database(5000, 200, rng=1)
+        observed = db.profiles.mean(axis=0)
+        # Forensic panels use common variants: clamped to [0.05, 0.5].
+        assert observed.mean() > 0.1
+
+
+class TestGenerateQueries:
+    def test_member_queries_match_database(self):
+        db = generate_database(50, 128, rng=2)
+        queries, members = generate_queries(db, 5, 0, rng=3)
+        assert queries.shape == (5, 128)
+        for i, row in enumerate(members):
+            assert row >= 0
+            assert (queries[i] == db.profiles[row]).all()
+
+    def test_unrelated_marked_minus_one(self):
+        db = generate_database(50, 128, rng=2)
+        queries, members = generate_queries(db, 2, 3, rng=4)
+        assert (members[:2] >= 0).all()
+        assert (members[2:] == -1).all()
+
+    def test_unrelated_rarely_exact_match(self):
+        db = generate_database(200, 256, rng=5)
+        queries, members = generate_queries(db, 0, 10, rng=6)
+        diffs = (queries[:, None, :] != db.profiles[None, :, :]).sum(axis=2)
+        assert diffs.min() > 0  # 256 sites: collision probability ~ 0
+
+    def test_error_rate_perturbs(self):
+        db = generate_database(20, 512, rng=7)
+        q_clean, m = generate_queries(db, 3, 0, rng=8, error_rate=0.0)
+        rng = np.random.default_rng(8)
+        q_noisy, m2 = generate_queries(db, 3, 0, rng=9, error_rate=0.05)
+        mismatches = (q_noisy != db.profiles[m2]).sum()
+        assert 0 < mismatches < 3 * 512 * 0.15
+
+    def test_too_many_members_rejected(self):
+        db = generate_database(5, 16, rng=0)
+        with pytest.raises(DatasetError):
+            generate_queries(db, 6, 0)
+
+    def test_negative_counts_rejected(self):
+        db = generate_database(5, 16, rng=0)
+        with pytest.raises(DatasetError):
+            generate_queries(db, -1, 0)
+
+
+class TestPerturbProfile:
+    def test_zero_rate_is_identity(self):
+        rng = np.random.default_rng(0)
+        p = np.array([0, 1, 1, 0], dtype=np.uint8)
+        assert (perturb_profile(p, 0.0, rng) == p).all()
+
+    def test_full_rate_flips_everything(self):
+        rng = np.random.default_rng(0)
+        p = np.array([0, 1, 1, 0], dtype=np.uint8)
+        assert (perturb_profile(p, 1.0, rng) == 1 - p).all()
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(DatasetError):
+            perturb_profile(np.zeros(4, dtype=np.uint8), 1.5, np.random.default_rng(0))
+
+
+class TestMakeMixture:
+    def test_or_semantics(self):
+        contribs = np.array([[1, 0, 0], [0, 1, 0]], dtype=np.uint8)
+        assert (make_mixture(contribs) == [1, 1, 0]).all()
+
+    def test_contributor_contained(self):
+        rng = np.random.default_rng(1)
+        contribs = (rng.random((4, 100)) < 0.3).astype(np.uint8)
+        mix = make_mixture(contribs)
+        for c in contribs:
+            # Every minor allele of a contributor appears in the mixture.
+            assert (np.bitwise_and(c, 1 - mix) == 0).all()
+
+    def test_single_contributor_identity(self):
+        p = np.array([[1, 0, 1]], dtype=np.uint8)
+        assert (make_mixture(p) == p[0]).all()
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            make_mixture(np.zeros((0, 5), dtype=np.uint8))

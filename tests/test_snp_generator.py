@@ -1,0 +1,119 @@
+"""Tests for repro.snp.generator: synthetic populations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.snp.generator import (
+    PopulationModel,
+    generate_population,
+    generate_uniform_matrix,
+)
+from repro.snp.stats import ld_r_squared
+
+
+class TestPopulationModel:
+    def test_valid_defaults(self):
+        m = PopulationModel(n_samples=10, n_sites=20)
+        assert m.block_size == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_samples": 0, "n_sites": 10},
+            {"n_samples": 10, "n_sites": 0},
+            {"n_samples": 10, "n_sites": 10, "maf_floor": 0.6},
+            {"n_samples": 10, "n_sites": 10, "block_size": 0},
+            {"n_samples": 10, "n_sites": 10, "founders_per_block": 0},
+            {"n_samples": 10, "n_sites": 10, "recombination_noise": 1.5},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(DatasetError):
+            PopulationModel(**kwargs)
+
+
+class TestGeneratePopulation:
+    def test_shape_and_dtype(self):
+        ds = generate_population(PopulationModel(50, 80), rng=0)
+        assert ds.matrix.shape == (50, 80)
+        assert ds.matrix.dtype == np.uint8
+
+    def test_deterministic_with_seed(self):
+        model = PopulationModel(30, 40)
+        a = generate_population(model, rng=42).matrix
+        b = generate_population(model, rng=42).matrix
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        model = PopulationModel(30, 40)
+        a = generate_population(model, rng=1).matrix
+        b = generate_population(model, rng=2).matrix
+        assert (a != b).any()
+
+    def test_maf_respects_bounds(self):
+        model = PopulationModel(4000, 100, maf_floor=0.05)
+        ds = generate_population(model, rng=3)
+        maf = ds.matrix.mean(axis=0)
+        # Sampled frequencies should stay near the [floor, 0.5] band;
+        # allow sampling noise around the edges.
+        assert maf.max() < 0.65
+        assert maf.min() > 0.0
+
+    def test_rare_variant_heavy_spectrum(self):
+        ds = generate_population(PopulationModel(2000, 500), rng=4)
+        maf = ds.matrix.mean(axis=0)
+        # Beta(0.8, 4) puts most sites below 0.25.
+        assert (maf < 0.25).mean() > 0.5
+
+    def test_blocks_create_ld(self):
+        # Common-variant spectrum so founder haplotypes actually differ
+        # within blocks (rare variants leave blocks monomorphic).
+        blocked = generate_population(
+            PopulationModel(
+                400, 64, block_size=16, founders_per_block=2,
+                recombination_noise=0.0, maf_alpha=5.0, maf_beta=5.0,
+            ),
+            rng=5,
+        )
+        free = generate_population(
+            PopulationModel(400, 64, maf_alpha=5.0, maf_beta=5.0), rng=5
+        )
+
+        def mean_adjacent_r2(matrix):
+            r2 = ld_r_squared(matrix.T)
+            return np.mean([r2[i, i + 1] for i in range(0, 60, 2)])
+
+        assert mean_adjacent_r2(blocked.matrix) > mean_adjacent_r2(free.matrix) + 0.1
+
+    def test_accepts_generator_instance(self):
+        rng = np.random.default_rng(0)
+        ds = generate_population(PopulationModel(5, 5), rng=rng)
+        assert ds.n_samples == 5
+
+    def test_block_not_dividing_sites(self):
+        ds = generate_population(
+            PopulationModel(10, 25, block_size=10), rng=6
+        )
+        assert ds.matrix.shape == (10, 25)
+
+
+class TestGenerateUniformMatrix:
+    def test_density(self):
+        m = generate_uniform_matrix(500, 500, density=0.2, rng=0)
+        assert m.mean() == pytest.approx(0.2, abs=0.02)
+
+    def test_extreme_densities(self):
+        assert generate_uniform_matrix(10, 10, 0.0, rng=0).sum() == 0
+        assert generate_uniform_matrix(10, 10, 1.0, rng=0).sum() == 100
+
+    def test_zero_rows(self):
+        assert generate_uniform_matrix(0, 5, rng=0).shape == (0, 5)
+
+    def test_invalid_density_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_uniform_matrix(5, 5, density=1.5)
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_uniform_matrix(-1, 5)

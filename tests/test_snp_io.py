@@ -1,0 +1,121 @@
+"""Tests for repro.snp.io: NPZ and snptxt persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.snp.dataset import SNPDataset
+from repro.snp.forensic import generate_database
+from repro.snp.generator import PopulationModel, generate_population
+from repro.snp.io import (
+    load_database_npz,
+    load_dataset_npz,
+    read_snptxt,
+    save_database_npz,
+    save_dataset_npz,
+    write_snptxt,
+)
+
+
+@pytest.fixture
+def dataset():
+    return generate_population(PopulationModel(7, 45), rng=0)
+
+
+class TestDatasetNpz:
+    def test_roundtrip(self, tmp_path, dataset):
+        path = tmp_path / "ds.npz"
+        save_dataset_npz(path, dataset)
+        loaded = load_dataset_npz(path)
+        assert (loaded.matrix == dataset.matrix).all()
+        assert loaded.sample_ids == dataset.sample_ids
+        assert loaded.site_ids == dataset.site_ids
+
+    def test_non_word_aligned_sites(self, tmp_path):
+        ds = SNPDataset(matrix=np.eye(3, 13, dtype=np.uint8))
+        path = tmp_path / "odd.npz"
+        save_dataset_npz(path, ds)
+        assert (load_dataset_npz(path).matrix == ds.matrix).all()
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, wrong=np.zeros(3))
+        with pytest.raises(DatasetError):
+            load_dataset_npz(path)
+
+
+class TestDatabaseNpz:
+    def test_roundtrip(self, tmp_path):
+        db = generate_database(20, 33, rng=1)
+        path = tmp_path / "db.npz"
+        save_database_npz(path, db)
+        loaded = load_database_npz(path)
+        assert (loaded.profiles == db.profiles).all()
+        assert np.allclose(loaded.frequencies, db.frequencies)
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, nope=np.zeros(2))
+        with pytest.raises(DatasetError):
+            load_database_npz(path)
+
+
+class TestSnptxt:
+    def test_roundtrip(self, tmp_path, dataset):
+        path = tmp_path / "data.snptxt"
+        write_snptxt(path, dataset)
+        loaded = read_snptxt(path)
+        assert (loaded.matrix == dataset.matrix).all()
+        assert loaded.sample_ids == dataset.sample_ids
+        assert loaded.site_ids == dataset.site_ids
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "c.snptxt"
+        path.write_text(
+            "# repro snptxt v1\n"
+            "#samples: s0 s1\n"
+            "\n"
+            "# a comment\n"
+            "rs1 0 1\n"
+        )
+        ds = read_snptxt(path)
+        assert ds.n_samples == 2
+        assert ds.site_ids == ["rs1"]
+        assert ds.matrix.tolist() == [[0], [1]]
+
+    def test_missing_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.snptxt"
+        path.write_text("rs1 0 1\n")
+        with pytest.raises(DatasetError):
+            read_snptxt(path)
+
+    def test_missing_samples_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.snptxt"
+        path.write_text("# repro snptxt v1\nrs1 0 1\n")
+        with pytest.raises(DatasetError):
+            read_snptxt(path)
+
+    def test_non_binary_rejected(self, tmp_path):
+        path = tmp_path / "bad.snptxt"
+        path.write_text("# repro snptxt v1\n#samples: a b\nrs1 0 2\n")
+        with pytest.raises(DatasetError):
+            read_snptxt(path)
+
+    def test_non_integer_rejected(self, tmp_path):
+        path = tmp_path / "bad.snptxt"
+        path.write_text("# repro snptxt v1\n#samples: a b\nrs1 0 x\n")
+        with pytest.raises(DatasetError):
+            read_snptxt(path)
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "bad.snptxt"
+        path.write_text("# repro snptxt v1\n#samples: a b\nrs1 0 1\nrs2 1\n")
+        with pytest.raises(DatasetError):
+            read_snptxt(path)
+
+    def test_empty_sites(self, tmp_path):
+        path = tmp_path / "empty.snptxt"
+        path.write_text("# repro snptxt v1\n#samples: a b\n")
+        ds = read_snptxt(path)
+        assert ds.n_samples == 2
+        assert ds.n_sites == 0

@@ -1,0 +1,154 @@
+"""Tests for repro.snp.stats: the naive statistical oracles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.snp.stats import (
+    identity_distances_naive,
+    ld_counts_naive,
+    ld_d,
+    ld_d_prime,
+    ld_r_squared,
+    mixture_scores_naive,
+)
+
+
+class TestLdCounts:
+    def test_hand_computed(self):
+        a = np.array([[1, 1, 0, 0], [0, 1, 1, 0]], dtype=np.uint8)
+        counts = ld_counts_naive(a)
+        assert counts.tolist() == [[2, 1], [1, 2]]
+
+    def test_self_comparison_symmetric(self):
+        rng = np.random.default_rng(0)
+        a = (rng.random((10, 40)) < 0.4).astype(np.uint8)
+        counts = ld_counts_naive(a)
+        assert (counts == counts.T).all()
+        assert (np.diag(counts) == a.sum(axis=1)).all()
+
+    def test_two_operand_shape(self):
+        a = np.zeros((3, 8), dtype=np.uint8)
+        b = np.zeros((5, 8), dtype=np.uint8)
+        assert ld_counts_naive(a, b).shape == (3, 5)
+
+    def test_inner_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            ld_counts_naive(np.zeros((2, 4), dtype=np.uint8), np.zeros((2, 5), dtype=np.uint8))
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(DatasetError):
+            ld_counts_naive(np.array([[0, 2]]))
+
+
+class TestLdD:
+    def test_independent_sites_near_zero(self):
+        rng = np.random.default_rng(1)
+        a = (rng.random((2, 20000)) < 0.5).astype(np.uint8)
+        d = ld_d(a)
+        assert abs(d[0, 1]) < 0.02
+
+    def test_perfectly_linked(self):
+        row = np.tile([1, 0], 50)
+        a = np.vstack([row, row])
+        d = ld_d(a)
+        # p_AB = 0.5, p_A = p_B = 0.5 -> D = 0.25.
+        assert d[0, 1] == pytest.approx(0.25)
+
+    def test_diagonal_is_variance(self):
+        a = np.array([[1, 1, 0, 0, 0]])
+        p = 0.4
+        assert ld_d(a)[0, 0] == pytest.approx(p * (1 - p))
+
+    def test_zero_observations_rejected(self):
+        with pytest.raises(DatasetError):
+            ld_d(np.zeros((2, 0), dtype=np.uint8))
+
+
+class TestLdDPrime:
+    def test_perfect_linkage_gives_one(self):
+        row = np.tile([1, 0], 50)
+        a = np.vstack([row, row])
+        assert ld_d_prime(a)[0, 1] == pytest.approx(1.0)
+
+    def test_monomorphic_gives_zero(self):
+        a = np.vstack([np.ones(10, dtype=np.uint8), np.tile([1, 0], 5)])
+        assert ld_d_prime(a)[0, 1] == 0.0
+
+    def test_bounded_by_one(self):
+        rng = np.random.default_rng(2)
+        a = (rng.random((20, 100)) < 0.3).astype(np.uint8)
+        dp = ld_d_prime(a)
+        assert (np.abs(dp) <= 1.0 + 1e-12).all()
+
+
+class TestLdRSquared:
+    def test_perfect_linkage_gives_one(self):
+        row = np.tile([1, 0], 50)
+        a = np.vstack([row, row])
+        assert ld_r_squared(a)[0, 1] == pytest.approx(1.0)
+
+    def test_antilinked_gives_one(self):
+        row = np.tile([1, 0], 50)
+        a = np.vstack([row, 1 - row])
+        assert ld_r_squared(a)[0, 1] == pytest.approx(1.0)
+
+    def test_matches_numpy_corrcoef(self):
+        rng = np.random.default_rng(3)
+        a = (rng.random((5, 200)) < 0.4).astype(np.uint8)
+        r2 = ld_r_squared(a)
+        expected = np.corrcoef(a) ** 2
+        assert np.allclose(r2, expected, atol=1e-10)
+
+    def test_bounded(self):
+        rng = np.random.default_rng(4)
+        a = (rng.random((10, 50)) < 0.5).astype(np.uint8)
+        r2 = ld_r_squared(a)
+        assert (r2 >= -1e-12).all() and (r2 <= 1 + 1e-12).all()
+
+
+class TestIdentityDistances:
+    def test_hand_computed(self):
+        q = np.array([[1, 0, 1, 0]], dtype=np.uint8)
+        db = np.array([[1, 0, 1, 0], [0, 1, 0, 1], [1, 0, 0, 0]], dtype=np.uint8)
+        assert identity_distances_naive(q, db)[0].tolist() == [0, 4, 1]
+
+    def test_matches_direct_xor(self):
+        rng = np.random.default_rng(5)
+        q = (rng.random((4, 60)) < 0.5).astype(np.uint8)
+        db = (rng.random((7, 60)) < 0.5).astype(np.uint8)
+        direct = (q[:, None, :] ^ db[None, :, :]).sum(axis=2)
+        assert (identity_distances_naive(q, db) == direct).all()
+
+    def test_site_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            identity_distances_naive(
+                np.zeros((1, 4), dtype=np.uint8), np.zeros((1, 5), dtype=np.uint8)
+            )
+
+
+class TestMixtureScores:
+    def test_contained_reference_scores_zero(self):
+        r = np.array([[1, 0, 1, 0]], dtype=np.uint8)
+        m = np.array([[1, 1, 1, 0]], dtype=np.uint8)
+        assert mixture_scores_naive(r, m)[0, 0] == 0
+
+    def test_uncontained_counts_exclusive_alleles(self):
+        r = np.array([[1, 1, 1, 0]], dtype=np.uint8)
+        m = np.array([[1, 0, 0, 0]], dtype=np.uint8)
+        assert mixture_scores_naive(r, m)[0, 0] == 2
+
+    def test_matches_direct_formula(self):
+        rng = np.random.default_rng(6)
+        r = (rng.random((5, 80)) < 0.4).astype(np.uint8)
+        m = (rng.random((3, 80)) < 0.6).astype(np.uint8)
+        direct = (r[:, None, :] & (1 - m[None, :, :])).sum(axis=2)
+        assert (mixture_scores_naive(r, m) == direct).all()
+
+    def test_equals_xor_and_formulation(self):
+        # The paper's simplification: (r ^ m) & r == r & ~m.
+        rng = np.random.default_rng(7)
+        r = (rng.random((4, 64)) < 0.5).astype(np.uint8)
+        m = (rng.random((4, 64)) < 0.5).astype(np.uint8)
+        via_xor = ((r[:, None, :] ^ m[None, :, :]) & r[:, None, :]).sum(axis=2)
+        assert (mixture_scores_naive(r, m) == via_xor).all()

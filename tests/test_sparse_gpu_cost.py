@@ -1,0 +1,80 @@
+"""Tests for repro.sparse.gpu_cost: device-level sparse pricing."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.gpu.arch import ALL_GPUS, GTX_980, TITAN_V, VEGA_64
+from repro.sparse.cost import density_crossover
+from repro.sparse.gpu_cost import DeviceSparseModel, device_density_crossover
+
+
+class TestDeviceSparseModel:
+    def test_rates(self):
+        model = DeviceSparseModel(arch=GTX_980)
+        # 4 clusters x 32 ALUs / (4 ops / 0.25 eff) = 8 matches/cycle.
+        assert model.sparse_matches_per_cycle_per_core() == pytest.approx(8.0)
+
+    def test_dense_time_matches_peak(self):
+        model = DeviceSparseModel(arch=GTX_980)
+        # 64x64x320 words at 700 Gword-ops/s.
+        t = model.dense_seconds(64, 64, 320 * 32)
+        assert t == pytest.approx(64 * 64 * 320 / 699.9e9, rel=1e-3)
+
+    def test_sparse_time_quadratic_in_density(self):
+        model = DeviceSparseModel(arch=TITAN_V)
+        t1 = model.sparse_seconds(32, 32, 10_000, 0.01)
+        t2 = model.sparse_seconds(32, 32, 10_000, 0.02)
+        assert t2 == pytest.approx(4 * t1)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            DeviceSparseModel(arch=GTX_980, simd_efficiency=0.0)
+        with pytest.raises(ModelError):
+            DeviceSparseModel(arch=GTX_980).sparse_seconds(0, 1, 1, 0.1)
+        with pytest.raises(ModelError):
+            DeviceSparseModel(arch=GTX_980).sparse_seconds(1, 1, 1, 2.0)
+
+
+class TestDeviceCrossover:
+    @pytest.mark.parametrize("arch", ALL_GPUS, ids=lambda a: a.name)
+    def test_crossover_exists_and_is_small(self, arch):
+        d_star = device_density_crossover(arch)
+        # On every modeled GPU sparse only wins in the rare-variant
+        # regime (single-digit percent MAF).
+        assert 0.01 < d_star < 0.12
+
+    def test_device_crossover_comparable_to_host(self):
+        # Device and host models agree on the regime: a few percent
+        # MAF, never a common-variant win -- the quantitative core of
+        # why the paper could defer sparse support.
+        host = density_crossover()
+        for arch in ALL_GPUS:
+            device = device_density_crossover(arch)
+            assert 0.5 * host < device < 2.0 * host
+
+    def test_alu_rich_devices_tolerate_sparsity_better(self):
+        # Maxwell's 32-lane ALU clusters make index matches relatively
+        # cheaper than on ALU-lean Vega (16 lanes, already saturated
+        # by the dense kernel).
+        assert device_density_crossover(GTX_980) > device_density_crossover(VEGA_64)
+
+    def test_crossover_decision_consistent(self):
+        arch = VEGA_64
+        model = DeviceSparseModel(arch=arch)
+        d_star = device_density_crossover(arch, model)
+        dense = model.dense_seconds(64, 64, 10_000)
+        assert model.sparse_seconds(64, 64, 10_000, d_star * 0.8) < dense
+        assert model.sparse_seconds(64, 64, 10_000, d_star * 1.2) > dense
+
+    def test_better_simd_efficiency_raises_crossover(self):
+        loose = device_density_crossover(
+            GTX_980, DeviceSparseModel(arch=GTX_980, simd_efficiency=0.1)
+        )
+        tight = device_density_crossover(
+            GTX_980, DeviceSparseModel(arch=GTX_980, simd_efficiency=0.5)
+        )
+        assert tight > loose
+
+    def test_model_arch_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            device_density_crossover(GTX_980, DeviceSparseModel(arch=TITAN_V))

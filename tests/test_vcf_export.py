@@ -1,0 +1,144 @@
+"""Tests for repro.snp.vcf and repro.bench.export."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.export import export_all, main as export_main
+from repro.errors import DatasetError
+from repro.snp.generator import PopulationModel, generate_population
+from repro.snp.vcf import read_vcf, write_vcf
+
+VCF_TEXT = """\
+##fileformat=VCFv4.2
+##source=test
+#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ts1\ts2\ts3
+1\t100\trs1\tA\tG\t50\tPASS\t.\tGT\t0/0\t0/1\t1/1
+1\t200\trs2\tC\tT\t50\tPASS\t.\tGT:DP\t0|0:12\t.\t1|0:9
+1\t300\t.\tG\tA\t50\tPASS\t.\tGT\t1\t0\t.
+1\t400\trs4\tT\tC\t50\tq10\t.\tGT\t1/1\t1/1\t1/1
+1\t500\trs5\tA\tAT\t50\tPASS\t.\tGT\t0/1\t0/0\t0/0
+1\t600\trs6\tA\tG,T\t50\tPASS\t.\tGT\t1/2\t0/0\t0/2
+"""
+
+
+class TestReadVcf:
+    def test_basic_parsing(self, tmp_path):
+        path = tmp_path / "x.vcf"
+        path.write_text(VCF_TEXT)
+        ds = read_vcf(path)
+        assert ds.sample_ids == ["s1", "s2", "s3"]
+        # rs4 filtered (q10), rs5 an indel: both skipped.
+        assert ds.site_ids == ["rs1", "rs2", "1:300", "rs6"]
+        assert ds.matrix.shape == (3, 4)
+
+    def test_genotype_reduction(self, tmp_path):
+        path = tmp_path / "x.vcf"
+        path.write_text(VCF_TEXT)
+        ds = read_vcf(path)
+        # rs1: 0/0, 0/1, 1/1 -> 0, 1, 1.
+        assert ds.matrix[:, 0].tolist() == [0, 1, 1]
+        # rs2: phased 0|0, missing ., 1|0 -> 0, 0, 1.
+        assert ds.matrix[:, 1].tolist() == [0, 0, 1]
+        # haploid calls at 1:300 -> 1, 0, 0 (missing = absence).
+        assert ds.matrix[:, 2].tolist() == [1, 0, 0]
+        # rs6 multi-allelic: any non-ref allele counts.
+        assert ds.matrix[:, 3].tolist() == [1, 0, 1]
+
+    def test_require_pass_false_keeps_filtered(self, tmp_path):
+        path = tmp_path / "x.vcf"
+        path.write_text(VCF_TEXT)
+        ds = read_vcf(path, require_pass=False)
+        assert "rs4" in ds.site_ids
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.vcf"
+        path.write_text("1\t1\trs1\tA\tG\t.\tPASS\t.\tGT\t0/1\n")
+        with pytest.raises(DatasetError, match="before #CHROM|no #CHROM"):
+            read_vcf(path)
+
+    def test_column_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.vcf"
+        path.write_text(
+            "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ts1\ts2\n"
+            "1\t1\trs1\tA\tG\t.\tPASS\t.\tGT\t0/1\n"
+        )
+        with pytest.raises(DatasetError, match="columns"):
+            read_vcf(path)
+
+    def test_non_gt_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.vcf"
+        path.write_text(
+            "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ts1\n"
+            "1\t1\trs1\tA\tG\t.\tPASS\t.\tDP:GT\t12:0/1\n"
+        )
+        with pytest.raises(DatasetError, match="GT"):
+            read_vcf(path)
+
+    def test_malformed_gt_rejected(self, tmp_path):
+        path = tmp_path / "bad.vcf"
+        path.write_text(
+            "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ts1\n"
+            "1\t1\trs1\tA\tG\t.\tPASS\t.\tGT\tx/y\n"
+        )
+        with pytest.raises(DatasetError, match="malformed GT"):
+            read_vcf(path)
+
+    def test_roundtrip_through_write(self, tmp_path):
+        original = generate_population(PopulationModel(8, 15), rng=0)
+        path = tmp_path / "rt.vcf"
+        write_vcf(path, original)
+        loaded = read_vcf(path)
+        assert (loaded.matrix == original.matrix).all()
+        assert loaded.sample_ids == original.sample_ids
+        assert loaded.site_ids == original.site_ids
+
+    def test_empty_sites(self, tmp_path):
+        path = tmp_path / "empty.vcf"
+        path.write_text(
+            "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ta\tb\n"
+        )
+        ds = read_vcf(path)
+        assert ds.matrix.shape == (2, 0)
+
+
+class TestExport:
+    def test_export_all_files(self, tmp_path):
+        written = export_all(tmp_path)
+        for artifact in ("table1", "table2", "fig5", "fig6", "fig7", "fig8",
+                         "fig9", "manifest"):
+            assert artifact in written
+            assert (tmp_path / written[artifact]).exists()
+
+    def test_fig5_csv_contents(self, tmp_path):
+        export_all(tmp_path)
+        with (tmp_path / "fig5.csv").open() as fh:
+            rows = list(csv.DictReader(fh))
+        devices = {r["device"] for r in rows}
+        assert devices == {"GTX 980", "Titan V", "Vega 64"}
+        for row in rows:
+            assert float(row["gpops"]) <= float(row["peak_gpops"]) + 1e-9
+
+    def test_manifest_headline(self, tmp_path):
+        export_all(tmp_path)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        measured = manifest["headline"]["fig5_efficiency"]
+        paper = manifest["headline"]["fig5_efficiency_paper"]
+        for device, value in paper.items():
+            assert abs(measured[device] - value) < 0.01
+
+    def test_table2_csv(self, tmp_path):
+        export_all(tmp_path)
+        with (tmp_path / "table2.csv").open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 6
+        ld980 = next(r for r in rows if "GTX 980" in r["configuration"]
+                     and "Linkage" in r["configuration"])
+        assert ld980["n_r"] == "384"
+
+    def test_cli_main(self, tmp_path, capsys):
+        assert export_main([str(tmp_path / "out")]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out
