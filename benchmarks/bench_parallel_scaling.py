@@ -1,0 +1,206 @@
+"""Parallel-engine scaling: sharded bit-GEMM vs the serial drivers.
+
+Sweeps the :class:`repro.parallel.ParallelEngine` over worker counts on
+one LD-shaped problem and demonstrates two properties:
+
+* **bit-exactness** -- every worker count returns a table byte-identical
+  to :func:`repro.blis.gemm.bit_gemm_reference`;
+* **speedup** -- at ``workers=4`` the sharded engine beats the best
+  serial driver by at least 1.5x.  On a single-core host the win comes
+  from the engine's GEMM shard strategy (one float32 BLAS call per
+  ``k_c`` panel over cached unpacked-bit panels); on multicore hosts
+  thread overlap stacks on top of it.
+
+Runs two ways:
+
+* under pytest-benchmark, like the other benches::
+
+      PYTHONPATH=src python -m pytest benchmarks/bench_parallel_scaling.py --benchmark-only
+
+* standalone, for the CI smoke job (writes a timing-artifact JSON)::
+
+      PYTHONPATH=src python benchmarks/bench_parallel_scaling.py --smoke --json timings.json
+"""
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.blis.gemm import bit_gemm_reference
+from repro.blis.microkernel import ComparisonOp
+from repro.parallel import ParallelEngine
+from repro.util.bitops import pack_bits
+
+#: The benchmark problem: an LD-shaped table (m queries x n database
+#: rows over k packed words).  Chosen so the serial fallback takes the
+#: fast driver, giving the parallel engine its hardest baseline.
+FULL_PROBLEM = dict(m=512, n=2048, k_words=128)
+
+#: The CI smoke problem: same shape family, small enough for a
+#: seconds-long job on a cold shared runner.
+SMOKE_PROBLEM = dict(m=128, n=512, k_words=32)
+
+WORKER_SWEEP = (1, 2, 4)
+SPEEDUP_FLOOR = 1.5
+
+
+def make_operands(m, n, k_words, word_bits=32, rng=0):
+    rng = np.random.default_rng(rng)
+    sites = k_words * word_bits
+    bits_a = (rng.random((m, sites)) < 0.4).astype(np.uint8)
+    bits_b = (rng.random((n, sites)) < 0.4).astype(np.uint8)
+    return pack_bits(bits_a, word_bits), pack_bits(bits_b, word_bits)
+
+
+def time_workers(pa, pb, workers, repeats=3, op=ComparisonOp.AND):
+    """Best-of-``repeats`` seconds for one worker count, plus the table.
+
+    ``workers=1`` takes the engine's serial fallback (the best serial
+    driver for the problem size); ``workers>1`` forces the sharded path.
+    """
+    engine = ParallelEngine(workers=workers)
+    try:
+        best = float("inf")
+        table = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            table, report = engine.run(
+                pa, pb, op, force_parallel=workers > 1
+            )
+            best = min(best, time.perf_counter() - start)
+    finally:
+        engine.shutdown()
+    return best, table, report
+
+
+def run_sweep(problem, repeats=3, workers_sweep=WORKER_SWEEP):
+    """Sweep worker counts; returns a JSON-ready result dict."""
+    pa, pb = make_operands(**problem)
+    expected = bit_gemm_reference(pa, pb, ComparisonOp.AND)
+    rows = []
+    serial_best = None
+    for workers in workers_sweep:
+        best, table, report = time_workers(pa, pb, workers, repeats=repeats)
+        if serial_best is None:
+            serial_best = best
+        rows.append({
+            "workers": workers,
+            "seconds": best,
+            "speedup": serial_best / best,
+            "strategy": report.strategy,
+            "n_shards": report.n_shards,
+            "bit_exact": bool((table == expected).all()),
+            "cache_hit_rate": (
+                report.cache_stats.hit_rate if report.cache_stats else 0.0
+            ),
+        })
+    return {
+        "problem": dict(problem),
+        "repeats": repeats,
+        "word_ops": problem["m"] * problem["n"] * problem["k_words"],
+        "rows": rows,
+    }
+
+
+def render(result):
+    lines = [
+        "parallel scaling  (m={m}, n={n}, k={k_words} words)".format(
+            **result["problem"]
+        ),
+        f"{'workers':>8} {'seconds':>9} {'speedup':>8} {'shards':>7} "
+        f"{'hit rate':>9} {'bit-exact':>10}",
+    ]
+    for row in result["rows"]:
+        lines.append(
+            f"{row['workers']:>8} {row['seconds']:>9.4f} "
+            f"{row['speedup']:>7.2f}x {row['n_shards']:>7} "
+            f"{row['cache_hit_rate']:>8.0%} "
+            f"{'yes' if row['bit_exact'] else 'NO':>10}"
+        )
+    return "\n".join(lines)
+
+
+# -- pytest-benchmark entries ---------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - pytest always present in CI
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.artifact("parallel-scaling")
+    def bench_parallel_speedup(benchmark):
+        """Time the full sweep; assert exactness and the 1.5x floor."""
+        result = benchmark.pedantic(
+            run_sweep, args=(FULL_PROBLEM,), rounds=1, iterations=1
+        )
+        print("\n" + render(result))
+        assert all(row["bit_exact"] for row in result["rows"])
+        final = result["rows"][-1]
+        assert final["workers"] == 4
+        assert final["speedup"] >= SPEEDUP_FLOOR
+
+    @pytest.mark.artifact("parallel-scaling")
+    def bench_parallel_workers4(benchmark):
+        """Time one workers=4 sharded run on the full problem."""
+        pa, pb = make_operands(**FULL_PROBLEM)
+        engine = ParallelEngine(workers=4)
+        try:
+            table, _ = benchmark(
+                engine.run, pa, pb, ComparisonOp.AND, force_parallel=True
+            )
+        finally:
+            engine.shutdown()
+        expected = bit_gemm_reference(pa, pb, ComparisonOp.AND)
+        assert (table[0] == expected[0]).all()
+
+
+# -- standalone CLI (CI smoke job) ----------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small problem, single repeat, no speedup floor (CI smoke)",
+    )
+    parser.add_argument("--json", help="write the result dict to this path")
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="timing repeats per worker count (default: 3, smoke: 1)",
+    )
+    args = parser.parse_args(argv)
+
+    problem = SMOKE_PROBLEM if args.smoke else FULL_PROBLEM
+    repeats = args.repeats if args.repeats is not None else (1 if args.smoke else 3)
+    result = run_sweep(problem, repeats=repeats)
+    result["mode"] = "smoke" if args.smoke else "full"
+    print(render(result))
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2)
+        print(f"\nwrote {args.json}")
+
+    if not all(row["bit_exact"] for row in result["rows"]):
+        print("FAIL: parallel table differs from bit_gemm_reference",
+              file=sys.stderr)
+        return 1
+    if not args.smoke:
+        final = result["rows"][-1]
+        if final["speedup"] < SPEEDUP_FLOOR:
+            print(
+                f"FAIL: workers={final['workers']} speedup "
+                f"{final['speedup']:.2f}x below the {SPEEDUP_FLOOR}x floor",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

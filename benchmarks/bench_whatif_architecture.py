@@ -77,7 +77,7 @@ def bench_latency_tolerance(benchmark):
     spread = max(values) / min(values)
     assert spread < 1.02  # latency fully hidden at every L_fn
     print("\nGTX 980 what-if, kernel time vs L_fn (n_r tracking Eq. 7): "
-          + ", ".join(f"L={l}:{t * 1e3:.2f}ms" for l, t in times.items()))
+          + ", ".join(f"L={lat}:{t * 1e3:.2f}ms" for lat, t in times.items()))
 
 
 @pytest.mark.artifact("whatif")

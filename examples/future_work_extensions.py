@@ -24,7 +24,7 @@ from repro.snp.significance import (
     panel_sites_for_target_rmp,
     random_match_probability,
 )
-from repro.sparse import choose_representation, density_crossover
+from repro.sparse import density_crossover
 from repro.sparse.auto import auto_comparison
 
 

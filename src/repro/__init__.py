@@ -35,6 +35,8 @@ Package map::
     repro.cpu     CPU baseline of Alachiotis et al. [11]
     repro.model   peak / end-to-end / scaling performance models
     repro.bench   experiment harness regenerating every table & figure
+    repro.parallel host-side sharded execution engine (thread pool,
+                  packed-panel cache; the ``workers=`` entry points)
 """
 
 from repro.core import (
@@ -50,6 +52,7 @@ from repro.core import (
 )
 from repro.errors import ReproError
 from repro.gpu.arch import ALL_GPUS, GTX_980, TITAN_V, VEGA_64, get_gpu
+from repro.parallel import ParallelEngine, bit_gemm_parallel
 
 __version__ = "1.0.0"
 
@@ -64,6 +67,8 @@ __all__ = [
     "published_config",
     "render_header",
     "ReproError",
+    "ParallelEngine",
+    "bit_gemm_parallel",
     "ALL_GPUS",
     "GTX_980",
     "TITAN_V",

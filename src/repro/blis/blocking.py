@@ -22,7 +22,13 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 
-__all__ = ["tile_ranges", "split_evenly", "BlockingPlan", "CoreAssignment"]
+__all__ = [
+    "tile_ranges",
+    "split_evenly",
+    "split_in_units",
+    "BlockingPlan",
+    "CoreAssignment",
+]
 
 
 def tile_ranges(extent: int, block: int) -> list[tuple[int, int]]:
@@ -139,8 +145,8 @@ class BlockingPlan:
         split across grid columns in units of ``n_r``.  Mirrors the
         hierarchical partition of Smith et al. [23] the paper adopts.
         """
-        m_splits = _split_in_units(self.m, self.grid_rows, self.m_r)
-        n_splits = _split_in_units(self.n, self.grid_cols, self.n_r)
+        m_splits = split_in_units(self.m, self.grid_rows, self.m_r)
+        n_splits = split_in_units(self.n, self.grid_cols, self.n_r)
         out = []
         for r, m_range in enumerate(m_splits):
             for c, n_range in enumerate(n_splits):
@@ -168,13 +174,16 @@ class BlockingPlan:
         return self.m * self.n * self.k
 
 
-def _split_in_units(extent: int, parts: int, unit: int) -> list[tuple[int, int]]:
+def split_in_units(extent: int, parts: int, unit: int) -> list[tuple[int, int]]:
     """Split ``extent`` into ``parts`` ranges aligned to ``unit``.
 
     Each boundary lands on a multiple of ``unit`` except possibly the
     final stop at ``extent``; remainder units are distributed to the
     leading parts.  Degenerates gracefully when ``extent`` has fewer
-    than ``parts`` units (trailing parts get empty ranges).
+    than ``parts`` units (trailing parts get empty ranges).  Shared by
+    the core-grid partition above and the host-side shard partition
+    (:mod:`repro.parallel.plan`), so device tiling and host sharding
+    cannot drift apart.
     """
     n_units = (extent + unit - 1) // unit if extent else 0
     unit_splits = split_evenly(n_units, parts)

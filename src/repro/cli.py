@@ -11,6 +11,10 @@ workloads::
     repro-snp devices
     repro-snp tune      --device "Vega 64" --algorithm ld [--header out.h]
 
+The three comparison commands take ``--workers N`` to shard the
+functional bit-GEMM across N host threads (``--workers 0`` picks a
+sensible default for the machine; see :mod:`repro.parallel`).
+
 Inputs are the library's ``.snptxt`` / ``.npz`` formats
 (:mod:`repro.snp.io`).  Results go to stdout (summaries) and optional
 ``--output`` NPZ files (full tables).
@@ -98,9 +102,32 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_workers(args: argparse.Namespace) -> int | None:
+    """Map the --workers flag to an engine worker count.
+
+    ``None`` (flag absent) keeps the serial path; ``0`` asks for the
+    machine default; any positive value is used as given.
+    """
+    workers = getattr(args, "workers", None)
+    if workers is None:
+        return None
+    if workers < 0:
+        raise ReproError(f"--workers must be >= 0, got {workers}")
+    if workers == 0:
+        from repro.parallel import recommended_workers
+
+        return recommended_workers()
+    return workers
+
+
 def _cmd_ld(args: argparse.Namespace) -> int:
     matrix = _load_matrix(args.input)
-    result = linkage_disequilibrium(matrix, device=args.device, compare=args.compare)
+    result = linkage_disequilibrium(
+        matrix,
+        device=args.device,
+        compare=args.compare,
+        workers=_resolve_workers(args),
+    )
     stat = {"r2": result.r_squared, "d": result.d, "dprime": result.d_prime}[args.stat]
     off = stat[~np.eye(stat.shape[0], dtype=bool)]
     print(render_kv([
@@ -119,7 +146,9 @@ def _cmd_ld(args: argparse.Namespace) -> int:
 def _cmd_identity(args: argparse.Namespace) -> int:
     queries = _load_matrix(args.queries)
     database = _load_matrix(args.database)
-    result = identity_search(queries, database, device=args.device)
+    result = identity_search(
+        queries, database, device=args.device, workers=_resolve_workers(args)
+    )
     hits = result.matches(args.max_distance)
     print(render_kv([
         ("queries", queries.shape[0]),
@@ -143,7 +172,9 @@ def _cmd_identity(args: argparse.Namespace) -> int:
 def _cmd_mixture(args: argparse.Namespace) -> int:
     references = _load_matrix(args.references)
     mixture = _load_matrix(args.mixture)
-    result = mixture_analysis(references, mixture, device=args.device)
+    result = mixture_analysis(
+        references, mixture, device=args.device, workers=_resolve_workers(args)
+    )
     print(render_kv([
         ("references", references.shape[0]),
         ("mixtures", mixture.shape[0]),
@@ -184,12 +215,18 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--header", help="write the C header to this path")
     tune.set_defaults(func=_cmd_tune)
 
+    workers_help = (
+        "host threads for the functional compute "
+        "(0 = machine default, omit = serial)"
+    )
+
     ld = sub.add_parser("ld", help="all-pairs linkage disequilibrium")
     ld.add_argument("--input", required=True, help=".snptxt or dataset .npz")
     ld.add_argument("--device", default="Titan V")
     ld.add_argument("--compare", default="sites", choices=["sites", "samples"])
     ld.add_argument("--stat", default="r2", choices=["r2", "d", "dprime"])
     ld.add_argument("--threshold", type=float, default=0.8)
+    ld.add_argument("--workers", type=int, default=None, help=workers_help)
     ld.add_argument("--output", help="write tables to this .npz")
     ld.set_defaults(func=_cmd_ld)
 
@@ -198,6 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
     ident.add_argument("--database", required=True)
     ident.add_argument("--device", default="Titan V")
     ident.add_argument("--max-distance", type=int, default=0)
+    ident.add_argument("--workers", type=int, default=None, help=workers_help)
     ident.add_argument("--output")
     ident.set_defaults(func=_cmd_identity)
 
@@ -206,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
     mix.add_argument("--mixture", required=True)
     mix.add_argument("--device", default="Titan V")
     mix.add_argument("--max-score", type=int, default=0)
+    mix.add_argument("--workers", type=int, default=None, help=workers_help)
     mix.add_argument("--output")
     mix.set_defaults(func=_cmd_mixture)
     return parser

@@ -59,6 +59,12 @@ class SNPComparisonFramework:
     double_buffering:
         Overlap transfers with compute (the paper's default); disable
         for the ablation comparison.
+    workers:
+        Host threads for the functional compute.  ``workers > 1``
+        shards each kernel launch across the process-wide pool
+        (:mod:`repro.parallel`); results stay bit-exact and the
+        simulated device timing is unchanged.  Default (``None``)
+        keeps the serial functional path.
     """
 
     def __init__(
@@ -68,6 +74,7 @@ class SNPComparisonFramework:
         config: KernelConfig | None = None,
         prenegate: bool | None = None,
         double_buffering: bool = True,
+        workers: int | None = None,
     ) -> None:
         self.arch = get_gpu(device) if isinstance(device, str) else device
         self.algorithm = (
@@ -75,6 +82,7 @@ class SNPComparisonFramework:
         )
         self.prenegate = prenegate
         self.double_buffering = double_buffering
+        self.workers = workers
         self.config = config or derive_config(
             self.arch, self.algorithm, prenegate=prenegate
         )
@@ -156,6 +164,7 @@ class SNPComparisonFramework:
             a,
             b,
             double_buffering=self.double_buffering,
+            workers=self.workers,
         )
         end_to_end = queue.finish()
         busy = queue.busy_summary()
@@ -184,8 +193,9 @@ class SNPComparisonFramework:
         return self._cpu_model.execution_time(m, n, k_bits)
 
     def __repr__(self) -> str:
+        workers = f", workers={self.workers}" if self.workers else ""
         return (
             f"SNPComparisonFramework(device={self.arch.name!r}, "
             f"algorithm={self.algorithm.value!r}, op={self.config.op.value!r}, "
-            f"grid={self.config.grid_rows}x{self.config.grid_cols})"
+            f"grid={self.config.grid_rows}x{self.config.grid_cols}{workers})"
         )

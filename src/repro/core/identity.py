@@ -63,6 +63,7 @@ def identity_search(
     database: ForensicDatabase | np.ndarray,
     device: str | GPUArchitecture = "Titan V",
     framework: SNPComparisonFramework | None = None,
+    workers: int | None = None,
 ) -> IdentityResult:
     """Search ``queries`` against ``database`` on the simulated GPU.
 
@@ -73,6 +74,9 @@ def identity_search(
     database:
         A :class:`~repro.snp.forensic.ForensicDatabase` or a raw binary
         matrix ``(n_profiles, n_sites)``.
+    workers:
+        Host threads for the functional compute (``> 1`` shards the
+        bit-GEMM).  Ignored when ``framework`` is supplied.
     """
     q = np.asarray(queries)
     db = database.profiles if isinstance(database, ForensicDatabase) else np.asarray(database)
@@ -84,6 +88,8 @@ def identity_search(
             f"({q.shape[1]} vs {db.shape[1]})"
         )
     if framework is None:
-        framework = SNPComparisonFramework(device, Algorithm.FASTID_IDENTITY)
+        framework = SNPComparisonFramework(
+            device, Algorithm.FASTID_IDENTITY, workers=workers
+        )
     distances, report = framework.run(q, db)
     return IdentityResult(distances=distances, report=report)

@@ -90,6 +90,7 @@ def linkage_disequilibrium(
     device: str | GPUArchitecture = "Titan V",
     compare: str = "sites",
     framework: SNPComparisonFramework | None = None,
+    workers: int | None = None,
 ) -> LDResult:
     """Compute all-pairs LD on the simulated GPU framework.
 
@@ -105,6 +106,10 @@ def linkage_disequilibrium(
         orientation, computed across sites).
     framework:
         Reuse an existing framework instance (skips re-derivation).
+    workers:
+        Host threads for the functional compute (``> 1`` shards the
+        bit-GEMM across the process-wide pool).  Ignored when
+        ``framework`` is supplied.
     """
     matrix = data.matrix if isinstance(data, SNPDataset) else np.asarray(data)
     if matrix.ndim != 2:
@@ -119,7 +124,7 @@ def linkage_disequilibrium(
             f"got {compare!r}"
         )
     if framework is None:
-        framework = SNPComparisonFramework(device, Algorithm.LD)
+        framework = SNPComparisonFramework(device, Algorithm.LD, workers=workers)
     counts, report = framework.run(entities)
     n_obs = entities.shape[1]
     frequencies = entities.mean(axis=1) if n_obs else np.zeros(entities.shape[0])

@@ -71,6 +71,7 @@ def mixture_analysis(
     device: str | GPUArchitecture = "Titan V",
     prenegate: bool | None = None,
     framework: SNPComparisonFramework | None = None,
+    workers: int | None = None,
 ) -> MixtureResult:
     """Score ``references`` against ``mixtures`` on the simulated GPU.
 
@@ -83,6 +84,9 @@ def mixture_analysis(
         Binary matrix ``(n_mixtures, n_sites)`` of mixed profiles.
     prenegate:
         Force the pre-negated variant (None = device default).
+    workers:
+        Host threads for the functional compute (``> 1`` shards the
+        bit-GEMM).  Ignored when ``framework`` is supplied.
     """
     r = np.asarray(references)
     m = np.asarray(mixtures)
@@ -94,7 +98,7 @@ def mixture_analysis(
         )
     if framework is None:
         framework = SNPComparisonFramework(
-            device, Algorithm.FASTID_MIXTURE, prenegate=prenegate
+            device, Algorithm.FASTID_MIXTURE, prenegate=prenegate, workers=workers
         )
     scores, report = framework.run(r, m)
     return MixtureResult(

@@ -87,7 +87,7 @@ def pack_operand(
     if arr.ndim != 2:
         raise PackingError(f"pack_operand: expected 2-D bits, got ndim={arr.ndim}")
     if row_multiple <= 0:
-        raise PackingError(f"pack_operand: row_multiple must be positive")
+        raise PackingError("pack_operand: row_multiple must be positive")
     n_rows, n_bits = arr.shape
     if negate:
         if arr.dtype != np.bool_ and arr.size and not np.isin(arr, (0, 1)).all():

@@ -115,11 +115,14 @@ def run_pipeline(
     b: PackedOperand,
     plan: TilePlan | None = None,
     double_buffering: bool = True,
+    workers: int | None = None,
 ) -> tuple[np.ndarray, list[KernelProfile], TilePlan]:
     """Execute the tiled comparison; returns (raw table, profiles, plan).
 
     The returned table is *uncropped* (padded extents); callers crop
-    with :func:`repro.core.packing.crop_result`.
+    with :func:`repro.core.packing.crop_result`.  ``workers > 1``
+    computes each tile's functional table on the sharded host engine
+    (:mod:`repro.parallel`); simulated device timing is unchanged.
     """
     context = queue.context
     arch = context.device.arch
@@ -172,6 +175,7 @@ def run_pipeline(
             c_bufs[slot],
             wait_for=[a_event, write_ev],
             label=f"kernel[{tile_idx}]",
+            workers=workers,
         )
         profiles.append(profile)
         tile_out, read_ev = queue.enqueue_read_buffer(

@@ -168,7 +168,7 @@ class CoreSimulator:
         ``n_grp_max``.
         """
         if n_groups <= 0:
-            raise ModelError(f"CoreSimulator.run: n_groups must be positive")
+            raise ModelError("CoreSimulator.run: n_groups must be positive")
         if n_groups > self.arch.n_grp_max:
             raise ModelError(
                 f"CoreSimulator.run: {n_groups} groups exceed n_grp_max="

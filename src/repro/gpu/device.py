@@ -215,12 +215,16 @@ class CommandQueue:
         wait_for: Sequence[Event] | None = None,
         label: str = "",
         accumulate: bool = False,
+        workers: int | None = None,
     ) -> tuple[Event, KernelProfile]:
         """Launch a comparison kernel reading ``a``/``b``, writing ``c``.
 
         With ``accumulate=True`` the result adds into ``c``'s current
         contents (the k-panel loop of problems tiled over the reduction
-        dimension); otherwise ``c`` is overwritten.
+        dimension); otherwise ``c`` is overwritten.  ``workers`` routes
+        the functional compute through the sharded host engine (the
+        simulated timing is unaffected -- it prices the device, not the
+        host).
         """
         if kernel.arch is not self.arch:
             raise KernelLaunchError(
@@ -231,7 +235,9 @@ class CommandQueue:
             label=label or f"kernel:snp_{kernel.op.value}", queued_at=self._now()
         )
         earliest = self._earliest(wait_for)
-        result, profile = execute_kernel(kernel, a.data, b.data, args)
+        result, profile = execute_kernel(
+            kernel, a.data, b.data, args, workers=workers
+        )
         if accumulate:
             existing = c._data
             if existing is not None and existing.shape == result.shape:

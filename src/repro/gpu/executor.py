@@ -6,7 +6,10 @@
   shared :mod:`repro.blis` drivers -- the blocked five-loop walk for
   small problems (exercising the genuine tile structure the kernel
   implements) and the identity-based fast path for large ones (bit
-  exact, see :func:`repro.blis.gemm.bit_gemm_fast`);
+  exact, see :func:`repro.blis.gemm.bit_gemm_fast`); with
+  ``workers > 1`` it routes through the sharded host engine
+  (:mod:`repro.parallel.engine`) instead, which partitions the same
+  :class:`~repro.blis.blocking.BlockingPlan` across a thread pool;
 * the **timing path** prices the launch with the analytical cycle
   model (:mod:`repro.gpu.cycles`).
 
@@ -24,6 +27,7 @@ from repro.blis.gemm import bit_gemm_blocked, bit_gemm_fast
 from repro.errors import KernelLaunchError
 from repro.gpu.cycles import CycleBreakdown, kernel_cycles
 from repro.gpu.kernel import KernelArgs, SnpKernel
+from repro.parallel.engine import ParallelReport, get_engine
 
 __all__ = [
     "KernelProfile",
@@ -40,12 +44,18 @@ BLOCKED_PATH_OP_LIMIT = 2_000_000
 
 @dataclass(frozen=True)
 class KernelProfile:
-    """Timing and accounting for one simulated kernel launch."""
+    """Timing and accounting for one simulated kernel launch.
+
+    ``parallel`` carries the host-engine report (shard profiles, cache
+    stats) when the functional path ran sharded; ``None`` for serial
+    and timing-only launches.
+    """
 
     kernel_name: str
     device: str
     breakdown: CycleBreakdown
     used_blocked_path: bool
+    parallel: ParallelReport | None = None
 
     @property
     def seconds(self) -> float:
@@ -84,6 +94,7 @@ def execute_kernel(
     b_words: np.ndarray,
     args: KernelArgs | None = None,
     force_blocked_path: bool | None = None,
+    workers: int | None = None,
 ) -> tuple[np.ndarray, KernelProfile]:
     """Run one kernel launch; returns (C table, profile).
 
@@ -98,6 +109,12 @@ def execute_kernel(
         Explicit extents; default derives them from the operands.
     force_blocked_path:
         Override the functional-path size heuristic (tests use this).
+    workers:
+        With ``workers > 1`` the functional table is computed by the
+        sharded host engine on a shared thread pool (bit-exact; the
+        engine falls back to the serial drivers below its crossover).
+        ``None``/``1`` keeps the serial paths.  Ignored when
+        ``force_blocked_path`` pins the serial blocked walk.
     """
     a = np.asarray(a_words)
     b = np.asarray(b_words)
@@ -125,7 +142,11 @@ def execute_kernel(
         if force_blocked_path is None
         else force_blocked_path
     )
-    if use_blocked:
+    parallel_report: ParallelReport | None = None
+    if workers is not None and workers > 1 and force_blocked_path is None:
+        c, parallel_report = get_engine(workers).run(a, b, kernel.op, plan=plan)
+        use_blocked = False
+    elif use_blocked:
         c = bit_gemm_blocked(a, b, kernel.op, plan)
     else:
         c = bit_gemm_fast(a, b, kernel.op)
@@ -136,5 +157,6 @@ def execute_kernel(
         device=kernel.arch.name,
         breakdown=breakdown,
         used_blocked_path=use_blocked,
+        parallel=parallel_report,
     )
     return c, profile

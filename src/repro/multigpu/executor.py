@@ -74,12 +74,18 @@ def run_multi_gpu(
     algorithm: Algorithm | str,
     a_bits: np.ndarray,
     b_bits: np.ndarray,
+    workers: int | None = None,
 ) -> tuple[np.ndarray, MultiGPUReport]:
     """Functional multi-GPU run: bit-exact table plus node timing.
 
     The full query operand goes to every device; database columns are
     partitioned.  The returned table equals the single-device result
     exactly (asserted by tests).
+
+    ``workers > 1`` computes every device slice on the sharded host
+    engine; because the engine registry keys pools by worker count
+    (:func:`repro.parallel.get_engine`), all simulated devices share
+    **one** thread pool rather than spawning one per device.
     """
     algorithm = Algorithm(algorithm) if isinstance(algorithm, str) else algorithm
     a = np.asarray(a_bits)
@@ -101,7 +107,7 @@ def run_multi_gpu(
         slices=slices,
     )
     for dev_slice in active:
-        framework = SNPComparisonFramework(arch, algorithm)
+        framework = SNPComparisonFramework(arch, algorithm, workers=workers)
         slice_table, run_report = framework.run(
             a, b[dev_slice.row_start : dev_slice.row_stop]
         )

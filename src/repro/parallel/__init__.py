@@ -1,0 +1,46 @@
+"""Host-side parallel execution engine for the functional bit-GEMM.
+
+The BLIS five-loop structure exposes independent ``m_r x n_r`` output
+tiles; this package shards them across a host thread pool:
+
+* :mod:`repro.parallel.plan` -- :class:`ShardPlan`, derived from the
+  device :class:`~repro.blis.blocking.BlockingPlan` so host sharding
+  and device blocking share one partitioning arithmetic;
+* :mod:`repro.parallel.cache` -- the byte-budgeted LRU
+  :class:`PanelCache` that lets shards sharing a ``k_c`` panel pack it
+  once;
+* :mod:`repro.parallel.engine` -- :class:`ParallelEngine`,
+  :func:`bit_gemm_parallel`, and the process-wide :func:`get_engine`
+  pool registry (one pool shared across simulated devices).
+
+Entry points that accept ``workers`` --
+:func:`repro.gpu.executor.execute_kernel`, the framework/pipeline, the
+multi-GPU executor, and the CLI's ``--workers`` flag -- all route
+through this package.  See ``docs/PARALLEL.md``.
+"""
+
+from repro.parallel.cache import CacheStats, PanelCache
+from repro.parallel.engine import (
+    PARALLEL_CROSSOVER_OPS,
+    ParallelEngine,
+    ParallelReport,
+    ShardProfile,
+    bit_gemm_parallel,
+    get_engine,
+    recommended_workers,
+)
+from repro.parallel.plan import Shard, ShardPlan
+
+__all__ = [
+    "CacheStats",
+    "PanelCache",
+    "PARALLEL_CROSSOVER_OPS",
+    "ParallelEngine",
+    "ParallelReport",
+    "ShardProfile",
+    "Shard",
+    "ShardPlan",
+    "bit_gemm_parallel",
+    "get_engine",
+    "recommended_workers",
+]

@@ -1,0 +1,150 @@
+"""Memoizing packed-panel cache shared by shards of one parallel run.
+
+The serial blocked driver re-packs every ``n_r`` B micro-panel once
+per ``m_c`` A panel (the classic BLIS trade-off: pack buffers live in
+fast memory, so they are rebuilt rather than kept).  On the host the
+constraint inverts -- memory is plentiful, packing is pure Python/NumPy
+overhead -- so the parallel engine memoizes pack products: shards that
+share a ``k_c`` panel (same grid row for A panels, same grid column
+for B panels) pack it once and reuse the buffer.
+
+:class:`PanelCache` is a thread-safe byte-budgeted LRU.  Values are
+NumPy arrays; the budget counts ``nbytes``.  Builds run *outside* the
+lock so a slow pack does not serialize the pool; if two shards race to
+build the same panel, both build and the second insert wins -- wasted
+work but identical bytes, so correctness is unaffected (both count as
+misses in the stats).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CacheStats", "PanelCache"]
+
+#: Default byte budget: plenty for every test/bench problem while
+#: bounding worst-case growth on huge operands.
+DEFAULT_BUDGET_BYTES = 256 << 20
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of one cache's accounting."""
+
+    hits: int
+    misses: int
+    evictions: int
+    oversize: int
+    current_bytes: int
+    peak_bytes: int
+    budget_bytes: int
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requests served from cache (0 when idle)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class PanelCache:
+    """Thread-safe LRU keyed by hashable panel descriptors.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Total ``nbytes`` the cache may retain.  Least-recently-used
+        entries are evicted to stay within budget.  A single panel
+        larger than the whole budget is returned uncached (counted in
+        ``stats().oversize``).
+    """
+
+    def __init__(self, budget_bytes: int = DEFAULT_BUDGET_BYTES) -> None:
+        if budget_bytes <= 0:
+            raise ConfigurationError(
+                f"PanelCache: budget_bytes must be positive, got {budget_bytes}"
+            )
+        self.budget_bytes = budget_bytes
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, np.ndarray] = OrderedDict()
+        self._current_bytes = 0
+        self._peak_bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._oversize = 0
+
+    def get_or_build(
+        self, key: Hashable, build: Callable[[], np.ndarray]
+    ) -> np.ndarray:
+        """Return the cached panel for ``key``, building it on miss."""
+        panel, _ = self.get_or_build_flag(key, build)
+        return panel
+
+    def get_or_build_flag(
+        self, key: Hashable, build: Callable[[], np.ndarray]
+    ) -> tuple[np.ndarray, bool]:
+        """Like :meth:`get_or_build`, also reporting whether it hit.
+
+        The flag lets callers keep per-shard hit/miss tallies without
+        racing on the global counters.
+        """
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return cached, True
+            self._misses += 1
+        panel = build()
+        self._insert(key, panel)
+        return panel, False
+
+    def _insert(self, key: Hashable, panel: np.ndarray) -> None:
+        nbytes = int(panel.nbytes)
+        with self._lock:
+            if nbytes > self.budget_bytes:
+                self._oversize += 1
+                return
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._current_bytes -= int(previous.nbytes)
+            self._entries[key] = panel
+            self._current_bytes += nbytes
+            while self._current_bytes > self.budget_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self._current_bytes -= int(evicted.nbytes)
+                self._evictions += 1
+            self._peak_bytes = max(self._peak_bytes, self._current_bytes)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (accounting is preserved)."""
+        with self._lock:
+            self._entries.clear()
+            self._current_bytes = 0
+
+    def stats(self) -> CacheStats:
+        """Snapshot of hit/miss/eviction accounting."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                oversize=self._oversize,
+                current_bytes=self._current_bytes,
+                peak_bytes=self._peak_bytes,
+                budget_bytes=self.budget_bytes,
+            )

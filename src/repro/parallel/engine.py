@@ -1,0 +1,563 @@
+"""Parallel sharded execution of the functional bit-GEMM.
+
+The host-side counterpart of the paper's core-grid parallelism: the
+output C is partitioned into shards (:mod:`repro.parallel.plan`), each
+shard runs on a ``concurrent.futures`` thread pool -- the NumPy
+bitwise/popcount/GEMM kernels release the GIL, so shards genuinely
+overlap on multicore hosts -- and every shard writes its disjoint
+block of the shared output array (the partial-``gamma`` reduction is
+race-free by construction).
+
+Two shard strategies, both bit-exact with
+:func:`repro.blis.gemm.bit_gemm_reference`:
+
+* ``"blocked"`` -- the genuine BLIS walk: per ``k_c`` panel, pack A/B
+  micro-panels (through the shared :class:`~repro.parallel.cache.PanelCache`)
+  and run the popcount micro-kernel over batched groups of micro-tiles.
+* ``"gemm"`` -- the throughput path: per ``k_c`` panel, unpack the
+  shard's rows to float32 bit matrices (cached, so shards sharing a
+  panel unpack it once) and evaluate the popcount identities
+  (``POPC(a & b)`` summed = ``<bits(a), bits(b)>`` etc.) as one BLAS
+  GEMM.  Exact: per-panel dot products are bounded by
+  ``k_c * word_bits``, far below float32's 2**24 integer limit (panels
+  beyond that bound fall back to float64).
+
+``"auto"`` (the default) picks ``"gemm"``.  Problems below the
+crossover threshold -- or ``workers=1`` -- take the serial fallback
+through the existing :mod:`repro.blis.gemm` drivers, so the engine is
+safe to leave enabled everywhere.
+
+Per-shard timing and cache accounting surface as
+:class:`ShardProfile` records (the host-side analogue of
+:class:`repro.gpu.executor.KernelProfile`) inside a
+:class:`ParallelReport`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.blis.blocking import BlockingPlan
+from repro.blis.gemm import bit_gemm_blocked, bit_gemm_fast
+from repro.blis.microkernel import ComparisonOp, get_microkernel
+from repro.blis.packing import pack_a_panel, pack_b_panel
+from repro.errors import ConfigurationError, PackingError
+from repro.parallel.cache import DEFAULT_BUDGET_BYTES, CacheStats, PanelCache
+from repro.parallel.plan import Shard, ShardPlan
+from repro.util.bitops import popcount, unpack_bits
+
+__all__ = [
+    "PARALLEL_CROSSOVER_OPS",
+    "ShardProfile",
+    "ParallelReport",
+    "ParallelEngine",
+    "bit_gemm_parallel",
+    "get_engine",
+]
+
+#: Problems below this many packed-word operations run the serial
+#: fallback: pool dispatch and panel-cache bookkeeping cost more than
+#: they save on small tables.
+PARALLEL_CROSSOVER_OPS = 1 << 21
+
+#: Serial fallback stays on the genuine blocked walk up to this many
+#: word-ops (mirrors the GPU executor's functional-path heuristic),
+#: then switches to the identity-based fast driver.
+SERIAL_BLOCKED_OP_LIMIT = 2_000_000
+
+#: float32 dot products are exact below 2**24; wider k_c panels use
+#: float64 for the GEMM strategy.
+_FLOAT32_EXACT_BITS = 1 << 24
+
+#: A micro-panels are batched in groups through the micro-kernel so
+#: one NumPy dispatch covers ``group * n_panels`` micro-tiles.
+_BLOCKED_GROUP = 4
+
+#: The batched micro-kernel chunks the k dimension to bound the
+#: broadcast temporary (words).
+_BLOCKED_K_CHUNK = 64
+
+
+@dataclass(frozen=True)
+class ShardProfile:
+    """Timing and accounting for one shard (KernelProfile analogue)."""
+
+    shard_id: int
+    m_range: tuple[int, int]
+    n_range: tuple[int, int]
+    word_ops: int
+    seconds: float
+    strategy: str
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def throughput_word_ops(self) -> float:
+        """Word-ops per second of shard wall time."""
+        return self.word_ops / self.seconds if self.seconds > 0 else 0.0
+
+
+@dataclass
+class ParallelReport:
+    """What one engine run did: plan, per-shard records, cache stats."""
+
+    workers: int
+    strategy: str
+    used_parallel: bool
+    seconds: float
+    shard_plan: ShardPlan | None = None
+    shard_profiles: list[ShardProfile] = field(default_factory=list)
+    cache_stats: CacheStats | None = None
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shard_profiles)
+
+    @property
+    def total_word_ops(self) -> int:
+        return sum(p.word_ops for p in self.shard_profiles)
+
+    @property
+    def shard_seconds(self) -> float:
+        """Sum of per-shard wall times (> ``seconds`` when overlapped)."""
+        return sum(p.seconds for p in self.shard_profiles)
+
+    @property
+    def throughput_word_ops(self) -> float:
+        return self.total_word_ops / self.seconds if self.seconds > 0 else 0.0
+
+
+def _check_operands(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a)
+    b = np.asarray(b)
+    for name, arr in (("A", a), ("B", b)):
+        if arr.ndim != 2:
+            raise PackingError(f"bit_gemm_parallel: {name} must be 2-D packed words")
+        if arr.dtype not in (np.uint8, np.uint16, np.uint32, np.uint64):
+            raise PackingError(
+                f"bit_gemm_parallel: {name} has non-word dtype {arr.dtype}"
+            )
+    if a.dtype != b.dtype:
+        raise PackingError(
+            f"bit_gemm_parallel: dtype mismatch ({a.dtype} vs {b.dtype})"
+        )
+    if a.shape[1] != b.shape[1]:
+        raise PackingError(
+            f"bit_gemm_parallel: k mismatch (A has {a.shape[1]} words, "
+            f"B has {b.shape[1]})"
+        )
+    return a, b
+
+
+class ParallelEngine:
+    """Shards one bit-GEMM across a host thread pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool threads.  Default: ``os.cpu_count()``.  ``1`` always takes
+        the serial fallback.
+    cache_bytes:
+        Byte budget of the per-run packed-panel cache.
+    strategy:
+        ``"auto"`` (= ``"gemm"``), ``"gemm"``, or ``"blocked"``.
+    oversubscribe:
+        Shards per worker the plan aims for (see :class:`ShardPlan`).
+    crossover_ops:
+        Problems below this many word-ops run serially.
+
+    One engine owns one lazily created pool; it is reused across runs
+    and across callers -- :func:`get_engine` hands the same engine to
+    every simulated device, so a multi-GPU run shares a single pool.
+    """
+
+    STRATEGIES = ("auto", "gemm", "blocked")
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        cache_bytes: int = DEFAULT_BUDGET_BYTES,
+        strategy: str = "auto",
+        oversubscribe: int = 2,
+        crossover_ops: int = PARALLEL_CROSSOVER_OPS,
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers <= 0:
+            raise ConfigurationError(
+                f"ParallelEngine: workers must be positive, got {workers}"
+            )
+        if strategy not in self.STRATEGIES:
+            raise ConfigurationError(
+                f"ParallelEngine: unknown strategy {strategy!r} "
+                f"(valid: {', '.join(self.STRATEGIES)})"
+            )
+        self.workers = workers
+        self.cache_bytes = cache_bytes
+        self.strategy = strategy
+        self.oversubscribe = oversubscribe
+        self.crossover_ops = crossover_ops
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    # -- pool management -------------------------------------------------------
+
+    def _get_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-shard",
+                )
+            return self._pool
+
+    def shutdown(self) -> None:
+        """Release the pool (a later run recreates it)."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    # -- entry point -----------------------------------------------------------
+
+    def run(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        op: ComparisonOp | str = ComparisonOp.AND,
+        plan: BlockingPlan | None = None,
+        force_parallel: bool | None = None,
+    ) -> tuple[np.ndarray, ParallelReport]:
+        """Compute ``C[i, j] = sum_k POPC(op(A[i,k], B[j,k]))``.
+
+        Returns the int64 table and a :class:`ParallelReport`.
+        ``force_parallel`` overrides the crossover heuristic (tests and
+        benchmarks use it); ``plan`` pins the blocking the shard plan
+        derives from.
+        """
+        a, b = _check_operands(a, b)
+        op = get_microkernel(op).op
+        m, k = a.shape
+        n = b.shape[0]
+        if plan is None:
+            plan = BlockingPlan(m=m, n=n, k=k, m_c=32, k_c=256, m_r=4, n_r=64)
+        if (plan.m, plan.n, plan.k) != (m, n, k):
+            raise PackingError(
+                f"ParallelEngine.run: plan extents {(plan.m, plan.n, plan.k)} "
+                f"do not match operands {(m, n, k)}"
+            )
+        total_ops = plan.total_ops()
+        use_parallel = (
+            self.workers > 1 and total_ops >= self.crossover_ops
+            if force_parallel is None
+            else force_parallel and self.workers >= 1
+        )
+        if not use_parallel:
+            return self._run_serial(a, b, op, plan, total_ops)
+        return self._run_sharded(a, b, op, plan)
+
+    # -- serial fallback ---------------------------------------------------------
+
+    def _run_serial(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        op: ComparisonOp,
+        plan: BlockingPlan,
+        total_ops: int,
+    ) -> tuple[np.ndarray, ParallelReport]:
+        start = time.perf_counter()
+        if total_ops <= SERIAL_BLOCKED_OP_LIMIT:
+            c = bit_gemm_blocked(a, b, op, plan)
+            strategy = "serial-blocked"
+        else:
+            c = bit_gemm_fast(a, b, op)
+            strategy = "serial-fast"
+        elapsed = time.perf_counter() - start
+        profile = ShardProfile(
+            shard_id=0,
+            m_range=(0, plan.m),
+            n_range=(0, plan.n),
+            word_ops=total_ops,
+            seconds=elapsed,
+            strategy=strategy,
+            cache_hits=0,
+            cache_misses=0,
+        )
+        report = ParallelReport(
+            workers=1,
+            strategy=strategy,
+            used_parallel=False,
+            seconds=elapsed,
+            shard_profiles=[profile],
+        )
+        return c, report
+
+    # -- sharded execution ---------------------------------------------------------
+
+    def _run_sharded(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        op: ComparisonOp,
+        plan: BlockingPlan,
+    ) -> tuple[np.ndarray, ParallelReport]:
+        shard_plan = ShardPlan.from_blocking(
+            plan, self.workers, oversubscribe=self.oversubscribe
+        )
+        strategy = "gemm" if self.strategy == "auto" else self.strategy
+        cache = PanelCache(self.cache_bytes)
+        c = np.zeros((plan.m, plan.n), dtype=np.int64)
+        run_shard = (
+            self._shard_gemm if strategy == "gemm" else self._shard_blocked
+        )
+
+        start = time.perf_counter()
+        if shard_plan.n_shards <= 1:
+            profiles = [
+                run_shard(shard, a, b, op, plan, cache, c)
+                for shard in shard_plan.shards
+            ]
+        else:
+            pool = self._get_pool()
+            futures = [
+                pool.submit(run_shard, shard, a, b, op, plan, cache, c)
+                for shard in shard_plan.shards
+            ]
+            profiles = [f.result() for f in futures]
+        elapsed = time.perf_counter() - start
+
+        profiles.sort(key=lambda p: p.shard_id)
+        report = ParallelReport(
+            workers=self.workers,
+            strategy=strategy,
+            used_parallel=True,
+            seconds=elapsed,
+            shard_plan=shard_plan,
+            shard_profiles=profiles,
+            cache_stats=cache.stats(),
+        )
+        return c, report
+
+    # -- shard kernels ---------------------------------------------------------
+
+    def _shard_gemm(
+        self,
+        shard: Shard,
+        a: np.ndarray,
+        b: np.ndarray,
+        op: ComparisonOp,
+        plan: BlockingPlan,
+        cache: PanelCache,
+        c: np.ndarray,
+    ) -> ShardProfile:
+        """Identity-based shard kernel: one BLAS GEMM per k_c panel."""
+        start = time.perf_counter()
+        hits = misses = 0
+        m0, m1 = shard.m_range
+        n0, n1 = shard.n_range
+        word_bits = a.dtype.itemsize * 8
+        dots = np.zeros((shard.m_size, shard.n_size), dtype=np.int64)
+        for k0, k1 in plan.k_panels():
+            dtype = (
+                np.float32
+                if (k1 - k0) * word_bits < _FLOAT32_EXACT_BITS
+                else np.float64
+            )
+
+            def build_a(k0=k0, k1=k1, dtype=dtype):
+                return unpack_bits(a[m0:m1, k0:k1]).astype(dtype)
+
+            def build_b(k0=k0, k1=k1, dtype=dtype):
+                return unpack_bits(b[n0:n1, k0:k1]).astype(dtype)
+
+            bits_a, hit_a = cache.get_or_build_flag(
+                ("Abits", m0, m1, k0, k1, dtype), build_a
+            )
+            bits_b, hit_b = cache.get_or_build_flag(
+                ("Bbits", n0, n1, k0, k1, dtype), build_b
+            )
+            hits += hit_a + hit_b
+            misses += (not hit_a) + (not hit_b)
+            dots += np.rint(bits_a @ bits_b.T).astype(np.int64)
+
+        if op in (ComparisonOp.AND, ComparisonOp.AND_PRENEGATED):
+            block = dots
+        else:
+            pop_a, hit = cache.get_or_build_flag(
+                ("Apop", m0, m1), lambda: popcount(a[m0:m1]).sum(axis=1)
+            )
+            hits += hit
+            misses += not hit
+            if op is ComparisonOp.XOR:
+                pop_b, hit = cache.get_or_build_flag(
+                    ("Bpop", n0, n1), lambda: popcount(b[n0:n1]).sum(axis=1)
+                )
+                hits += hit
+                misses += not hit
+                block = pop_a[:, None] + pop_b[None, :] - 2 * dots
+            elif op is ComparisonOp.ANDNOT:
+                block = pop_a[:, None] - dots
+            else:  # pragma: no cover - ops are exhaustive above
+                raise PackingError(f"_shard_gemm: unhandled op {op!r}")
+
+        c[m0:m1, n0:n1] = block
+        return ShardProfile(
+            shard_id=shard.shard_id,
+            m_range=shard.m_range,
+            n_range=shard.n_range,
+            word_ops=shard.word_ops(plan.k),
+            seconds=time.perf_counter() - start,
+            strategy="gemm",
+            cache_hits=hits,
+            cache_misses=misses,
+        )
+
+    def _shard_blocked(
+        self,
+        shard: Shard,
+        a: np.ndarray,
+        b: np.ndarray,
+        op: ComparisonOp,
+        plan: BlockingPlan,
+        cache: PanelCache,
+        c: np.ndarray,
+    ) -> ShardProfile:
+        """BLIS-structured shard kernel: packed panels, batched tiles."""
+        start = time.perf_counter()
+        hits = misses = 0
+        kernel = get_microkernel(op)
+        m0, m1 = shard.m_range
+        n0, n1 = shard.n_range
+        m_r, n_r, m_c = plan.m_r, plan.n_r, plan.m_c
+        block = np.zeros((shard.m_size, shard.n_size), dtype=np.int64)
+        for k0, k1 in plan.k_panels():
+
+            def build_b(k0=k0, k1=k1):
+                return pack_b_panel(b[n0:n1, k0:k1].T, n_r)
+
+            b_packed, hit = cache.get_or_build_flag(
+                ("B", n_r, n0, n1, k0, k1), build_b
+            )
+            hits += hit
+            misses += not hit
+            # Loop 3: m_c panels of A inside this shard's M range.
+            for pm0 in range(m0, m1, m_c):
+                pm1 = min(pm0 + m_c, m1)
+
+                def build_a(pm0=pm0, pm1=pm1, k0=k0, k1=k1):
+                    return pack_a_panel(a[pm0:pm1, k0:k1], m_r)
+
+                a_packed, hit = cache.get_or_build_flag(
+                    ("A", m_r, pm0, pm1, k0, k1), build_a
+                )
+                hits += hit
+                misses += not hit
+                _batched_micro_update(
+                    block, a_packed, b_packed, kernel.combine,
+                    pm0 - m0, shard.m_size, shard.n_size, m_r, n_r,
+                )
+        c[m0:m1, n0:n1] = block
+        return ShardProfile(
+            shard_id=shard.shard_id,
+            m_range=shard.m_range,
+            n_range=shard.n_range,
+            word_ops=shard.word_ops(plan.k),
+            seconds=time.perf_counter() - start,
+            strategy="blocked",
+            cache_hits=hits,
+            cache_misses=misses,
+        )
+
+
+def _batched_micro_update(
+    block: np.ndarray,
+    a_packed: np.ndarray,
+    b_packed: np.ndarray,
+    combine,
+    row_offset: int,
+    m_size: int,
+    n_size: int,
+    m_r: int,
+    n_r: int,
+) -> None:
+    """Rank-k_c update of ``block`` from packed panels, micro-tiles batched.
+
+    Identical arithmetic to :func:`repro.blis.gemm._micro_update`, but
+    each NumPy dispatch covers a *group* of A micro-panels against all
+    B micro-panels of the shard, with the k dimension chunked to bound
+    the broadcast temporary.
+    """
+    n_a_panels, k_len, _ = a_packed.shape
+    n_b_panels = b_packed.shape[0]
+    padded_cols = n_b_panels * n_r
+    for g0 in range(0, n_a_panels, _BLOCKED_GROUP):
+        g1 = min(g0 + _BLOCKED_GROUP, n_a_panels)
+        group = a_packed[g0:g1]  # (g, k, m_r)
+        acc = None
+        for kc0 in range(0, k_len, _BLOCKED_K_CHUNK):
+            kc1 = min(kc0 + _BLOCKED_K_CHUNK, k_len)
+            # (g, pb, k_chunk, m_r, n_r) broadcast micro-kernel batch.
+            combined = combine(
+                group[:, None, kc0:kc1, :, None],
+                b_packed[None, :, kc0:kc1, None, :],
+            )
+            partial = popcount(combined).sum(axis=2)
+            acc = partial if acc is None else acc + partial
+        # (g, pb, m_r, n_r) -> (g * m_r, pb * n_r), crop padding.
+        tiles = acc.transpose(0, 2, 1, 3).reshape((g1 - g0) * m_r, padded_cols)
+        r0 = row_offset + g0 * m_r
+        r1 = min(row_offset + g1 * m_r, m_size)
+        block[r0:r1, :n_size] += tiles[: r1 - r0, :n_size]
+
+
+# -- module-level conveniences ---------------------------------------------------
+
+_ENGINES: dict[tuple[int, str], ParallelEngine] = {}
+_ENGINES_LOCK = threading.Lock()
+
+
+def get_engine(
+    workers: int | None = None, strategy: str = "auto"
+) -> ParallelEngine:
+    """Process-wide engine per (workers, strategy) pair.
+
+    Every caller asking for the same worker count shares one pool --
+    this is how the multi-GPU executor runs all simulated devices on a
+    single pool instead of one per device.
+    """
+    if workers is None:
+        workers = os.cpu_count() or 1
+    key = (workers, strategy)
+    with _ENGINES_LOCK:
+        engine = _ENGINES.get(key)
+        if engine is None:
+            engine = ParallelEngine(workers=workers, strategy=strategy)
+            _ENGINES[key] = engine
+        return engine
+
+
+def bit_gemm_parallel(
+    a: np.ndarray,
+    b: np.ndarray,
+    op: ComparisonOp | str = ComparisonOp.AND,
+    workers: int | None = None,
+    plan: BlockingPlan | None = None,
+    force_parallel: bool | None = None,
+) -> np.ndarray:
+    """One-shot parallel bit-GEMM (drop-in for the serial drivers)."""
+    c, _ = get_engine(workers).run(
+        a, b, op, plan=plan, force_parallel=force_parallel
+    )
+    return c
+
+
+def recommended_workers() -> int:
+    """Worker count the CLI default uses: all cores, capped sanely."""
+    return max(1, min(16, os.cpu_count() or 1))

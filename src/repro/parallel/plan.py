@@ -1,0 +1,157 @@
+"""Shard planning: partitioning one bit-GEMM across host workers.
+
+The BLIS five-loop structure exposes independent work: every
+``m_r x n_r`` micro-tile of C inside a ``k_c`` panel can be computed
+without synchronization, because each output tile is owned by exactly
+one producer (Section IV-C of the paper parallelizes loops 1 and 2
+across device cores for the same reason).  :class:`ShardPlan` applies
+the identical decomposition one level up, on the host: the ``j_c``
+(N) and ``i_c`` (M) loops are split into contiguous *shards*, each a
+rectangular block of C that one worker thread computes end to end.
+
+The plan is **derived from** a :class:`~repro.blis.blocking.BlockingPlan`
+-- shard boundaries are aligned to the plan's ``m_r``/``n_r``
+micro-tile units via the same :func:`~repro.blis.blocking.split_in_units`
+arithmetic the device core grid uses -- so host sharding and device
+blocking cannot drift apart: a shard always covers whole micro-tiles,
+and every packed panel a shard needs is a sub-panel the serial blocked
+driver would also have produced.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.blis.blocking import BlockingPlan, split_in_units
+from repro.errors import ConfigurationError
+
+__all__ = ["Shard", "ShardPlan"]
+
+#: How many shards to aim for per worker.  Oversubscription keeps the
+#: pool busy when shards finish unevenly (edge shards are smaller).
+DEFAULT_OVERSUBSCRIBE = 2
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One worker's share of the output: a rectangular block of C."""
+
+    shard_id: int
+    grid_row: int
+    grid_col: int
+    m_range: tuple[int, int]
+    n_range: tuple[int, int]
+
+    @property
+    def m_size(self) -> int:
+        return self.m_range[1] - self.m_range[0]
+
+    @property
+    def n_size(self) -> int:
+        return self.n_range[1] - self.n_range[0]
+
+    @property
+    def is_empty(self) -> bool:
+        return self.m_size == 0 or self.n_size == 0
+
+    def word_ops(self, k: int) -> int:
+        """Packed-word comparison operations this shard performs."""
+        return self.m_size * self.n_size * k
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A host-level partition of one blocked bit-GEMM.
+
+    Attributes
+    ----------
+    blocking:
+        The :class:`BlockingPlan` this shard plan was derived from.
+        Shard boundaries are aligned to its ``m_r``/``n_r`` units and
+        shards iterate its ``k_c`` panels.
+    grid_rows, grid_cols:
+        The shard grid: M is split into ``grid_rows`` bands, N into
+        ``grid_cols`` bands.
+    shards:
+        All non-empty shards, row-major over the grid, with
+        contiguous ``shard_id`` starting at 0.
+    """
+
+    blocking: BlockingPlan
+    grid_rows: int
+    grid_cols: int
+    shards: tuple[Shard, ...]
+
+    @classmethod
+    def from_blocking(
+        cls,
+        blocking: BlockingPlan,
+        workers: int,
+        oversubscribe: int = DEFAULT_OVERSUBSCRIBE,
+    ) -> "ShardPlan":
+        """Derive a shard plan targeting ``workers`` pool threads.
+
+        Aims for ``workers * oversubscribe`` shards, splitting the N
+        dimension first (database rows -- the dimension with unbounded
+        growth in both SNP applications, and the one the multi-GPU
+        column partition already splits), then M once N runs out of
+        ``n_r`` units.  Degenerates to a single shard for problems too
+        small to split.
+        """
+        if workers <= 0:
+            raise ConfigurationError(
+                f"ShardPlan: workers must be positive, got {workers}"
+            )
+        if oversubscribe <= 0:
+            raise ConfigurationError(
+                f"ShardPlan: oversubscribe must be positive, got {oversubscribe}"
+            )
+        target = max(1, workers * oversubscribe)
+        m_units = max(1, math.ceil(blocking.m / blocking.m_r))
+        n_units = max(1, math.ceil(blocking.n / blocking.n_r))
+        grid_cols = min(target, n_units)
+        grid_rows = min(max(1, math.ceil(target / grid_cols)), m_units)
+        return cls.from_grid(blocking, grid_rows, grid_cols)
+
+    @classmethod
+    def from_grid(
+        cls, blocking: BlockingPlan, grid_rows: int, grid_cols: int
+    ) -> "ShardPlan":
+        """Build the shard plan for an explicit shard grid."""
+        if grid_rows <= 0 or grid_cols <= 0:
+            raise ConfigurationError(
+                f"ShardPlan: grid must be positive, got "
+                f"{grid_rows}x{grid_cols}"
+            )
+        m_splits = split_in_units(blocking.m, grid_rows, blocking.m_r)
+        n_splits = split_in_units(blocking.n, grid_cols, blocking.n_r)
+        shards = []
+        for r, m_range in enumerate(m_splits):
+            for c, n_range in enumerate(n_splits):
+                shard = Shard(
+                    shard_id=len(shards),
+                    grid_row=r,
+                    grid_col=c,
+                    m_range=m_range,
+                    n_range=n_range,
+                )
+                if not shard.is_empty:
+                    shards.append(shard)
+        return cls(
+            blocking=blocking,
+            grid_rows=grid_rows,
+            grid_cols=grid_cols,
+            shards=tuple(shards),
+        )
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def k_panels(self) -> list[tuple[int, int]]:
+        """The loop-4 ``k_c`` panels every shard iterates (shared)."""
+        return self.blocking.k_panels()
+
+    def total_word_ops(self) -> int:
+        return sum(s.word_ops(self.blocking.k) for s in self.shards)

@@ -151,7 +151,10 @@ def generate_queries(
     unrelated = (
         rng.random((n_unrelated_queries, database.n_sites)) < database.frequencies
     ).astype(np.uint8)
-    queries = np.vstack([members, unrelated]) if (n_member_queries or n_unrelated_queries) else np.zeros((0, database.n_sites), dtype=np.uint8)
+    if n_member_queries or n_unrelated_queries:
+        queries = np.vstack([members, unrelated])
+    else:
+        queries = np.zeros((0, database.n_sites), dtype=np.uint8)
     member_indices = np.concatenate(
         [member_rows.astype(np.int64), np.full(n_unrelated_queries, -1, dtype=np.int64)]
     )

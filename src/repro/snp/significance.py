@@ -42,7 +42,7 @@ def ld_chi_square_pvalues(r_squared: np.ndarray, n_samples: int) -> np.ndarray:
     """
     r2 = np.asarray(r_squared, dtype=np.float64)
     if n_samples <= 0:
-        raise ModelError(f"ld_chi_square_pvalues: n_samples must be positive")
+        raise ModelError("ld_chi_square_pvalues: n_samples must be positive")
     if r2.size and (r2.min() < -1e-9 or r2.max() > 1 + 1e-9):
         raise DatasetError("ld_chi_square_pvalues: r_squared outside [0, 1]")
     return stats.chi2.sf(n_samples * np.clip(r2, 0.0, 1.0), df=1)

@@ -8,7 +8,6 @@ from repro.core.identity import identity_search
 from repro.core.ld import linkage_disequilibrium
 from repro.core.mixture import mixture_analysis
 from repro.errors import DatasetError
-from repro.snp.dataset import SNPDataset
 from repro.snp.forensic import generate_database, generate_queries, make_mixture
 from repro.snp.generator import PopulationModel, generate_population
 from repro.snp.stats import (

@@ -11,7 +11,6 @@ from repro.gpu.arch import GTX_980, GPUArchitecture, MemorySystemModel
 from repro.gpu.device import Device
 from repro.gpu.kernel import SnpKernel
 from repro.snp.stats import ld_counts_naive
-from repro.util.bitops import pack_bits
 from repro.util.units import kib, mib
 
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import ModelError
 from repro.gpu.arch import GTX_980, VEGA_64
 from repro.gpu.coresim import CoreSimulator, Program, ProgramInstruction
 from repro.gpu.isa import Instruction, PipeClass, pipe_for

@@ -11,7 +11,6 @@ from repro.model.endtoend import estimate_cpu_seconds, estimate_end_to_end
 from repro.model.peak import (
     cpu_peak_word32_ops,
     device_peak_summary,
-    device_peak_word_ops,
     gpops,
 )
 from repro.model.scaling import relative_per_core_performance, scaling_curve

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import DatasetError, ModelError
-from repro.snp.forensic import generate_database
 from repro.snp.kinship import ibs_matrix, kinship_screen
 from repro.snp.significance import (
     expected_unrelated_distance,

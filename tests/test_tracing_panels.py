@@ -16,7 +16,6 @@ from repro.gpu.tracing import trace_events, write_chrome_trace
 from repro.snp.panels import (
     ALL_PANELS,
     FORENSIC_CORE,
-    FORENSIC_EXTENDED,
     GWAS_ARRAY,
     WGS_COMMON,
     PanelSpec,

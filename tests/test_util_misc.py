@@ -174,7 +174,7 @@ class TestRenderTable:
         out = render_table(["name", "value"], [["a", 1], ["bb", 22]])
         lines = out.splitlines()
         assert lines[0].startswith("name")
-        assert len({len(l) for l in lines[1:2]}) == 1
+        assert len({len(line) for line in lines[1:2]}) == 1
 
     def test_title(self):
         out = render_table(["x"], [[1]], title="My Table")

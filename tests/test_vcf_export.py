@@ -3,7 +3,6 @@
 import csv
 import json
 
-import numpy as np
 import pytest
 
 from repro.bench.export import export_all, main as export_main
