@@ -76,6 +76,34 @@ def time_workers(pa, pb, workers, repeats=3, op=ComparisonOp.AND):
     return best, table, report
 
 
+def collect_counters(problem, workers=WORKER_SWEEP[-1], op=ComparisonOp.AND):
+    """Deterministic observability counters for one sharded run.
+
+    Runs one *untimed* instrumented pass (a fresh tracer installed just
+    for its duration) and keeps only the counters the regression gate
+    may compare exactly; see
+    :data:`repro.observability.regress.DETERMINISTIC_COUNTERS`.
+    """
+    from repro.observability.regress import DETERMINISTIC_COUNTERS
+    from repro.observability.tracer import Tracer, set_tracer
+
+    pa, pb = make_operands(**problem)
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    engine = ParallelEngine(workers=workers)
+    try:
+        engine.run(pa, pb, op, force_parallel=workers > 1)
+    finally:
+        engine.shutdown()
+        set_tracer(previous)
+    snapshot = tracer.counters.snapshot()
+    return {
+        name: value
+        for name, value in sorted(snapshot.items())
+        if name in DETERMINISTIC_COUNTERS
+    }
+
+
 def run_sweep(problem, repeats=3, workers_sweep=WORKER_SWEEP):
     """Sweep worker counts; returns a JSON-ready result dict."""
     pa, pb = make_operands(**problem)
@@ -179,6 +207,8 @@ def main(argv=None):
     repeats = args.repeats if args.repeats is not None else (1 if args.smoke else 3)
     result = run_sweep(problem, repeats=repeats)
     result["mode"] = "smoke" if args.smoke else "full"
+    # Deterministic counters for the regression gate (untimed pass).
+    result["counters"] = collect_counters(problem)
     print(render(result))
 
     if args.json:

@@ -33,6 +33,8 @@ from repro.errors import PackingError
 from repro.blis.blocking import BlockingPlan
 from repro.blis.microkernel import ComparisonOp, get_microkernel
 from repro.blis.packing import pack_a_panel, pack_b_panel
+from repro.observability.counters import GEMM_CALLS, GEMM_WORD_OPS
+from repro.observability.tracer import get_tracer
 from repro.util.bitops import popcount, unpack_bits
 
 __all__ = ["bit_gemm_reference", "bit_gemm_blocked", "bit_gemm_fast"]
@@ -103,24 +105,28 @@ def bit_gemm_blocked(
             f"match operands {(m, n, k)}"
         )
 
+    obs = get_tracer()
+    obs.counters.add(GEMM_CALLS)
+    obs.counters.add(GEMM_WORD_OPS, plan.total_ops())
     c = np.zeros((m, n), dtype=np.int64)
-    for k0, k1 in plan.k_panels():
-        for assign in plan.core_assignments():
-            if assign.is_empty:
-                continue
-            m0, m1 = assign.m_range
-            n0, n1 = assign.n_range
-            # Loop 3: walk m_c panels of A inside this core's M range,
-            # packing each into the shared-memory layout.
-            for pm0, pm1 in _panel_ranges(m0, m1, plan.m_c):
-                a_packed = pack_a_panel(a[pm0:pm1, k0:k1], plan.m_r)
-                # Loops 2/1: n_r micro-panels of B, micro-tiles of C.
-                for pn0, pn1 in _panel_ranges(n0, n1, plan.n_r):
-                    b_packed = pack_b_panel(b[pn0:pn1, k0:k1].T, plan.n_r)
-                    _micro_update(
-                        c, a_packed, b_packed, kernel.combine,
-                        pm0, pm1, pn0, pn1, plan.m_r,
-                    )
+    with obs.span("gemm.blocked", m=m, n=n, k=k):
+        for k0, k1 in plan.k_panels():
+            for assign in plan.core_assignments():
+                if assign.is_empty:
+                    continue
+                m0, m1 = assign.m_range
+                n0, n1 = assign.n_range
+                # Loop 3: walk m_c panels of A inside this core's M range,
+                # packing each into the shared-memory layout.
+                for pm0, pm1 in _panel_ranges(m0, m1, plan.m_c):
+                    a_packed = pack_a_panel(a[pm0:pm1, k0:k1], plan.m_r)
+                    # Loops 2/1: n_r micro-panels of B, micro-tiles of C.
+                    for pn0, pn1 in _panel_ranges(n0, n1, plan.n_r):
+                        b_packed = pack_b_panel(b[pn0:pn1, k0:k1].T, plan.n_r)
+                        _micro_update(
+                            c, a_packed, b_packed, kernel.combine,
+                            pm0, pm1, pn0, pn1, plan.m_r,
+                        )
     return c
 
 
@@ -177,18 +183,22 @@ def bit_gemm_fast(
     """
     a, b = _check_operands(a, b)
     op = get_microkernel(op).op
-    # float64 GEMM hits BLAS (orders of magnitude faster than integer
-    # matmul) and is exact here: dot products are bounded by the bit
-    # count k * word_bits, far below 2**53.
-    bits_a = unpack_bits(a).astype(np.float64)
-    bits_b = unpack_bits(b).astype(np.float64)
-    dots = np.rint(bits_a @ bits_b.T).astype(np.int64)
-    if op in (ComparisonOp.AND, ComparisonOp.AND_PRENEGATED):
-        return dots
-    pop_a = popcount(a).sum(axis=1)
-    if op is ComparisonOp.XOR:
-        pop_b = popcount(b).sum(axis=1)
-        return pop_a[:, None] + pop_b[None, :] - 2 * dots
-    if op is ComparisonOp.ANDNOT:
-        return pop_a[:, None] - dots
-    raise PackingError(f"bit_gemm_fast: unhandled op {op!r}")
+    obs = get_tracer()
+    obs.counters.add(GEMM_CALLS)
+    obs.counters.add(GEMM_WORD_OPS, a.shape[0] * b.shape[0] * a.shape[1])
+    with obs.span("gemm.fast", m=a.shape[0], n=b.shape[0], k=a.shape[1]):
+        # float64 GEMM hits BLAS (orders of magnitude faster than integer
+        # matmul) and is exact here: dot products are bounded by the bit
+        # count k * word_bits, far below 2**53.
+        bits_a = unpack_bits(a).astype(np.float64)
+        bits_b = unpack_bits(b).astype(np.float64)
+        dots = np.rint(bits_a @ bits_b.T).astype(np.int64)
+        if op in (ComparisonOp.AND, ComparisonOp.AND_PRENEGATED):
+            return dots
+        pop_a = popcount(a).sum(axis=1)
+        if op is ComparisonOp.XOR:
+            pop_b = popcount(b).sum(axis=1)
+            return pop_a[:, None] + pop_b[None, :] - 2 * dots
+        if op is ComparisonOp.ANDNOT:
+            return pop_a[:, None] - dots
+        raise PackingError(f"bit_gemm_fast: unhandled op {op!r}")

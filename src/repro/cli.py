@@ -23,19 +23,25 @@ Inputs are the library's ``.snptxt`` / ``.npz`` formats
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
+from typing import Iterator
 
 import numpy as np
 
 from repro.core.config import Algorithm
+from repro.core.framework import SNPComparisonFramework
 from repro.core.identity import identity_search
 from repro.core.ld import linkage_disequilibrium
 from repro.core.mixture import mixture_analysis
 from repro.core.planner import derive_config
 from repro.core.config import render_header
+from repro.core.profiles import RunReport
 from repro.errors import ReproError
 from repro.gpu.arch import ALL_GPUS, get_gpu
+from repro.observability.trace_export import write_merged_trace
+from repro.observability.tracer import Tracer, set_tracer
 from repro.snp.io import (
     load_database_npz,
     load_dataset_npz,
@@ -120,25 +126,91 @@ def _resolve_workers(args: argparse.Namespace) -> int | None:
     return workers
 
 
+def _observability_requested(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "trace", None)) or bool(
+        getattr(args, "metrics", False)
+    )
+
+
+@contextlib.contextmanager
+def _observability(args: argparse.Namespace) -> Iterator[Tracer | None]:
+    """Install a fresh tracer for one command when flags ask for it.
+
+    Yields the tracer (``None`` when neither ``--trace`` nor
+    ``--metrics`` was given) and restores the previous process tracer
+    on exit, so library callers of :func:`main` are unaffected.
+    """
+    if not _observability_requested(args):
+        yield None
+        return
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def _observed_framework(
+    args: argparse.Namespace,
+    tracer: Tracer | None,
+    algorithm: Algorithm,
+) -> SNPComparisonFramework | None:
+    """Pre-build the framework when tracing, so the command can reach
+    ``last_queue`` for the merged trace export afterwards."""
+    if tracer is None:
+        return None
+    return SNPComparisonFramework(
+        args.device, algorithm, workers=_resolve_workers(args)
+    )
+
+
+def _emit_observability(
+    args: argparse.Namespace,
+    tracer: Tracer | None,
+    framework: SNPComparisonFramework | None,
+    report: RunReport,
+) -> None:
+    """Print the metrics block and/or write the merged Chrome trace."""
+    if tracer is None:
+        return
+    if getattr(args, "metrics", False) and report.metrics is not None:
+        print()
+        print(report.metrics)
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        queues = []
+        if framework is not None and framework.last_queue is not None:
+            queues.append(framework.last_queue)
+        n_events = write_merged_trace(trace_path, tracer, queues)
+        print(f"\nwrote {n_events} trace events to {trace_path}")
+
+
 def _cmd_ld(args: argparse.Namespace) -> int:
     matrix = _load_matrix(args.input)
-    result = linkage_disequilibrium(
-        matrix,
-        device=args.device,
-        compare=args.compare,
-        workers=_resolve_workers(args),
-    )
-    stat = {"r2": result.r_squared, "d": result.d, "dprime": result.d_prime}[args.stat]
-    off = stat[~np.eye(stat.shape[0], dtype=bool)]
-    print(render_kv([
-        ("entities compared", stat.shape[0]),
-        ("observations", result.n_observations),
-        (f"mean {args.stat}", f"{off.mean():.5f}"),
-        (f"max {args.stat}", f"{off.max():.5f}"),
-        (f"pairs with {args.stat} > {args.threshold}",
-         int((off > args.threshold).sum() // 2)),
-        ("simulated end-to-end", f"{result.report.end_to_end_s * 1e3:.1f} ms"),
-    ], title=f"LD on {args.device}"))
+    with _observability(args) as tracer:
+        framework = _observed_framework(args, tracer, Algorithm.LD)
+        result = linkage_disequilibrium(
+            matrix,
+            device=args.device,
+            compare=args.compare,
+            framework=framework,
+            workers=_resolve_workers(args),
+        )
+        stat = {
+            "r2": result.r_squared, "d": result.d, "dprime": result.d_prime
+        }[args.stat]
+        off = stat[~np.eye(stat.shape[0], dtype=bool)]
+        print(render_kv([
+            ("entities compared", stat.shape[0]),
+            ("observations", result.n_observations),
+            (f"mean {args.stat}", f"{off.mean():.5f}"),
+            (f"max {args.stat}", f"{off.max():.5f}"),
+            (f"pairs with {args.stat} > {args.threshold}",
+             int((off > args.threshold).sum() // 2)),
+            ("simulated end-to-end", f"{result.report.end_to_end_s * 1e3:.1f} ms"),
+        ], title=f"LD on {args.device}"))
+        _emit_observability(args, tracer, framework, result.report)
     _save_table(args.output, counts=result.counts, stat=stat)
     return 0
 
@@ -146,25 +218,32 @@ def _cmd_ld(args: argparse.Namespace) -> int:
 def _cmd_identity(args: argparse.Namespace) -> int:
     queries = _load_matrix(args.queries)
     database = _load_matrix(args.database)
-    result = identity_search(
-        queries, database, device=args.device, workers=_resolve_workers(args)
-    )
-    hits = result.matches(args.max_distance)
-    print(render_kv([
-        ("queries", queries.shape[0]),
-        ("database profiles", database.shape[0]),
-        ("sites", queries.shape[1]),
-        (f"matches (distance <= {args.max_distance})", len(hits)),
-        ("simulated end-to-end", f"{result.report.end_to_end_s * 1e3:.1f} ms"),
-    ], title=f"identity search on {args.device}"))
-    if hits:
-        print()
-        print(render_table(
-            ["query", "profile", "distance"],
-            [[q, p, d] for q, p, d in hits[:20]],
-        ))
-        if len(hits) > 20:
-            print(f"... and {len(hits) - 20} more")
+    with _observability(args) as tracer:
+        framework = _observed_framework(args, tracer, Algorithm.FASTID_IDENTITY)
+        result = identity_search(
+            queries,
+            database,
+            device=args.device,
+            framework=framework,
+            workers=_resolve_workers(args),
+        )
+        hits = result.matches(args.max_distance)
+        print(render_kv([
+            ("queries", queries.shape[0]),
+            ("database profiles", database.shape[0]),
+            ("sites", queries.shape[1]),
+            (f"matches (distance <= {args.max_distance})", len(hits)),
+            ("simulated end-to-end", f"{result.report.end_to_end_s * 1e3:.1f} ms"),
+        ], title=f"identity search on {args.device}"))
+        if hits:
+            print()
+            print(render_table(
+                ["query", "profile", "distance"],
+                [[q, p, d] for q, p, d in hits[:20]],
+            ))
+            if len(hits) > 20:
+                print(f"... and {len(hits) - 20} more")
+        _emit_observability(args, tracer, framework, result.report)
     _save_table(args.output, distances=result.distances)
     return 0
 
@@ -172,19 +251,27 @@ def _cmd_identity(args: argparse.Namespace) -> int:
 def _cmd_mixture(args: argparse.Namespace) -> int:
     references = _load_matrix(args.references)
     mixture = _load_matrix(args.mixture)
-    result = mixture_analysis(
-        references, mixture, device=args.device, workers=_resolve_workers(args)
-    )
-    print(render_kv([
-        ("references", references.shape[0]),
-        ("mixtures", mixture.shape[0]),
-        ("kernel", "AND (pre-negated DB)" if result.prenegated else "fused AND-NOT"),
-        ("simulated end-to-end", f"{result.report.end_to_end_s * 1e3:.1f} ms"),
-    ], title=f"mixture analysis on {args.device}"))
-    for mi in range(mixture.shape[0]):
-        flagged = result.consistent_contributors(mi, args.max_score)
-        ids = ", ".join(str(r) for r, _ in flagged[:15]) or "(none)"
-        print(f"mixture {mi}: {len(flagged)} consistent references: {ids}")
+    with _observability(args) as tracer:
+        framework = _observed_framework(args, tracer, Algorithm.FASTID_MIXTURE)
+        result = mixture_analysis(
+            references,
+            mixture,
+            device=args.device,
+            framework=framework,
+            workers=_resolve_workers(args),
+        )
+        print(render_kv([
+            ("references", references.shape[0]),
+            ("mixtures", mixture.shape[0]),
+            ("kernel",
+             "AND (pre-negated DB)" if result.prenegated else "fused AND-NOT"),
+            ("simulated end-to-end", f"{result.report.end_to_end_s * 1e3:.1f} ms"),
+        ], title=f"mixture analysis on {args.device}"))
+        for mi in range(mixture.shape[0]):
+            flagged = result.consistent_contributors(mi, args.max_score)
+            ids = ", ".join(str(r) for r, _ in flagged[:15]) or "(none)"
+            print(f"mixture {mi}: {len(flagged)} consistent references: {ids}")
+        _emit_observability(args, tracer, framework, result.report)
     _save_table(args.output, scores=result.scores)
     return 0
 
@@ -219,6 +306,15 @@ def build_parser() -> argparse.ArgumentParser:
         "host threads for the functional compute "
         "(0 = machine default, omit = serial)"
     )
+    trace_help = (
+        "write a merged Chrome trace (host spans + simulated device "
+        "lanes) to this JSON file"
+    )
+    metrics_help = "print the observability counter/span report"
+
+    def add_observability_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--trace", metavar="PATH", help=trace_help)
+        cmd.add_argument("--metrics", action="store_true", help=metrics_help)
 
     ld = sub.add_parser("ld", help="all-pairs linkage disequilibrium")
     ld.add_argument("--input", required=True, help=".snptxt or dataset .npz")
@@ -228,6 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
     ld.add_argument("--threshold", type=float, default=0.8)
     ld.add_argument("--workers", type=int, default=None, help=workers_help)
     ld.add_argument("--output", help="write tables to this .npz")
+    add_observability_flags(ld)
     ld.set_defaults(func=_cmd_ld)
 
     ident = sub.add_parser("identity", help="FastID identity search")
@@ -237,6 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
     ident.add_argument("--max-distance", type=int, default=0)
     ident.add_argument("--workers", type=int, default=None, help=workers_help)
     ident.add_argument("--output")
+    add_observability_flags(ident)
     ident.set_defaults(func=_cmd_identity)
 
     mix = sub.add_parser("mixture", help="FastID mixture analysis")
@@ -246,6 +344,7 @@ def build_parser() -> argparse.ArgumentParser:
     mix.add_argument("--max-score", type=int, default=0)
     mix.add_argument("--workers", type=int, default=None, help=workers_help)
     mix.add_argument("--output")
+    add_observability_flags(mix)
     mix.set_defaults(func=_cmd_mixture)
     return parser
 

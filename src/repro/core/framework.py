@@ -31,8 +31,11 @@ from repro.core.profiles import RunReport
 from repro.cpu.timing import CPUTimingModel
 from repro.errors import ConfigurationError
 from repro.gpu.arch import GPUArchitecture, get_gpu
-from repro.gpu.device import Context, Device
+from repro.gpu.device import CommandQueue, Context, Device
 from repro.gpu.kernel import SnpKernel
+from repro.observability.counters import SIM_DEVICE_SECONDS
+from repro.observability.report import MetricsReport
+from repro.observability.tracer import get_tracer
 
 __all__ = ["SNPComparisonFramework"]
 
@@ -102,6 +105,10 @@ class SNPComparisonFramework:
             grid_cols=self.config.grid_cols,
         )
         self._cpu_model = CPUTimingModel()
+        #: Command queue of the most recent :meth:`run_packed`; the CLI
+        #: uses it to export the simulated device lanes alongside host
+        #: spans in one merged Chrome trace.
+        self.last_queue: CommandQueue | None = None
 
     # -- operand preparation --------------------------------------------------
 
@@ -132,6 +139,12 @@ class SNPComparisonFramework:
         case).  Mixture pre-negation is applied automatically to the
         right operand when the configuration calls for it.
         """
+        # Widen the metrics window over packing too: ``run_packed``
+        # scopes its own capture, so re-derive the delta from before the
+        # operands were packed and overwrite the narrower report.
+        obs = get_tracer()
+        counters_before = obs.counters.snapshot() if obs.enabled else None
+        spans_before = obs.n_spans()
         a = self.pack(np.asarray(a_bits))
         if b_bits is None:
             b = (
@@ -148,26 +161,44 @@ class SNPComparisonFramework:
                 f"run: operands cover different site counts "
                 f"({a.n_bits} vs {b.n_bits})"
             )
-        return self.run_packed(a, b)
+        table, report = self.run_packed(a, b)
+        if obs.enabled:
+            report.metrics = MetricsReport.from_delta(
+                obs, counters_before, spans_before
+            )
+        return table, report
 
     def run_packed(
         self, a: PackedOperand, b: PackedOperand
     ) -> tuple[np.ndarray, RunReport]:
         """Run with pre-packed operands; returns (cropped table, report)."""
-        device = Device(self.arch)
-        context: Context = device.create_context()
-        queue = context.create_queue()
+        obs = get_tracer()
+        counters_before = obs.counters.snapshot() if obs.enabled else None
+        spans_before = obs.n_spans()
+        with obs.span(
+            "framework.run",
+            device=self.arch.name,
+            algorithm=self.algorithm.value,
+            m=a.n_rows,
+            n=b.n_rows,
+            k_bits=a.n_bits,
+        ):
+            device = Device(self.arch)
+            context: Context = device.create_context()
+            queue = context.create_queue()
+            self.last_queue = queue
 
-        raw, profiles, plan = run_pipeline(
-            queue,
-            self.kernel,
-            a,
-            b,
-            double_buffering=self.double_buffering,
-            workers=self.workers,
-        )
-        end_to_end = queue.finish()
-        busy = queue.busy_summary()
+            raw, profiles, plan = run_pipeline(
+                queue,
+                self.kernel,
+                a,
+                b,
+                double_buffering=self.double_buffering,
+                workers=self.workers,
+            )
+            end_to_end = queue.finish()
+            busy = queue.busy_summary()
+        obs.counters.add(SIM_DEVICE_SECONDS, end_to_end)
 
         report = RunReport(
             device=self.arch.name,
@@ -184,6 +215,10 @@ class SNPComparisonFramework:
             n_tiles=plan.n_tiles,
             kernel_profiles=profiles,
         )
+        if obs.enabled:
+            report.metrics = MetricsReport.from_delta(
+                obs, counters_before, spans_before
+            )
         return crop_result(raw, a, b), report
 
     # -- baselines ---------------------------------------------------------------

@@ -23,6 +23,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import PackingError
+from repro.observability.counters import PACK_BYTES, PACK_OPERANDS
+from repro.observability.tracer import get_tracer
 from repro.util.bitops import pack_bits
 
 __all__ = ["PackedOperand", "pack_operand", "crop_result"]
@@ -89,15 +91,19 @@ def pack_operand(
     if row_multiple <= 0:
         raise PackingError("pack_operand: row_multiple must be positive")
     n_rows, n_bits = arr.shape
-    if negate:
-        if arr.dtype != np.bool_ and arr.size and not np.isin(arr, (0, 1)).all():
-            raise PackingError("pack_operand: input must be binary to negate")
-        arr = 1 - arr.astype(np.uint8)
-    padded_rows = -(-max(n_rows, 1) // row_multiple) * row_multiple
-    if padded_rows != n_rows:
-        pad = np.zeros((padded_rows - n_rows, n_bits), dtype=np.uint8)
-        arr = np.vstack([np.asarray(arr, dtype=np.uint8), pad])
-    words = pack_bits(arr, word_bits=word_bits)
+    obs = get_tracer()
+    with obs.span("pack.operand", rows=n_rows, bits=n_bits, negate=negate):
+        if negate:
+            if arr.dtype != np.bool_ and arr.size and not np.isin(arr, (0, 1)).all():
+                raise PackingError("pack_operand: input must be binary to negate")
+            arr = 1 - arr.astype(np.uint8)
+        padded_rows = -(-max(n_rows, 1) // row_multiple) * row_multiple
+        if padded_rows != n_rows:
+            pad = np.zeros((padded_rows - n_rows, n_bits), dtype=np.uint8)
+            arr = np.vstack([np.asarray(arr, dtype=np.uint8), pad])
+        words = pack_bits(arr, word_bits=word_bits)
+    obs.counters.add(PACK_OPERANDS)
+    obs.counters.add(PACK_BYTES, int(words.nbytes))
     return PackedOperand(words=words, n_rows=n_rows, n_bits=n_bits, negated=negate)
 
 

@@ -36,6 +36,7 @@ from repro.gpu.device import CommandQueue, Context
 from repro.gpu.executor import KernelProfile
 from repro.gpu.kernel import SnpKernel
 from repro.gpu.event import Event
+from repro.observability.tracer import get_tracer
 
 __all__ = ["TilePlan", "plan_tiles", "run_pipeline"]
 
@@ -139,52 +140,62 @@ def run_pipeline(
     out = np.zeros((m_padded, plan.n_total), dtype=np.int64)
     profiles: list[KernelProfile] = []
 
-    # Resident A upload.
-    a_buf = context.create_buffer(a.nbytes, label="A")
-    a_event = queue.enqueue_write_buffer(a_buf, a.words, label="write:A")
+    obs = get_tracer()
+    with obs.span(
+        "pipeline.run",
+        device=arch.name,
+        n_tiles=plan.n_tiles,
+        double_buffering=double_buffering,
+    ):
+        # Resident A upload.
+        a_buf = context.create_buffer(a.nbytes, label="A")
+        a_event = queue.enqueue_write_buffer(a_buf, a.words, label="write:A")
 
-    # Double-buffered B/C rotation (two slots each).
-    n_slots = 2 if double_buffering and plan.n_tiles > 1 else 1
-    b_bufs = [
-        context.create_buffer(plan.tile_rows * b.k_words * word_bytes, label=f"B{i}")
-        for i in range(n_slots)
-    ]
-    c_bufs = [
-        context.create_buffer(
-            m_padded * plan.tile_rows * _RESULT_BYTES, label=f"C{i}"
-        )
-        for i in range(n_slots)
-    ]
-    # Last events occupying each slot (must complete before reuse).
-    slot_free: list[list[Event]] = [[] for _ in range(n_slots)]
-    prev_read: Event | None = None
+        # Double-buffered B/C rotation (two slots each).
+        n_slots = 2 if double_buffering and plan.n_tiles > 1 else 1
+        b_bufs = [
+            context.create_buffer(
+                plan.tile_rows * b.k_words * word_bytes, label=f"B{i}"
+            )
+            for i in range(n_slots)
+        ]
+        c_bufs = [
+            context.create_buffer(
+                m_padded * plan.tile_rows * _RESULT_BYTES, label=f"C{i}"
+            )
+            for i in range(n_slots)
+        ]
+        # Last events occupying each slot (must complete before reuse).
+        slot_free: list[list[Event]] = [[] for _ in range(n_slots)]
+        prev_read: Event | None = None
 
-    for tile_idx, (n0, n1) in enumerate(plan.ranges):
-        slot = tile_idx % n_slots
-        b_tile = np.ascontiguousarray(b.words[n0:n1])
-        deps: list[Event] = list(slot_free[slot])
-        if not double_buffering and prev_read is not None:
-            deps.append(prev_read)
-        write_ev = queue.enqueue_write_buffer(
-            b_bufs[slot], b_tile, wait_for=deps, label=f"write:B[{tile_idx}]"
-        )
-        kernel_ev, profile = queue.enqueue_kernel(
-            kernel,
-            a_buf,
-            b_bufs[slot],
-            c_bufs[slot],
-            wait_for=[a_event, write_ev],
-            label=f"kernel[{tile_idx}]",
-            workers=workers,
-        )
-        profiles.append(profile)
-        tile_out, read_ev = queue.enqueue_read_buffer(
-            c_bufs[slot], wait_for=[kernel_ev], label=f"read:C[{tile_idx}]"
-        )
-        out[:, n0:n1] = tile_out
-        slot_free[slot] = [read_ev]
-        prev_read = read_ev
+        for tile_idx, (n0, n1) in enumerate(plan.ranges):
+            slot = tile_idx % n_slots
+            with obs.span("pipeline.tile", tile=tile_idx, n0=n0, n1=n1):
+                b_tile = np.ascontiguousarray(b.words[n0:n1])
+                deps: list[Event] = list(slot_free[slot])
+                if not double_buffering and prev_read is not None:
+                    deps.append(prev_read)
+                write_ev = queue.enqueue_write_buffer(
+                    b_bufs[slot], b_tile, wait_for=deps, label=f"write:B[{tile_idx}]"
+                )
+                kernel_ev, profile = queue.enqueue_kernel(
+                    kernel,
+                    a_buf,
+                    b_bufs[slot],
+                    c_bufs[slot],
+                    wait_for=[a_event, write_ev],
+                    label=f"kernel[{tile_idx}]",
+                    workers=workers,
+                )
+                profiles.append(profile)
+                tile_out, read_ev = queue.enqueue_read_buffer(
+                    c_bufs[slot], wait_for=[kernel_ev], label=f"read:C[{tile_idx}]"
+                )
+                out[:, n0:n1] = tile_out
+                slot_free[slot] = [read_ev]
+                prev_read = read_ev
 
-    for buf in [a_buf, *b_bufs, *c_bufs]:
-        buf.release()
+        for buf in [a_buf, *b_bufs, *c_bufs]:
+            buf.release()
     return out, profiles, plan

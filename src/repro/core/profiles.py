@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.gpu.executor import KernelProfile
+from repro.observability.report import MetricsReport
 from repro.util.units import format_ops, format_percent, format_seconds
 
 __all__ = ["RunReport"]
@@ -40,6 +41,9 @@ class RunReport:
     n_kernel_launches: int = 0
     n_tiles: int = 0
     kernel_profiles: list[KernelProfile] = field(default_factory=list)
+    #: Observability capture scoped to this run; ``None`` when the
+    #: process tracer was disabled (the default).
+    metrics: MetricsReport | None = None
 
     @property
     def word_ops(self) -> int:

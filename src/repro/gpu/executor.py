@@ -27,6 +27,8 @@ from repro.blis.gemm import bit_gemm_blocked, bit_gemm_fast
 from repro.errors import KernelLaunchError
 from repro.gpu.cycles import CycleBreakdown, kernel_cycles
 from repro.gpu.kernel import KernelArgs, SnpKernel
+from repro.observability.counters import KERNEL_LAUNCHES
+from repro.observability.tracer import get_tracer
 from repro.parallel.engine import ParallelReport, get_engine
 
 __all__ = [
@@ -142,14 +144,24 @@ def execute_kernel(
         if force_blocked_path is None
         else force_blocked_path
     )
+    obs = get_tracer()
+    obs.counters.add(KERNEL_LAUNCHES)
     parallel_report: ParallelReport | None = None
-    if workers is not None and workers > 1 and force_blocked_path is None:
-        c, parallel_report = get_engine(workers).run(a, b, kernel.op, plan=plan)
-        use_blocked = False
-    elif use_blocked:
-        c = bit_gemm_blocked(a, b, kernel.op, plan)
-    else:
-        c = bit_gemm_fast(a, b, kernel.op)
+    with obs.span(
+        "kernel.execute",
+        kernel=f"snp_{kernel.op.value}",
+        device=kernel.arch.name,
+        m=args.m,
+        n=args.n,
+        k=args.k,
+    ):
+        if workers is not None and workers > 1 and force_blocked_path is None:
+            c, parallel_report = get_engine(workers).run(a, b, kernel.op, plan=plan)
+            use_blocked = False
+        elif use_blocked:
+            c = bit_gemm_blocked(a, b, kernel.op, plan)
+        else:
+            c = bit_gemm_fast(a, b, kernel.op)
 
     breakdown = kernel_cycles(kernel.arch, plan, kernel.op)
     profile = KernelProfile(

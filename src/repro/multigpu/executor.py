@@ -27,6 +27,7 @@ from repro.gpu.arch import GPUArchitecture
 from repro.model.endtoend import EndToEndEstimate, estimate_end_to_end
 from repro.multigpu.partition import DeviceSlice, partition_database
 from repro.multigpu.system import MultiGPUSystem
+from repro.observability.tracer import get_tracer
 
 __all__ = ["MultiGPUReport", "run_multi_gpu", "estimate_multi_gpu", "scaling_series"]
 
@@ -99,6 +100,7 @@ def run_multi_gpu(
         raise ModelError("run_multi_gpu: empty database")
     arch = _adjusted_arch(system, len(active))
 
+    obs = get_tracer()
     table = np.zeros((a.shape[0], b.shape[0]), dtype=np.int64)
     report = MultiGPUReport(
         system=system.name,
@@ -106,28 +108,39 @@ def run_multi_gpu(
         n_devices_used=len(active),
         slices=slices,
     )
-    for dev_slice in active:
-        framework = SNPComparisonFramework(arch, algorithm, workers=workers)
-        slice_table, run_report = framework.run(
-            a, b[dev_slice.row_start : dev_slice.row_stop]
-        )
-        table[:, dev_slice.row_start : dev_slice.row_stop] = slice_table
-        report.per_device.append(
-            EndToEndEstimate(
-                device=arch.name,
-                algorithm=algorithm.value,
-                m=run_report.m,
-                n=run_report.n,
-                k_bits=run_report.k_bits,
-                init_s=run_report.init_s,
-                h2d_s=run_report.h2d_s,
-                kernel_s=run_report.kernel_s,
-                d2h_s=run_report.d2h_s,
-                end_to_end_s=run_report.end_to_end_s,
-                n_tiles=run_report.n_tiles,
-                kernel_word_ops=run_report.word_ops,
+    with obs.span(
+        "multigpu.run",
+        system=system.name,
+        algorithm=algorithm.value,
+        devices=len(active),
+    ):
+        for dev_slice in active:
+            with obs.span(
+                "multigpu.device",
+                device=dev_slice.device_index,
+                rows=dev_slice.n_rows,
+            ):
+                framework = SNPComparisonFramework(arch, algorithm, workers=workers)
+                slice_table, run_report = framework.run(
+                    a, b[dev_slice.row_start : dev_slice.row_stop]
+                )
+            table[:, dev_slice.row_start : dev_slice.row_stop] = slice_table
+            report.per_device.append(
+                EndToEndEstimate(
+                    device=arch.name,
+                    algorithm=algorithm.value,
+                    m=run_report.m,
+                    n=run_report.n,
+                    k_bits=run_report.k_bits,
+                    init_s=run_report.init_s,
+                    h2d_s=run_report.h2d_s,
+                    kernel_s=run_report.kernel_s,
+                    d2h_s=run_report.d2h_s,
+                    end_to_end_s=run_report.end_to_end_s,
+                    n_tiles=run_report.n_tiles,
+                    kernel_word_ops=run_report.word_ops,
+                )
             )
-        )
     return table, report
 
 

@@ -1,0 +1,159 @@
+"""Counters registry: exact, thread-safe accounting of what a run did.
+
+Counters complement spans: a span says *when* something happened on the
+host, a counter says *how much* of it happened in total.  The catalogue
+below names every counter the instrumented layers emit; values are
+plain integers (byte counts, operation counts) or floats (seconds), so
+tests can assert them against closed-form expectations -- e.g. the
+POPC word-op count of a bit-GEMM is exactly ``m * n * k_words``
+regardless of worker count or shard strategy.
+
+The registry follows the tracer's null-object pattern
+(:mod:`repro.observability.tracer`): the disabled default is
+:data:`NULL_COUNTERS`, whose :meth:`~NullCounters.add` is an empty
+method, so instrumented hot paths pay one no-op call when observability
+is off.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "CounterRegistry",
+    "NullCounters",
+    "NULL_COUNTERS",
+    "COUNTER_CATALOGUE",
+    "PACK_OPERANDS",
+    "PACK_BYTES",
+    "PANEL_BUILDS",
+    "PANEL_BYTES",
+    "GEMM_CALLS",
+    "GEMM_WORD_OPS",
+    "KERNEL_LAUNCHES",
+    "CACHE_HITS",
+    "CACHE_MISSES",
+    "CACHE_EVICTIONS",
+    "SHARDS_EXECUTED",
+    "HOST_ENGINE_SECONDS",
+    "SIM_DEVICE_SECONDS",
+]
+
+# -- counter names (the catalogue) ---------------------------------------------
+
+#: Operands packed by :func:`repro.core.packing.pack_operand`.
+PACK_OPERANDS = "pack.operands"
+#: Bytes of packed words produced by operand packing.
+PACK_BYTES = "pack.bytes_packed"
+#: BLIS pack-buffer builds (A/B panels) inserted into a panel cache.
+PANEL_BUILDS = "pack.panel_builds"
+#: Bytes of BLIS pack buffers built (cache misses only).
+PANEL_BYTES = "pack.panel_bytes"
+#: Bit-GEMM driver invocations (serial drivers and sharded runs alike).
+GEMM_CALLS = "gemm.calls"
+#: POPC word operations executed: ``m * n * k_words`` per logical GEMM,
+#: counted exactly once whichever driver or shard strategy ran it.
+GEMM_WORD_OPS = "gemm.popc_word_ops"
+#: Simulated kernel launches through :func:`repro.gpu.executor.execute_kernel`.
+KERNEL_LAUNCHES = "kernel.launches"
+#: Panel-cache hits.
+CACHE_HITS = "cache.hits"
+#: Panel-cache misses.
+CACHE_MISSES = "cache.misses"
+#: Panel-cache LRU evictions.
+CACHE_EVICTIONS = "cache.evictions"
+#: Shards executed by the parallel engine (serial fallback counts 1).
+SHARDS_EXECUTED = "shards.executed"
+#: Host wall-clock seconds spent inside the parallel engine.
+HOST_ENGINE_SECONDS = "time.host_engine_s"
+#: Simulated device seconds (end-to-end makespans of framework runs).
+SIM_DEVICE_SECONDS = "time.simulated_device_s"
+
+#: Every counter the instrumented layers emit, with a one-line meaning.
+COUNTER_CATALOGUE: dict[str, str] = {
+    PACK_OPERANDS: "operands packed for the device (pack_operand calls)",
+    PACK_BYTES: "bytes of packed words produced by operand packing",
+    PANEL_BUILDS: "BLIS pack-buffer builds (panel-cache misses)",
+    PANEL_BYTES: "bytes of BLIS pack buffers built",
+    GEMM_CALLS: "bit-GEMM driver invocations",
+    GEMM_WORD_OPS: "POPC word operations (m*n*k_words per GEMM, exact)",
+    KERNEL_LAUNCHES: "simulated kernel launches",
+    CACHE_HITS: "panel-cache hits",
+    CACHE_MISSES: "panel-cache misses",
+    CACHE_EVICTIONS: "panel-cache LRU evictions",
+    SHARDS_EXECUTED: "shards executed by the parallel engine",
+    HOST_ENGINE_SECONDS: "host wall seconds inside the parallel engine",
+    SIM_DEVICE_SECONDS: "simulated device seconds (framework makespans)",
+}
+
+
+class CounterRegistry:
+    """Thread-safe monotonic counters keyed by catalogue name.
+
+    ``add`` is the only mutator the instrumented code uses; snapshots
+    are plain dicts, so a caller can diff two snapshots to scope the
+    accounting to one run (:meth:`diff`).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: dict[str, float] = {}
+
+    def add(self, name: str, value: float = 1) -> None:
+        """Increment ``name`` by ``value`` (creating it at 0)."""
+        with self._lock:
+            self._values[name] = self._values.get(name, 0) + value
+
+    def get(self, name: str) -> float:
+        """Current value of ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._values.get(name, 0)
+
+    def snapshot(self) -> dict[str, float]:
+        """Copy of every counter's current value."""
+        with self._lock:
+            return dict(self._values)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        with self._lock:
+            self._values.clear()
+
+    @staticmethod
+    def diff(before: dict[str, float], after: dict[str, float]) -> dict[str, float]:
+        """Per-counter change between two snapshots (zero deltas dropped)."""
+        out: dict[str, float] = {}
+        for name, value in after.items():
+            delta = value - before.get(name, 0)
+            if delta:
+                out[name] = delta
+        return out
+
+
+class NullCounters:
+    """Disabled registry: every operation is a no-op.
+
+    The single instance :data:`NULL_COUNTERS` is what instrumented code
+    sees when observability is off; ``add`` has an empty body, so the
+    hot-path cost is one attribute lookup and one call.
+    """
+
+    enabled = False
+
+    def add(self, name: str, value: float = 1) -> None:
+        pass
+
+    def get(self, name: str) -> float:
+        return 0
+
+    def snapshot(self) -> dict[str, float]:
+        return {}
+
+    def reset(self) -> None:
+        pass
+
+
+#: The process-wide disabled registry (see :data:`~repro.observability.tracer.NULL_TRACER`).
+NULL_COUNTERS = NullCounters()

@@ -1,0 +1,141 @@
+"""MetricsReport: one run's observability data as a value object.
+
+A :class:`MetricsReport` freezes what a scoped stretch of work did --
+counter deltas plus per-name span aggregates -- so results objects
+(:class:`repro.parallel.engine.ParallelReport`,
+:class:`repro.core.profiles.RunReport`) can carry their own metrics
+without holding a reference to the live tracer.  Scoping works by
+snapshot: callers record the counter snapshot and span count when the
+work starts and build the report from the delta when it ends
+(:meth:`MetricsReport.from_delta`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.observability.tracer import Tracer
+
+__all__ = ["SpanSummary", "MetricsReport"]
+
+
+@dataclass(frozen=True)
+class SpanSummary:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    count: int
+    total_s: float
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+@dataclass
+class MetricsReport:
+    """Counters and span aggregates for one scoped stretch of work."""
+
+    counters: dict[str, float] = field(default_factory=dict)
+    spans: list[SpanSummary] = field(default_factory=list)
+
+    @classmethod
+    def from_tracer(cls, tracer: "Tracer") -> "MetricsReport":
+        """Everything the tracer has recorded since it was created."""
+        return cls.from_delta(tracer, counters_before=None, spans_before=0)
+
+    @classmethod
+    def from_delta(
+        cls,
+        tracer: "Tracer",
+        counters_before: dict[str, float] | None,
+        spans_before: int,
+    ) -> "MetricsReport":
+        """The tracer's recordings since (``counters_before``, ``spans_before``).
+
+        ``counters_before`` is a snapshot from
+        :meth:`~repro.observability.counters.CounterRegistry.snapshot`
+        (``None`` scopes from zero); ``spans_before`` is the tracer's
+        span count when the scope opened.
+        """
+        after = tracer.counters.snapshot()
+        if counters_before:
+            counters = tracer.counters.diff(counters_before, after)
+        else:
+            counters = after
+        totals: dict[str, tuple[int, float]] = {}
+        for record in tracer.spans()[spans_before:]:
+            count, seconds = totals.get(record.name, (0, 0.0))
+            totals[record.name] = (count + 1, seconds + record.duration)
+        spans = [
+            SpanSummary(name=name, count=count, total_s=seconds)
+            for name, (count, seconds) in sorted(
+                totals.items(), key=lambda item: -item[1][1]
+            )
+        ]
+        return cls(counters=counters, spans=spans)
+
+    # -- accessors -------------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        """Value of one counter (0 when absent)."""
+        return self.counters.get(name, 0)
+
+    def span_total(self, name: str) -> float:
+        """Total seconds across spans named ``name`` (0 when absent)."""
+        for summary in self.spans:
+            if summary.name == name:
+                return summary.total_s
+        return 0.0
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-ready dict (the metrics-file format regress ingests)."""
+        return {
+            "counters": dict(self.counters),
+            "spans": [
+                {"name": s.name, "count": s.count, "total_s": s.total_s}
+                for s in self.spans
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "MetricsReport":
+        return cls(
+            counters=dict(data.get("counters", {})),
+            spans=[
+                SpanSummary(
+                    name=s["name"], count=int(s["count"]), total_s=float(s["total_s"])
+                )
+                for s in data.get("spans", [])
+            ],
+        )
+
+    # -- rendering -------------------------------------------------------------
+
+    def summary_lines(self, title: str = "observability metrics") -> list[str]:
+        """Human-readable text block (what the CLI's ``--metrics`` prints)."""
+        lines = [title, "-" * len(title), "counters:"]
+        if not self.counters:
+            lines.append("  (none recorded)")
+        for name in sorted(self.counters):
+            value = self.counters[name]
+            if isinstance(value, float):
+                rendered = f"{value:.6f}".rstrip("0").rstrip(".")
+            else:
+                rendered = str(value)
+            lines.append(f"  {name:<28} {rendered}")
+        lines.append("spans (total seconds x count):")
+        if not self.spans:
+            lines.append("  (none recorded)")
+        for summary in self.spans:
+            lines.append(
+                f"  {summary.name:<28} {summary.total_s:10.6f} s x {summary.count}"
+            )
+        return lines
+
+    def __str__(self) -> str:
+        return "\n".join(self.summary_lines())

@@ -1,0 +1,123 @@
+"""Merged Chrome-trace export: host spans beside simulated device lanes.
+
+The existing :mod:`repro.gpu.tracing` exporter covers one simulated
+device queue (h2d / compute / d2h lanes).  This module adds the host
+side -- the tracer's spans, one ``tid`` per host thread -- and merges
+both into a single Chrome Trace Event array that Perfetto or
+``chrome://tracing`` renders as one process ("host engine") next to one
+process per simulated device.
+
+The two clocks are independent by design: host spans are wall-clock
+seconds since the tracer's epoch, device lanes are *simulated* seconds
+from the timing model.  They share the trace's microsecond axis but
+must be read per-process (documented in ``docs/OBSERVABILITY.md``);
+merging them anyway is what makes pack/shard host work visually
+comparable with the modeled transfer/compute overlap.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gpu.device import CommandQueue
+    from repro.observability.tracer import Tracer
+
+__all__ = ["HOST_PID", "host_trace_events", "merged_trace_events", "write_merged_trace"]
+
+#: The ``pid`` under which host spans appear in the merged trace.
+HOST_PID = "host"
+
+
+def host_trace_events(
+    tracer: "Tracer", pid: str = HOST_PID
+) -> list[dict[str, Any]]:
+    """The tracer's spans as Chrome Trace Event dicts (one tid per thread).
+
+    Emits process/thread metadata events followed by one complete
+    (``"ph": "X"``) event per finished span; span attributes and depth
+    ride along in ``args``.
+    """
+    records = tracer.spans()
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": pid,
+            "args": {"name": "host engine (wall clock)"},
+        }
+    ]
+    threads = sorted({r.thread for r in records})
+    for tid, thread in enumerate(threads):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": thread},
+            }
+        )
+    tid_of = {thread: tid for tid, thread in enumerate(threads)}
+    for record in records:
+        args: dict[str, Any] = {"depth": record.depth}
+        args.update(record.attrs)
+        events.append(
+            {
+                "ph": "X",
+                "name": record.name,
+                "cat": record.category,
+                "pid": pid,
+                "tid": tid_of[record.thread],
+                "ts": record.start * 1e6,  # microseconds
+                "dur": record.duration * 1e6,
+                "args": args,
+            }
+        )
+    return events
+
+
+def merged_trace_events(
+    tracer: "Tracer | None" = None,
+    queues: Sequence["CommandQueue"] = (),
+) -> list[dict[str, Any]]:
+    """Host spans plus every queue's simulated lanes, pids deduplicated.
+
+    Each queue keeps the device exporter's schema (one pid per device,
+    lanes as tids); when two queues share a device name the later pids
+    are suffixed ``"name [i]"`` so their lanes stay distinct.
+    """
+    # Imported here, not at module top: the device stack transitively
+    # imports this package (instrumentation), so a top-level import
+    # would be circular.
+    from repro.gpu.tracing import trace_events as device_trace_events
+
+    events: list[dict[str, Any]] = []
+    if tracer is not None and tracer.enabled:
+        events.extend(host_trace_events(tracer))
+    seen_pids = {HOST_PID}
+    for index, queue in enumerate(queues):
+        device_events = device_trace_events(queue)
+        pid = str(queue.arch.name)
+        if pid in seen_pids:
+            pid = f"{queue.arch.name} [{index}]"
+        seen_pids.add(pid)
+        for event in device_events:
+            event = dict(event)
+            event["pid"] = pid
+            events.append(event)
+    return events
+
+
+def write_merged_trace(
+    path: str | os.PathLike,
+    tracer: "Tracer | None" = None,
+    queues: Sequence["CommandQueue"] = (),
+) -> int:
+    """Write the merged trace to ``path``; returns the event count."""
+    events = merged_trace_events(tracer, queues)
+    Path(path).write_text(json.dumps(events, indent=1), encoding="utf-8")
+    return len(events)

@@ -1,0 +1,264 @@
+"""Span-based host tracing with a zero-overhead disabled default.
+
+A *span* is a named host wall-clock interval -- "pack this operand",
+"run this shard" -- recorded with its thread, nesting depth and parent,
+so the observability layer can reconstruct what the host actually did
+during a run (the analogue, for host work, of the simulated device
+timelines in :mod:`repro.util.timing`).
+
+Two tracer types share one duck-typed interface:
+
+* :class:`Tracer` records :class:`SpanRecord` entries (thread-safe:
+  per-thread nesting stacks, one lock around the shared record list)
+  and owns a live :class:`~repro.observability.counters.CounterRegistry`.
+* :class:`NullTracer` -- the process default -- returns a shared no-op
+  span and the no-op counter registry.  Instrumented hot paths
+  (per-shard, per-panel) therefore cost one method call when tracing is
+  off; the parallel-scaling bench guards this stays in the noise.
+
+The active tracer is process-global (:func:`get_tracer` /
+:func:`set_tracer`); :func:`enable` installs a fresh recording tracer
+and :func:`disable` restores the null tracer.  The pool threads of the
+parallel engine see the same global, which is what lets shard spans
+land in the same trace as the submitting thread's spans.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Union
+
+from repro.observability.counters import NULL_COUNTERS, CounterRegistry, NullCounters
+
+__all__ = [
+    "SpanRecord",
+    "Span",
+    "NullSpan",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "enable",
+    "disable",
+]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span: a labelled host interval with lineage.
+
+    Times are seconds since the owning tracer's epoch (its creation),
+    so records are directly comparable across threads and exportable
+    without clock arithmetic.
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    category: str
+    start: float
+    end: float
+    thread: str
+    depth: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Span:
+    """An open span; use as a context manager (``with tracer.span(...)``)."""
+
+    __slots__ = (
+        "_tracer",
+        "name",
+        "category",
+        "attrs",
+        "_span_id",
+        "_parent_id",
+        "_depth",
+        "_start",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, category: str, attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.attrs = attrs
+        self._span_id = -1
+        self._parent_id: int | None = None
+        self._depth = 0
+        self._start = 0.0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to the span while it is open."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._open(self)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._tracer._close(self)
+
+
+class NullSpan:
+    """The shared no-op span the null tracer hands out."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+_NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Recording tracer: nested spans across threads plus counters.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic seconds source (injectable for tests); spans are
+        stored relative to the tracer's construction time.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self._lock = threading.Lock()
+        self._records: list[SpanRecord] = []
+        self._next_id = 0
+        self._tls = threading.local()
+        self.counters = CounterRegistry()
+
+    # -- span lifecycle --------------------------------------------------------
+
+    def span(self, name: str, category: str = "host", **attrs: Any) -> Span:
+        """Open a span; enter the returned object to start timing."""
+        return Span(self, name, category, attrs)
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def _open(self, span: Span) -> None:
+        stack = self._stack()
+        with self._lock:
+            span._span_id = self._next_id
+            self._next_id += 1
+        span._parent_id = stack[-1]._span_id if stack else None
+        span._depth = len(stack)
+        stack.append(span)
+        span._start = self._clock() - self._epoch
+
+    def _close(self, span: Span) -> None:
+        end = self._clock() - self._epoch
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        record = SpanRecord(
+            span_id=span._span_id,
+            parent_id=span._parent_id,
+            name=span.name,
+            category=span.category,
+            start=span._start,
+            end=end,
+            thread=threading.current_thread().name,
+            depth=span._depth,
+            attrs=span.attrs,
+        )
+        with self._lock:
+            self._records.append(record)
+
+    # -- inspection ------------------------------------------------------------
+
+    def spans(self) -> list[SpanRecord]:
+        """Finished spans, in completion order."""
+        with self._lock:
+            return list(self._records)
+
+    def n_spans(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def span_totals(self) -> dict[str, tuple[int, float]]:
+        """Per-name aggregate: ``{name: (count, total_seconds)}``."""
+        totals: dict[str, tuple[int, float]] = {}
+        for record in self.spans():
+            count, seconds = totals.get(record.name, (0, 0.0))
+            totals[record.name] = (count + 1, seconds + record.duration)
+        return totals
+
+
+class NullTracer:
+    """Disabled tracer: shared no-op span, no-op counters, no records."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.counters: NullCounters = NULL_COUNTERS
+
+    def span(self, name: str, category: str = "host", **attrs: Any) -> NullSpan:
+        return _NULL_SPAN
+
+    def spans(self) -> list[SpanRecord]:
+        return []
+
+    def n_spans(self) -> int:
+        return 0
+
+    def span_totals(self) -> dict[str, tuple[int, float]]:
+        return {}
+
+
+#: The process-wide disabled tracer (also the reset target of :func:`disable`).
+NULL_TRACER = NullTracer()
+
+AnyTracer = Union[Tracer, NullTracer]
+
+_active: AnyTracer = NULL_TRACER
+_active_lock = threading.Lock()
+
+
+def get_tracer() -> AnyTracer:
+    """The process-global tracer instrumented code reports to."""
+    return _active
+
+
+def set_tracer(tracer: AnyTracer | None) -> AnyTracer:
+    """Install ``tracer`` (``None`` = null tracer); returns the previous one."""
+    global _active
+    with _active_lock:
+        previous = _active
+        _active = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+def enable() -> Tracer:
+    """Install and return a fresh recording tracer."""
+    tracer = Tracer()
+    set_tracer(tracer)
+    return tracer
+
+
+def disable() -> None:
+    """Restore the zero-overhead null tracer."""
+    set_tracer(NULL_TRACER)

@@ -14,6 +14,10 @@ lock so a slow pack does not serialize the pool; if two shards race to
 build the same panel, both build and the second insert wins -- wasted
 work but identical bytes, so correctness is unaffected (both count as
 misses in the stats).
+
+Hits, misses, evictions and build bytes are mirrored to the process
+observability counters (:mod:`repro.observability.counters`) as they
+happen; with tracing disabled those calls hit the no-op registry.
 """
 
 from __future__ import annotations
@@ -26,6 +30,14 @@ from typing import Callable, Hashable
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.observability.counters import (
+    CACHE_EVICTIONS,
+    CACHE_HITS,
+    CACHE_MISSES,
+    PANEL_BUILDS,
+    PANEL_BYTES,
+)
+from repro.observability.tracer import get_tracer
 
 __all__ = ["CacheStats", "PanelCache"]
 
@@ -74,6 +86,10 @@ class PanelCache:
                 f"PanelCache: budget_bytes must be positive, got {budget_bytes}"
             )
         self.budget_bytes = budget_bytes
+        # The registry active at construction; caches are per-run, so
+        # a run started under an enabled tracer reports to it even if
+        # tracing is toggled mid-run.
+        self._counters = get_tracer().counters
         self._lock = threading.Lock()
         self._entries: OrderedDict[Hashable, np.ndarray] = OrderedDict()
         self._current_bytes = 0
@@ -103,9 +119,13 @@ class PanelCache:
             if cached is not None:
                 self._entries.move_to_end(key)
                 self._hits += 1
+                self._counters.add(CACHE_HITS)
                 return cached, True
             self._misses += 1
+        self._counters.add(CACHE_MISSES)
         panel = build()
+        self._counters.add(PANEL_BUILDS)
+        self._counters.add(PANEL_BYTES, int(panel.nbytes))
         self._insert(key, panel)
         return panel, False
 
@@ -124,6 +144,7 @@ class PanelCache:
                 _, evicted = self._entries.popitem(last=False)
                 self._current_bytes -= int(evicted.nbytes)
                 self._evictions += 1
+                self._counters.add(CACHE_EVICTIONS)
             self._peak_bytes = max(self._peak_bytes, self._current_bytes)
 
     def __len__(self) -> int:

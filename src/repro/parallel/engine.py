@@ -48,6 +48,14 @@ from repro.blis.gemm import bit_gemm_blocked, bit_gemm_fast
 from repro.blis.microkernel import ComparisonOp, get_microkernel
 from repro.blis.packing import pack_a_panel, pack_b_panel
 from repro.errors import ConfigurationError, PackingError
+from repro.observability.counters import (
+    GEMM_CALLS,
+    GEMM_WORD_OPS,
+    HOST_ENGINE_SECONDS,
+    SHARDS_EXECUTED,
+)
+from repro.observability.report import MetricsReport
+from repro.observability.tracer import get_tracer
 from repro.parallel.cache import DEFAULT_BUDGET_BYTES, CacheStats, PanelCache
 from repro.parallel.plan import Shard, ShardPlan
 from repro.util.bitops import popcount, unpack_bits
@@ -105,7 +113,11 @@ class ShardProfile:
 
 @dataclass
 class ParallelReport:
-    """What one engine run did: plan, per-shard records, cache stats."""
+    """What one engine run did: plan, per-shard records, cache stats.
+
+    ``metrics`` carries the run-scoped observability delta (counters
+    plus span aggregates) when tracing was enabled; ``None`` otherwise.
+    """
 
     workers: int
     strategy: str
@@ -114,6 +126,7 @@ class ParallelReport:
     shard_plan: ShardPlan | None = None
     shard_profiles: list[ShardProfile] = field(default_factory=list)
     cache_stats: CacheStats | None = None
+    metrics: MetricsReport | None = None
 
     @property
     def n_shards(self) -> int:
@@ -258,9 +271,22 @@ class ParallelEngine:
             if force_parallel is None
             else force_parallel and self.workers >= 1
         )
-        if not use_parallel:
-            return self._run_serial(a, b, op, plan, total_ops)
-        return self._run_sharded(a, b, op, plan)
+        obs = get_tracer()
+        counters_before = obs.counters.snapshot() if obs.enabled else None
+        spans_before = obs.n_spans()
+        with obs.span(
+            "parallel.run", m=m, n=n, k=k, workers=self.workers
+        ).set(parallel=use_parallel):
+            if not use_parallel:
+                c, report = self._run_serial(a, b, op, plan, total_ops)
+            else:
+                c, report = self._run_sharded(a, b, op, plan)
+        obs.counters.add(HOST_ENGINE_SECONDS, report.seconds)
+        if obs.enabled:
+            report.metrics = MetricsReport.from_delta(
+                obs, counters_before, spans_before
+            )
+        return c, report
 
     # -- serial fallback ---------------------------------------------------------
 
@@ -272,6 +298,7 @@ class ParallelEngine:
         plan: BlockingPlan,
         total_ops: int,
     ) -> tuple[np.ndarray, ParallelReport]:
+        get_tracer().counters.add(SHARDS_EXECUTED)
         start = time.perf_counter()
         if total_ops <= SERIAL_BLOCKED_OP_LIMIT:
             c = bit_gemm_blocked(a, b, op, plan)
@@ -312,11 +339,12 @@ class ParallelEngine:
             plan, self.workers, oversubscribe=self.oversubscribe
         )
         strategy = "gemm" if self.strategy == "auto" else self.strategy
+        # One logical GEMM however many shards execute it; per-shard
+        # word-ops sum to plan.total_ops() because shards partition C.
+        get_tracer().counters.add(GEMM_CALLS)
         cache = PanelCache(self.cache_bytes)
         c = np.zeros((plan.m, plan.n), dtype=np.int64)
-        run_shard = (
-            self._shard_gemm if strategy == "gemm" else self._shard_blocked
-        )
+        run_shard = self._shard_gemm if strategy == "gemm" else self._shard_blocked
 
         start = time.perf_counter()
         if shard_plan.n_shards <= 1:
@@ -358,66 +386,70 @@ class ParallelEngine:
         c: np.ndarray,
     ) -> ShardProfile:
         """Identity-based shard kernel: one BLAS GEMM per k_c panel."""
-        start = time.perf_counter()
-        hits = misses = 0
-        m0, m1 = shard.m_range
-        n0, n1 = shard.n_range
-        word_bits = a.dtype.itemsize * 8
-        dots = np.zeros((shard.m_size, shard.n_size), dtype=np.int64)
-        for k0, k1 in plan.k_panels():
-            dtype = (
-                np.float32
-                if (k1 - k0) * word_bits < _FLOAT32_EXACT_BITS
-                else np.float64
-            )
+        obs = get_tracer()
+        obs.counters.add(SHARDS_EXECUTED)
+        obs.counters.add(GEMM_WORD_OPS, shard.word_ops(plan.k))
+        with obs.span("parallel.shard", shard=shard.shard_id, strategy="gemm"):
+            start = time.perf_counter()
+            hits = misses = 0
+            m0, m1 = shard.m_range
+            n0, n1 = shard.n_range
+            word_bits = a.dtype.itemsize * 8
+            dots = np.zeros((shard.m_size, shard.n_size), dtype=np.int64)
+            for k0, k1 in plan.k_panels():
+                dtype = (
+                    np.float32
+                    if (k1 - k0) * word_bits < _FLOAT32_EXACT_BITS
+                    else np.float64
+                )
 
-            def build_a(k0=k0, k1=k1, dtype=dtype):
-                return unpack_bits(a[m0:m1, k0:k1]).astype(dtype)
+                def build_a(k0=k0, k1=k1, dtype=dtype):
+                    return unpack_bits(a[m0:m1, k0:k1]).astype(dtype)
 
-            def build_b(k0=k0, k1=k1, dtype=dtype):
-                return unpack_bits(b[n0:n1, k0:k1]).astype(dtype)
+                def build_b(k0=k0, k1=k1, dtype=dtype):
+                    return unpack_bits(b[n0:n1, k0:k1]).astype(dtype)
 
-            bits_a, hit_a = cache.get_or_build_flag(
-                ("Abits", m0, m1, k0, k1, dtype), build_a
-            )
-            bits_b, hit_b = cache.get_or_build_flag(
-                ("Bbits", n0, n1, k0, k1, dtype), build_b
-            )
-            hits += hit_a + hit_b
-            misses += (not hit_a) + (not hit_b)
-            dots += np.rint(bits_a @ bits_b.T).astype(np.int64)
+                bits_a, hit_a = cache.get_or_build_flag(
+                    ("Abits", m0, m1, k0, k1, dtype), build_a
+                )
+                bits_b, hit_b = cache.get_or_build_flag(
+                    ("Bbits", n0, n1, k0, k1, dtype), build_b
+                )
+                hits += hit_a + hit_b
+                misses += (not hit_a) + (not hit_b)
+                dots += np.rint(bits_a @ bits_b.T).astype(np.int64)
 
-        if op in (ComparisonOp.AND, ComparisonOp.AND_PRENEGATED):
-            block = dots
-        else:
-            pop_a, hit = cache.get_or_build_flag(
-                ("Apop", m0, m1), lambda: popcount(a[m0:m1]).sum(axis=1)
-            )
-            hits += hit
-            misses += not hit
-            if op is ComparisonOp.XOR:
-                pop_b, hit = cache.get_or_build_flag(
-                    ("Bpop", n0, n1), lambda: popcount(b[n0:n1]).sum(axis=1)
+            if op in (ComparisonOp.AND, ComparisonOp.AND_PRENEGATED):
+                block = dots
+            else:
+                pop_a, hit = cache.get_or_build_flag(
+                    ("Apop", m0, m1), lambda: popcount(a[m0:m1]).sum(axis=1)
                 )
                 hits += hit
                 misses += not hit
-                block = pop_a[:, None] + pop_b[None, :] - 2 * dots
-            elif op is ComparisonOp.ANDNOT:
-                block = pop_a[:, None] - dots
-            else:  # pragma: no cover - ops are exhaustive above
-                raise PackingError(f"_shard_gemm: unhandled op {op!r}")
+                if op is ComparisonOp.XOR:
+                    pop_b, hit = cache.get_or_build_flag(
+                        ("Bpop", n0, n1), lambda: popcount(b[n0:n1]).sum(axis=1)
+                    )
+                    hits += hit
+                    misses += not hit
+                    block = pop_a[:, None] + pop_b[None, :] - 2 * dots
+                elif op is ComparisonOp.ANDNOT:
+                    block = pop_a[:, None] - dots
+                else:  # pragma: no cover - ops are exhaustive above
+                    raise PackingError(f"_shard_gemm: unhandled op {op!r}")
 
-        c[m0:m1, n0:n1] = block
-        return ShardProfile(
-            shard_id=shard.shard_id,
-            m_range=shard.m_range,
-            n_range=shard.n_range,
-            word_ops=shard.word_ops(plan.k),
-            seconds=time.perf_counter() - start,
-            strategy="gemm",
-            cache_hits=hits,
-            cache_misses=misses,
-        )
+            c[m0:m1, n0:n1] = block
+            return ShardProfile(
+                shard_id=shard.shard_id,
+                m_range=shard.m_range,
+                n_range=shard.n_range,
+                word_ops=shard.word_ops(plan.k),
+                seconds=time.perf_counter() - start,
+                strategy="gemm",
+                cache_hits=hits,
+                cache_misses=misses,
+            )
 
     def _shard_blocked(
         self,
@@ -430,50 +462,54 @@ class ParallelEngine:
         c: np.ndarray,
     ) -> ShardProfile:
         """BLIS-structured shard kernel: packed panels, batched tiles."""
-        start = time.perf_counter()
-        hits = misses = 0
-        kernel = get_microkernel(op)
-        m0, m1 = shard.m_range
-        n0, n1 = shard.n_range
-        m_r, n_r, m_c = plan.m_r, plan.n_r, plan.m_c
-        block = np.zeros((shard.m_size, shard.n_size), dtype=np.int64)
-        for k0, k1 in plan.k_panels():
+        obs = get_tracer()
+        obs.counters.add(SHARDS_EXECUTED)
+        obs.counters.add(GEMM_WORD_OPS, shard.word_ops(plan.k))
+        with obs.span("parallel.shard", shard=shard.shard_id, strategy="blocked"):
+            start = time.perf_counter()
+            hits = misses = 0
+            kernel = get_microkernel(op)
+            m0, m1 = shard.m_range
+            n0, n1 = shard.n_range
+            m_r, n_r, m_c = plan.m_r, plan.n_r, plan.m_c
+            block = np.zeros((shard.m_size, shard.n_size), dtype=np.int64)
+            for k0, k1 in plan.k_panels():
 
-            def build_b(k0=k0, k1=k1):
-                return pack_b_panel(b[n0:n1, k0:k1].T, n_r)
+                def build_b(k0=k0, k1=k1):
+                    return pack_b_panel(b[n0:n1, k0:k1].T, n_r)
 
-            b_packed, hit = cache.get_or_build_flag(
-                ("B", n_r, n0, n1, k0, k1), build_b
-            )
-            hits += hit
-            misses += not hit
-            # Loop 3: m_c panels of A inside this shard's M range.
-            for pm0 in range(m0, m1, m_c):
-                pm1 = min(pm0 + m_c, m1)
-
-                def build_a(pm0=pm0, pm1=pm1, k0=k0, k1=k1):
-                    return pack_a_panel(a[pm0:pm1, k0:k1], m_r)
-
-                a_packed, hit = cache.get_or_build_flag(
-                    ("A", m_r, pm0, pm1, k0, k1), build_a
+                b_packed, hit = cache.get_or_build_flag(
+                    ("B", n_r, n0, n1, k0, k1), build_b
                 )
                 hits += hit
                 misses += not hit
-                _batched_micro_update(
-                    block, a_packed, b_packed, kernel.combine,
-                    pm0 - m0, shard.m_size, shard.n_size, m_r, n_r,
-                )
-        c[m0:m1, n0:n1] = block
-        return ShardProfile(
-            shard_id=shard.shard_id,
-            m_range=shard.m_range,
-            n_range=shard.n_range,
-            word_ops=shard.word_ops(plan.k),
-            seconds=time.perf_counter() - start,
-            strategy="blocked",
-            cache_hits=hits,
-            cache_misses=misses,
-        )
+                # Loop 3: m_c panels of A inside this shard's M range.
+                for pm0 in range(m0, m1, m_c):
+                    pm1 = min(pm0 + m_c, m1)
+
+                    def build_a(pm0=pm0, pm1=pm1, k0=k0, k1=k1):
+                        return pack_a_panel(a[pm0:pm1, k0:k1], m_r)
+
+                    a_packed, hit = cache.get_or_build_flag(
+                        ("A", m_r, pm0, pm1, k0, k1), build_a
+                    )
+                    hits += hit
+                    misses += not hit
+                    _batched_micro_update(
+                        block, a_packed, b_packed, kernel.combine,
+                        pm0 - m0, shard.m_size, shard.n_size, m_r, n_r,
+                    )
+            c[m0:m1, n0:n1] = block
+            return ShardProfile(
+                shard_id=shard.shard_id,
+                m_range=shard.m_range,
+                n_range=shard.n_range,
+                word_ops=shard.word_ops(plan.k),
+                seconds=time.perf_counter() - start,
+                strategy="blocked",
+                cache_hits=hits,
+                cache_misses=misses,
+            )
 
 
 def _batched_micro_update(
