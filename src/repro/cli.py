@@ -13,7 +13,10 @@ workloads::
 
 The three comparison commands take ``--workers N`` to shard the
 functional bit-GEMM across N host threads (``--workers 0`` picks a
-sensible default for the machine; see :mod:`repro.parallel`).
+sensible default for the machine; see :mod:`repro.parallel`), plus
+``--strategy {auto,gemm,blocked}`` to pick the shard strategy
+(``auto`` consults the persisted host tuning cache) and ``--no-gram``
+to disable the symmetric Gram fast path (see ``docs/PERF.md``).
 
 Inputs are the library's ``.snptxt`` / ``.npz`` formats
 (:mod:`repro.snp.io`).  Results go to stdout (summaries) and optional
@@ -161,7 +164,11 @@ def _observed_framework(
     if tracer is None:
         return None
     return SNPComparisonFramework(
-        args.device, algorithm, workers=_resolve_workers(args)
+        args.device,
+        algorithm,
+        workers=_resolve_workers(args),
+        gram=not getattr(args, "no_gram", False),
+        strategy=getattr(args, "strategy", "auto"),
     )
 
 
@@ -196,6 +203,8 @@ def _cmd_ld(args: argparse.Namespace) -> int:
             compare=args.compare,
             framework=framework,
             workers=_resolve_workers(args),
+            gram=not args.no_gram,
+            strategy=args.strategy,
         )
         stat = {
             "r2": result.r_squared, "d": result.d, "dprime": result.d_prime
@@ -226,6 +235,8 @@ def _cmd_identity(args: argparse.Namespace) -> int:
             device=args.device,
             framework=framework,
             workers=_resolve_workers(args),
+            gram=not args.no_gram,
+            strategy=args.strategy,
         )
         hits = result.matches(args.max_distance)
         print(render_kv([
@@ -259,6 +270,8 @@ def _cmd_mixture(args: argparse.Namespace) -> int:
             device=args.device,
             framework=framework,
             workers=_resolve_workers(args),
+            gram=not args.no_gram,
+            strategy=args.strategy,
         )
         print(render_kv([
             ("references", references.shape[0]),
@@ -311,10 +324,25 @@ def build_parser() -> argparse.ArgumentParser:
         "lanes) to this JSON file"
     )
     metrics_help = "print the observability counter/span report"
+    strategy_help = (
+        "host shard strategy (auto consults the persisted tuning cache)"
+    )
+    no_gram_help = (
+        "disable the symmetric Gram fast path (compute the full table "
+        "even for self-comparisons)"
+    )
 
     def add_observability_flags(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument("--trace", metavar="PATH", help=trace_help)
         cmd.add_argument("--metrics", action="store_true", help=metrics_help)
+
+    def add_compute_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--workers", type=int, default=None, help=workers_help)
+        cmd.add_argument(
+            "--strategy", default="auto", choices=["auto", "gemm", "blocked"],
+            help=strategy_help,
+        )
+        cmd.add_argument("--no-gram", action="store_true", help=no_gram_help)
 
     ld = sub.add_parser("ld", help="all-pairs linkage disequilibrium")
     ld.add_argument("--input", required=True, help=".snptxt or dataset .npz")
@@ -322,7 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
     ld.add_argument("--compare", default="sites", choices=["sites", "samples"])
     ld.add_argument("--stat", default="r2", choices=["r2", "d", "dprime"])
     ld.add_argument("--threshold", type=float, default=0.8)
-    ld.add_argument("--workers", type=int, default=None, help=workers_help)
+    add_compute_flags(ld)
     ld.add_argument("--output", help="write tables to this .npz")
     add_observability_flags(ld)
     ld.set_defaults(func=_cmd_ld)
@@ -332,7 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
     ident.add_argument("--database", required=True)
     ident.add_argument("--device", default="Titan V")
     ident.add_argument("--max-distance", type=int, default=0)
-    ident.add_argument("--workers", type=int, default=None, help=workers_help)
+    add_compute_flags(ident)
     ident.add_argument("--output")
     add_observability_flags(ident)
     ident.set_defaults(func=_cmd_identity)
@@ -342,7 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
     mix.add_argument("--mixture", required=True)
     mix.add_argument("--device", default="Titan V")
     mix.add_argument("--max-score", type=int, default=0)
-    mix.add_argument("--workers", type=int, default=None, help=workers_help)
+    add_compute_flags(mix)
     mix.add_argument("--output")
     add_observability_flags(mix)
     mix.set_defaults(func=_cmd_mixture)

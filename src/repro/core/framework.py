@@ -68,6 +68,14 @@ class SNPComparisonFramework:
         (:mod:`repro.parallel`); results stay bit-exact and the
         simulated device timing is unchanged.  Default (``None``)
         keeps the serial functional path.
+    gram:
+        Allow Gram mode: single-tile self-comparisons with a symmetric
+        op compute only the upper triangle and mirror the rest (see
+        ``docs/PERF.md``).  ``False`` forces the full-output path
+        (useful for benchmarking the symmetry win).
+    strategy:
+        Host shard strategy: ``"auto"`` (consults the persisted host
+        tuning cache), ``"gemm"``, or ``"blocked"``.
     """
 
     def __init__(
@@ -78,6 +86,8 @@ class SNPComparisonFramework:
         prenegate: bool | None = None,
         double_buffering: bool = True,
         workers: int | None = None,
+        gram: bool = True,
+        strategy: str = "auto",
     ) -> None:
         self.arch = get_gpu(device) if isinstance(device, str) else device
         self.algorithm = (
@@ -86,6 +96,8 @@ class SNPComparisonFramework:
         self.prenegate = prenegate
         self.double_buffering = double_buffering
         self.workers = workers
+        self.gram = gram
+        self.strategy = strategy
         self.config = config or derive_config(
             self.arch, self.algorithm, prenegate=prenegate
         )
@@ -145,10 +157,16 @@ class SNPComparisonFramework:
         obs = get_tracer()
         counters_before = obs.counters.snapshot() if obs.enabled else None
         spans_before = obs.n_spans()
-        a = self.pack(np.asarray(a_bits))
+        a_arr = np.asarray(a_bits)
+        a = self.pack(a_arr)
+        # Passing the same matrix for both operands is a self-comparison
+        # too; folding it onto the b_bits=None path keeps the packed
+        # operands identical, which is what Gram-mode detection keys on.
+        if b_bits is not None and np.asarray(b_bits) is a_arr:
+            b_bits = None
         if b_bits is None:
             b = (
-                self.pack(np.asarray(a_bits), negate=True)
+                self.pack(a_arr, negate=True)
                 if self.database_needs_prenegation
                 else a
             )
@@ -195,6 +213,8 @@ class SNPComparisonFramework:
                 b,
                 double_buffering=self.double_buffering,
                 workers=self.workers,
+                symmetric=None if self.gram else False,
+                strategy=self.strategy,
             )
             end_to_end = queue.finish()
             busy = queue.busy_summary()
@@ -229,8 +249,11 @@ class SNPComparisonFramework:
 
     def __repr__(self) -> str:
         workers = f", workers={self.workers}" if self.workers else ""
+        gram = "" if self.gram else ", gram=False"
+        strategy = "" if self.strategy == "auto" else f", strategy={self.strategy!r}"
         return (
             f"SNPComparisonFramework(device={self.arch.name!r}, "
             f"algorithm={self.algorithm.value!r}, op={self.config.op.value!r}, "
-            f"grid={self.config.grid_rows}x{self.config.grid_cols}{workers})"
+            f"grid={self.config.grid_rows}x{self.config.grid_cols}"
+            f"{workers}{gram}{strategy})"
         )

@@ -64,6 +64,8 @@ def identity_search(
     device: str | GPUArchitecture = "Titan V",
     framework: SNPComparisonFramework | None = None,
     workers: int | None = None,
+    gram: bool = True,
+    strategy: str = "auto",
 ) -> IdentityResult:
     """Search ``queries`` against ``database`` on the simulated GPU.
 
@@ -77,6 +79,13 @@ def identity_search(
     workers:
         Host threads for the functional compute (``> 1`` shards the
         bit-GEMM).  Ignored when ``framework`` is supplied.
+    gram:
+        Allow the symmetric (Gram) fast path when queries *are* the
+        database (an all-pairs self-scan -- XOR is symmetric).
+        Ignored when ``framework`` is supplied.
+    strategy:
+        Host shard strategy (``"auto"``/``"gemm"``/``"blocked"``).
+        Ignored when ``framework`` is supplied.
     """
     q = np.asarray(queries)
     db = database.profiles if isinstance(database, ForensicDatabase) else np.asarray(database)
@@ -89,7 +98,8 @@ def identity_search(
         )
     if framework is None:
         framework = SNPComparisonFramework(
-            device, Algorithm.FASTID_IDENTITY, workers=workers
+            device, Algorithm.FASTID_IDENTITY, workers=workers,
+            gram=gram, strategy=strategy,
         )
     distances, report = framework.run(q, db)
     return IdentityResult(distances=distances, report=report)

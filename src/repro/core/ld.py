@@ -91,6 +91,8 @@ def linkage_disequilibrium(
     compare: str = "sites",
     framework: SNPComparisonFramework | None = None,
     workers: int | None = None,
+    gram: bool = True,
+    strategy: str = "auto",
 ) -> LDResult:
     """Compute all-pairs LD on the simulated GPU framework.
 
@@ -110,6 +112,13 @@ def linkage_disequilibrium(
         Host threads for the functional compute (``> 1`` shards the
         bit-GEMM across the process-wide pool).  Ignored when
         ``framework`` is supplied.
+    gram:
+        Allow the symmetric (Gram) fast path -- LD is a
+        self-comparison, so this roughly halves the computed word-ops.
+        Ignored when ``framework`` is supplied.
+    strategy:
+        Host shard strategy (``"auto"``/``"gemm"``/``"blocked"``).
+        Ignored when ``framework`` is supplied.
     """
     matrix = data.matrix if isinstance(data, SNPDataset) else np.asarray(data)
     if matrix.ndim != 2:
@@ -124,7 +133,9 @@ def linkage_disequilibrium(
             f"got {compare!r}"
         )
     if framework is None:
-        framework = SNPComparisonFramework(device, Algorithm.LD, workers=workers)
+        framework = SNPComparisonFramework(
+            device, Algorithm.LD, workers=workers, gram=gram, strategy=strategy
+        )
     counts, report = framework.run(entities)
     n_obs = entities.shape[1]
     frequencies = entities.mean(axis=1) if n_obs else np.zeros(entities.shape[0])

@@ -72,6 +72,8 @@ def mixture_analysis(
     prenegate: bool | None = None,
     framework: SNPComparisonFramework | None = None,
     workers: int | None = None,
+    gram: bool = True,
+    strategy: str = "auto",
 ) -> MixtureResult:
     """Score ``references`` against ``mixtures`` on the simulated GPU.
 
@@ -87,6 +89,15 @@ def mixture_analysis(
     workers:
         Host threads for the functional compute (``> 1`` shards the
         bit-GEMM).  Ignored when ``framework`` is supplied.
+    gram:
+        Accepted for API uniformity with the other applications;
+        mixture analysis compares *different* operand contents (the
+        ANDNOT kernel is asymmetric; the pre-negated variant packs the
+        right operand negated), so the Gram path can never engage.
+        Ignored when ``framework`` is supplied.
+    strategy:
+        Host shard strategy (``"auto"``/``"gemm"``/``"blocked"``).
+        Ignored when ``framework`` is supplied.
     """
     r = np.asarray(references)
     m = np.asarray(mixtures)
@@ -98,7 +109,8 @@ def mixture_analysis(
         )
     if framework is None:
         framework = SNPComparisonFramework(
-            device, Algorithm.FASTID_MIXTURE, prenegate=prenegate, workers=workers
+            device, Algorithm.FASTID_MIXTURE, prenegate=prenegate,
+            workers=workers, gram=gram, strategy=strategy,
         )
     scores, report = framework.run(r, m)
     return MixtureResult(

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.blis.blocking import tile_ranges
+from repro.blis.gemm import same_operand
 from repro.core.packing import PackedOperand
 from repro.errors import AllocationError, ConfigurationError
 from repro.gpu.device import CommandQueue, Context
@@ -117,6 +118,8 @@ def run_pipeline(
     plan: TilePlan | None = None,
     double_buffering: bool = True,
     workers: int | None = None,
+    symmetric: bool | None = None,
+    strategy: str = "auto",
 ) -> tuple[np.ndarray, list[KernelProfile], TilePlan]:
     """Execute the tiled comparison; returns (raw table, profiles, plan).
 
@@ -124,6 +127,14 @@ def run_pipeline(
     with :func:`repro.core.packing.crop_result`.  ``workers > 1``
     computes each tile's functional table on the sharded host engine
     (:mod:`repro.parallel`); simulated device timing is unchanged.
+
+    ``symmetric=None`` auto-detects Gram mode: when both operands are
+    the same packed matrix, the op is symmetric, and the whole
+    database fits one tile (multi-tile launches compare *different*
+    row ranges, so per-tile outputs are not symmetric), the kernel is
+    launched with the Gram hint and computes only the upper triangle.
+    ``False`` disables the hint; ``True`` requires eligibility and
+    raises otherwise.  ``strategy`` selects the host shard strategy.
     """
     context = queue.context
     arch = context.device.arch
@@ -134,6 +145,20 @@ def run_pipeline(
         )
     if plan is None:
         plan = plan_tiles(context, kernel, a, b)
+
+    gram_eligible = (
+        kernel.op.is_symmetric
+        and same_operand(a.words, b.words)
+        and plan.n_tiles == 1
+        and a.padded_rows == plan.n_total
+    )
+    if symmetric is None:
+        symmetric = gram_eligible
+    elif symmetric and not gram_eligible:
+        raise ConfigurationError(
+            "run_pipeline: symmetric=True requires a single-tile "
+            "self-comparison with a symmetric op"
+        )
 
     word_bytes = arch.word_bytes
     m_padded = a.padded_rows
@@ -187,6 +212,8 @@ def run_pipeline(
                     wait_for=[a_event, write_ev],
                     label=f"kernel[{tile_idx}]",
                     workers=workers,
+                    symmetric=symmetric,
+                    strategy=strategy,
                 )
                 profiles.append(profile)
                 tile_out, read_ev = queue.enqueue_read_buffer(

@@ -216,6 +216,8 @@ class CommandQueue:
         label: str = "",
         accumulate: bool = False,
         workers: int | None = None,
+        symmetric: bool | None = None,
+        strategy: str = "auto",
     ) -> tuple[Event, KernelProfile]:
         """Launch a comparison kernel reading ``a``/``b``, writing ``c``.
 
@@ -224,7 +226,9 @@ class CommandQueue:
         dimension); otherwise ``c`` is overwritten.  ``workers`` routes
         the functional compute through the sharded host engine (the
         simulated timing is unaffected -- it prices the device, not the
-        host).
+        host).  ``symmetric``/``strategy`` are the Gram-mode hint and
+        shard-strategy choice forwarded to
+        :func:`~repro.gpu.executor.execute_kernel`.
         """
         if kernel.arch is not self.arch:
             raise KernelLaunchError(
@@ -236,7 +240,8 @@ class CommandQueue:
         )
         earliest = self._earliest(wait_for)
         result, profile = execute_kernel(
-            kernel, a.data, b.data, args, workers=workers
+            kernel, a.data, b.data, args, workers=workers,
+            symmetric=symmetric, strategy=strategy,
         )
         if accumulate:
             existing = c._data

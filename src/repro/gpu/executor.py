@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.blis.gemm import bit_gemm_blocked, bit_gemm_fast
+from repro.blis.gemm import bit_gemm_blocked, bit_gemm_fast, same_operand
 from repro.errors import KernelLaunchError
 from repro.gpu.cycles import CycleBreakdown, kernel_cycles
 from repro.gpu.kernel import KernelArgs, SnpKernel
@@ -97,6 +97,8 @@ def execute_kernel(
     args: KernelArgs | None = None,
     force_blocked_path: bool | None = None,
     workers: int | None = None,
+    symmetric: bool | None = None,
+    strategy: str = "auto",
 ) -> tuple[np.ndarray, KernelProfile]:
     """Run one kernel launch; returns (C table, profile).
 
@@ -117,6 +119,15 @@ def execute_kernel(
         engine falls back to the serial drivers below its crossover).
         ``None``/``1`` keeps the serial paths.  Ignored when
         ``force_blocked_path`` pins the serial blocked walk.
+    symmetric:
+        Gram-mode hint.  ``None`` auto-detects (same packed matrix on
+        both sides + symmetric op); ``True`` requires it (validated);
+        ``False`` disables the triangular path even for
+        self-comparisons.
+    strategy:
+        Host-engine shard strategy (``"auto"``/``"gemm"``/
+        ``"blocked"``); ``"auto"`` consults the persisted host tuning
+        cache.  Only used when the engine path runs.
     """
     a = np.asarray(a_words)
     b = np.asarray(b_words)
@@ -156,12 +167,22 @@ def execute_kernel(
         k=args.k,
     ):
         if workers is not None and workers > 1 and force_blocked_path is None:
-            c, parallel_report = get_engine(workers).run(a, b, kernel.op, plan=plan)
+            c, parallel_report = get_engine(workers, strategy).run(
+                a, b, kernel.op, plan=plan, symmetric=symmetric
+            )
             use_blocked = False
-        elif use_blocked:
-            c = bit_gemm_blocked(a, b, kernel.op, plan)
         else:
-            c = bit_gemm_fast(a, b, kernel.op)
+            serial_symmetric = (
+                kernel.op.is_symmetric and same_operand(a, b)
+                if symmetric is None
+                else symmetric
+            )
+            if use_blocked:
+                c = bit_gemm_blocked(
+                    a, b, kernel.op, plan, symmetric=serial_symmetric
+                )
+            else:
+                c = bit_gemm_fast(a, b, kernel.op, symmetric=serial_symmetric)
 
     breakdown = kernel_cycles(kernel.arch, plan, kernel.op)
     profile = KernelProfile(

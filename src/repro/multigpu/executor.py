@@ -76,6 +76,8 @@ def run_multi_gpu(
     a_bits: np.ndarray,
     b_bits: np.ndarray,
     workers: int | None = None,
+    gram: bool = True,
+    strategy: str = "auto",
 ) -> tuple[np.ndarray, MultiGPUReport]:
     """Functional multi-GPU run: bit-exact table plus node timing.
 
@@ -87,6 +89,12 @@ def run_multi_gpu(
     engine; because the engine registry keys pools by worker count
     (:func:`repro.parallel.get_engine`), all simulated devices share
     **one** thread pool rather than spawning one per device.
+
+    ``gram``/``strategy`` forward to each device's framework.  Note a
+    partitioned run rarely benefits from Gram mode: each device
+    compares the full query against a *slice* of the database, which
+    is not a self-comparison (only the degenerate single-device,
+    full-slice case qualifies).
     """
     algorithm = Algorithm(algorithm) if isinstance(algorithm, str) else algorithm
     a = np.asarray(a_bits)
@@ -120,7 +128,9 @@ def run_multi_gpu(
                 device=dev_slice.device_index,
                 rows=dev_slice.n_rows,
             ):
-                framework = SNPComparisonFramework(arch, algorithm, workers=workers)
+                framework = SNPComparisonFramework(
+                    arch, algorithm, workers=workers, gram=gram, strategy=strategy
+                )
                 slice_table, run_report = framework.run(
                     a, b[dev_slice.row_start : dev_slice.row_stop]
                 )

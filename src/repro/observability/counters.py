@@ -34,7 +34,9 @@ __all__ = [
     "CACHE_HITS",
     "CACHE_MISSES",
     "CACHE_EVICTIONS",
+    "PANEL_DEDUP_HITS",
     "SHARDS_EXECUTED",
+    "SHARDS_MIRRORED",
     "HOST_ENGINE_SECONDS",
     "SIM_DEVICE_SECONDS",
 ]
@@ -62,8 +64,15 @@ CACHE_HITS = "cache.hits"
 CACHE_MISSES = "cache.misses"
 #: Panel-cache LRU evictions.
 CACHE_EVICTIONS = "cache.evictions"
+#: Panel-cache hits served across operand sides: the requester asked
+#: for the A-side (or B-side) of a panel another side already built.
+#: Non-zero only in Gram mode, where both sides are the same matrix.
+PANEL_DEDUP_HITS = "cache.dedup_hits"
 #: Shards executed by the parallel engine (serial fallback counts 1).
 SHARDS_EXECUTED = "shards.executed"
+#: Shards filled by reflecting a computed shard into its transpose
+#: slot (Gram mode): these word-ops were *saved*, not executed.
+SHARDS_MIRRORED = "shards.mirrored"
 #: Host wall-clock seconds spent inside the parallel engine.
 HOST_ENGINE_SECONDS = "time.host_engine_s"
 #: Simulated device seconds (end-to-end makespans of framework runs).
@@ -81,7 +90,9 @@ COUNTER_CATALOGUE: dict[str, str] = {
     CACHE_HITS: "panel-cache hits",
     CACHE_MISSES: "panel-cache misses",
     CACHE_EVICTIONS: "panel-cache LRU evictions",
+    PANEL_DEDUP_HITS: "panel-cache hits served across operand sides (Gram mode)",
     SHARDS_EXECUTED: "shards executed by the parallel engine",
+    SHARDS_MIRRORED: "shards filled by transpose reflection (Gram mode)",
     HOST_ENGINE_SECONDS: "host wall seconds inside the parallel engine",
     SIM_DEVICE_SECONDS: "simulated device seconds (framework makespans)",
 }

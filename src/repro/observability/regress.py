@@ -70,6 +70,7 @@ DETERMINISTIC_COUNTERS = (
     "pack.operands",
     "pack.bytes_packed",
     "shards.executed",
+    "shards.mirrored",
     "kernel.launches",
 )
 

@@ -11,12 +11,20 @@ tiles; this package shards them across a host thread pool:
   once;
 * :mod:`repro.parallel.engine` -- :class:`ParallelEngine`,
   :func:`bit_gemm_parallel`, and the process-wide :func:`get_engine`
-  pool registry (one pool shared across simulated devices).
+  pool registry (one pool shared across simulated devices);
+* :mod:`repro.parallel.tuner` -- the persisted host autotuner that
+  ``strategy="auto"`` consults (:func:`tune_problem`,
+  :func:`lookup_tuned`).
+
+Self-comparisons with a symmetric op take the Gram path: triangular
+shard plans (:meth:`ShardPlan.triangular`) compute only the diagonal
+and upper triangle and mirror the rest by transposition, and the
+panel cache deduplicates A-side/B-side entries of the same matrix.
 
 Entry points that accept ``workers`` --
 :func:`repro.gpu.executor.execute_kernel`, the framework/pipeline, the
 multi-GPU executor, and the CLI's ``--workers`` flag -- all route
-through this package.  See ``docs/PARALLEL.md``.
+through this package.  See ``docs/PARALLEL.md`` and ``docs/PERF.md``.
 """
 
 from repro.parallel.cache import CacheStats, PanelCache
@@ -29,7 +37,14 @@ from repro.parallel.engine import (
     get_engine,
     recommended_workers,
 )
-from repro.parallel.plan import Shard, ShardPlan
+from repro.parallel.plan import Shard, ShardPlan, TRIANGULAR_MIN_BANDS
+from repro.parallel.tuner import (
+    TuningCache,
+    TuningRecord,
+    configure_tuning,
+    lookup_tuned,
+    tune_problem,
+)
 
 __all__ = [
     "CacheStats",
@@ -40,7 +55,13 @@ __all__ = [
     "ShardProfile",
     "Shard",
     "ShardPlan",
+    "TRIANGULAR_MIN_BANDS",
+    "TuningCache",
+    "TuningRecord",
     "bit_gemm_parallel",
+    "configure_tuning",
     "get_engine",
+    "lookup_tuned",
     "recommended_workers",
+    "tune_problem",
 ]

@@ -18,6 +18,15 @@ misses in the stats).
 Hits, misses, evictions and build bytes are mirrored to the process
 observability counters (:mod:`repro.observability.counters`) as they
 happen; with tracing disabled those calls hit the no-op registry.
+
+**Operand deduplication.**  Keys are chosen by the engine so that the
+A-side and B-side panels of the *same* matrix share one entry (Gram
+mode: both operands are the same array, so the unpacked bit panel of
+rows ``[r0:r1)`` is identical whichever side asks for it).  The cache
+itself stays side-agnostic, but callers may tag each request with the
+requesting ``side``; a hit served to a different side than the one
+that built the entry is counted as a *dedup hit* -- pack work and
+cache footprint that a side-keyed cache would have duplicated.
 """
 
 from __future__ import annotations
@@ -36,6 +45,7 @@ from repro.observability.counters import (
     CACHE_MISSES,
     PANEL_BUILDS,
     PANEL_BYTES,
+    PANEL_DEDUP_HITS,
 )
 from repro.observability.tracer import get_tracer
 
@@ -57,6 +67,7 @@ class CacheStats:
     current_bytes: int
     peak_bytes: int
     budget_bytes: int
+    dedup_hits: int = 0
 
     @property
     def requests(self) -> int:
@@ -91,45 +102,62 @@ class PanelCache:
         # tracing is toggled mid-run.
         self._counters = get_tracer().counters
         self._lock = threading.Lock()
-        self._entries: OrderedDict[Hashable, np.ndarray] = OrderedDict()
+        self._entries: OrderedDict[Hashable, tuple[np.ndarray, str | None]] = (
+            OrderedDict()
+        )
         self._current_bytes = 0
         self._peak_bytes = 0
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._oversize = 0
+        self._dedup_hits = 0
 
     def get_or_build(
-        self, key: Hashable, build: Callable[[], np.ndarray]
+        self,
+        key: Hashable,
+        build: Callable[[], np.ndarray],
+        side: str | None = None,
     ) -> np.ndarray:
         """Return the cached panel for ``key``, building it on miss."""
-        panel, _ = self.get_or_build_flag(key, build)
+        panel, _ = self.get_or_build_flag(key, build, side=side)
         return panel
 
     def get_or_build_flag(
-        self, key: Hashable, build: Callable[[], np.ndarray]
+        self,
+        key: Hashable,
+        build: Callable[[], np.ndarray],
+        side: str | None = None,
     ) -> tuple[np.ndarray, bool]:
         """Like :meth:`get_or_build`, also reporting whether it hit.
 
         The flag lets callers keep per-shard hit/miss tallies without
-        racing on the global counters.
+        racing on the global counters.  ``side`` optionally tags the
+        requesting operand side (``"A"``/``"B"``); a hit served to a
+        side other than the builder's counts as a dedup hit.
         """
         with self._lock:
-            cached = self._entries.get(key)
-            if cached is not None:
+            entry = self._entries.get(key)
+            if entry is not None:
+                cached, built_by = entry
                 self._entries.move_to_end(key)
                 self._hits += 1
                 self._counters.add(CACHE_HITS)
+                if side is not None and built_by is not None and side != built_by:
+                    self._dedup_hits += 1
+                    self._counters.add(PANEL_DEDUP_HITS)
                 return cached, True
             self._misses += 1
         self._counters.add(CACHE_MISSES)
         panel = build()
         self._counters.add(PANEL_BUILDS)
         self._counters.add(PANEL_BYTES, int(panel.nbytes))
-        self._insert(key, panel)
+        self._insert(key, panel, side)
         return panel, False
 
-    def _insert(self, key: Hashable, panel: np.ndarray) -> None:
+    def _insert(
+        self, key: Hashable, panel: np.ndarray, side: str | None = None
+    ) -> None:
         nbytes = int(panel.nbytes)
         with self._lock:
             if nbytes > self.budget_bytes:
@@ -137,11 +165,11 @@ class PanelCache:
                 return
             previous = self._entries.pop(key, None)
             if previous is not None:
-                self._current_bytes -= int(previous.nbytes)
-            self._entries[key] = panel
+                self._current_bytes -= int(previous[0].nbytes)
+            self._entries[key] = (panel, side)
             self._current_bytes += nbytes
             while self._current_bytes > self.budget_bytes:
-                _, evicted = self._entries.popitem(last=False)
+                _, (evicted, _) = self._entries.popitem(last=False)
                 self._current_bytes -= int(evicted.nbytes)
                 self._evictions += 1
                 self._counters.add(CACHE_EVICTIONS)
@@ -168,4 +196,5 @@ class PanelCache:
                 current_bytes=self._current_bytes,
                 peak_bytes=self._peak_bytes,
                 budget_bytes=self.budget_bytes,
+                dedup_hits=self._dedup_hits,
             )

@@ -22,10 +22,25 @@ Two shard strategies, both bit-exact with
   ``k_c * word_bits``, far below float32's 2**24 integer limit (panels
   beyond that bound fall back to float64).
 
-``"auto"`` (the default) picks ``"gemm"``.  Problems below the
-crossover threshold -- or ``workers=1`` -- take the serial fallback
-through the existing :mod:`repro.blis.gemm` drivers, so the engine is
-safe to leave enabled everywhere.
+``"auto"`` (the default) consults the persisted host tuning cache
+(:mod:`repro.parallel.tuner`) for a strategy measured on this host;
+absent a record it picks ``"gemm"``.  Problems below the crossover
+threshold -- or ``workers=1`` -- take the serial fallback through the
+existing :mod:`repro.blis.gemm` drivers, so the engine is safe to
+leave enabled everywhere.
+
+**Gram mode.**  When both operands are the *same* packed matrix
+(``same_operand``) and the op is symmetric, the output satisfies
+``C == C.T`` and the engine switches to a triangular shard plan
+(:meth:`~repro.parallel.plan.ShardPlan.triangular`): only diagonal and
+upper-triangular shards are computed; each off-diagonal shard also
+reflects its block into the transpose slot (``mirror=True``,
+counted by :data:`SHARDS_MIRRORED`).  The :data:`GEMM_WORD_OPS`
+counter records only *computed* word-ops, so Gram runs show roughly
+``(g + 1) / (2 g)`` of the full-path count.  Self-comparisons also
+deduplicate panel cache entries across operand sides: the A-side and
+B-side unpacked panels of the same row range share one entry
+(:data:`~repro.observability.counters.PANEL_DEDUP_HITS`).
 
 Per-shard timing and cache accounting surface as
 :class:`ShardProfile` records (the host-side analogue of
@@ -35,6 +50,7 @@ Per-shard timing and cache accounting surface as
 
 from __future__ import annotations
 
+import math
 import os
 import threading
 import time
@@ -44,7 +60,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.blis.blocking import BlockingPlan
-from repro.blis.gemm import bit_gemm_blocked, bit_gemm_fast
+from repro.blis.gemm import bit_gemm_blocked, bit_gemm_fast, same_operand
 from repro.blis.microkernel import ComparisonOp, get_microkernel
 from repro.blis.packing import pack_a_panel, pack_b_panel
 from repro.errors import ConfigurationError, PackingError
@@ -53,11 +69,12 @@ from repro.observability.counters import (
     GEMM_WORD_OPS,
     HOST_ENGINE_SECONDS,
     SHARDS_EXECUTED,
+    SHARDS_MIRRORED,
 )
 from repro.observability.report import MetricsReport
 from repro.observability.tracer import get_tracer
 from repro.parallel.cache import DEFAULT_BUDGET_BYTES, CacheStats, PanelCache
-from repro.parallel.plan import Shard, ShardPlan
+from repro.parallel.plan import TRIANGULAR_MIN_BANDS, Shard, ShardPlan
 from repro.util.bitops import popcount, unpack_bits
 
 __all__ = [
@@ -83,6 +100,35 @@ SERIAL_BLOCKED_OP_LIMIT = 2_000_000
 #: float64 for the GEMM strategy.
 _FLOAT32_EXACT_BITS = 1 << 24
 
+#: Host-default blocking parameters (also the ``plan=None`` default in
+#: :meth:`ParallelEngine.run`): small ``lcm(m_r, n_r)`` so triangular
+#: Gram plans can band finely.
+_HOST_BLOCKING = {"m_c": 32, "k_c": 256, "m_r": 4, "n_r": 64}
+
+
+def _gram_blocking(plan: BlockingPlan) -> BlockingPlan:
+    """Pick the blocking a symmetric (Gram) run should shard with.
+
+    Device-derived plans favour column-spanning ``n_r`` (one core row
+    covers a whole column band), which inflates ``lcm(m_r, n_r)`` to
+    the full extent and collapses the triangular decomposition to a
+    single full-compute band.  The host walk has no such constraint:
+    when the engine's default host blocking bands more finely than the
+    given plan, substitute it.  Extents are preserved, the result is
+    bit-exact for any valid blocking, and simulated device timing is
+    unaffected (it is priced off the kernel's own plan upstream).
+    """
+    given_unit = math.lcm(plan.m_r, plan.n_r)
+    host_unit = math.lcm(_HOST_BLOCKING["m_r"], _HOST_BLOCKING["n_r"])
+    if given_unit <= host_unit:
+        return plan
+    given_bands = max(1, plan.m // given_unit)
+    host_bands = max(1, plan.m // host_unit)
+    if given_bands >= min(TRIANGULAR_MIN_BANDS, host_bands):
+        return plan
+    return BlockingPlan(m=plan.m, n=plan.n, k=plan.k, **_HOST_BLOCKING)
+
+
 #: A micro-panels are batched in groups through the micro-kernel so
 #: one NumPy dispatch covers ``group * n_panels`` micro-tiles.
 _BLOCKED_GROUP = 4
@@ -94,7 +140,12 @@ _BLOCKED_K_CHUNK = 64
 
 @dataclass(frozen=True)
 class ShardProfile:
-    """Timing and accounting for one shard (KernelProfile analogue)."""
+    """Timing and accounting for one shard (KernelProfile analogue).
+
+    ``mirrored`` marks Gram-mode off-diagonal shards: the block was
+    computed once and additionally reflected into its transpose slot
+    (the reflected word-ops are *not* in ``word_ops``).
+    """
 
     shard_id: int
     m_range: tuple[int, int]
@@ -104,6 +155,7 @@ class ShardProfile:
     strategy: str
     cache_hits: int
     cache_misses: int
+    mirrored: bool = False
 
     @property
     def throughput_word_ops(self) -> float:
@@ -127,10 +179,16 @@ class ParallelReport:
     shard_profiles: list[ShardProfile] = field(default_factory=list)
     cache_stats: CacheStats | None = None
     metrics: MetricsReport | None = None
+    symmetric: bool = False
 
     @property
     def n_shards(self) -> int:
         return len(self.shard_profiles)
+
+    @property
+    def n_mirrored(self) -> int:
+        """Shards whose transpose slot was filled by reflection."""
+        return sum(1 for p in self.shard_profiles if p.mirrored)
 
     @property
     def total_word_ops(self) -> int:
@@ -166,6 +224,28 @@ def _check_operands(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarra
             f"B has {b.shape[1]})"
         )
     return a, b
+
+
+def _check_symmetric_run(a: np.ndarray, b: np.ndarray, op: ComparisonOp) -> None:
+    """Validate an explicit ``symmetric=True`` Gram request.
+
+    Equal-content copies are accepted alongside views -- the device
+    pipeline stages operands through buffer copies, so a
+    self-comparison reaches the engine as two arrays with identical
+    words.  The content check is O(m*k), noise next to the GEMM.
+    """
+    if not op.is_symmetric:
+        raise PackingError(
+            f"ParallelEngine.run: symmetric=True is invalid for asymmetric "
+            f"op {op.value!r}"
+        )
+    if not same_operand(a, b) and not (
+        a.shape == b.shape and bool(np.array_equal(a, b))
+    ):
+        raise PackingError(
+            "ParallelEngine.run: symmetric=True requires a self-comparison "
+            "(operands must hold the same packed matrix)"
+        )
 
 
 class ParallelEngine:
@@ -246,28 +326,49 @@ class ParallelEngine:
         op: ComparisonOp | str = ComparisonOp.AND,
         plan: BlockingPlan | None = None,
         force_parallel: bool | None = None,
+        symmetric: bool | None = None,
     ) -> tuple[np.ndarray, ParallelReport]:
         """Compute ``C[i, j] = sum_k POPC(op(A[i,k], B[j,k]))``.
 
         Returns the int64 table and a :class:`ParallelReport`.
         ``force_parallel`` overrides the crossover heuristic (tests and
         benchmarks use it); ``plan`` pins the blocking the shard plan
-        derives from.
+        derives from.  ``symmetric`` controls Gram mode: ``None``
+        (default) auto-detects (same matrix on both sides + symmetric
+        op), ``True`` requires and validates it, ``False`` disables it.
         """
         a, b = _check_operands(a, b)
         op = get_microkernel(op).op
         m, k = a.shape
         n = b.shape[0]
+        if symmetric is None:
+            symmetric = op.is_symmetric and same_operand(a, b)
+        elif symmetric:
+            _check_symmetric_run(a, b, op)
         if plan is None:
-            plan = BlockingPlan(m=m, n=n, k=k, m_c=32, k_c=256, m_r=4, n_r=64)
+            plan = BlockingPlan(m=m, n=n, k=k, **_HOST_BLOCKING)
         if (plan.m, plan.n, plan.k) != (m, n, k):
             raise PackingError(
                 f"ParallelEngine.run: plan extents {(plan.m, plan.n, plan.k)} "
                 f"do not match operands {(m, n, k)}"
             )
+        if symmetric:
+            plan = _gram_blocking(plan)
         total_ops = plan.total_ops()
+        strategy = self.strategy
+        crossover = self.crossover_ops
+        if strategy == "auto":
+            tuned = self._consult_tuner(op, m, n, k, a.dtype.itemsize * 8)
+            if tuned is not None:
+                strategy = tuned.strategy
+                if symmetric and not tuned.triangular:
+                    symmetric = False
+                if tuned.crossover_ops is not None:
+                    crossover = tuned.crossover_ops
+            else:
+                strategy = "gemm"
         use_parallel = (
-            self.workers > 1 and total_ops >= self.crossover_ops
+            self.workers > 1 and total_ops >= crossover
             if force_parallel is None
             else force_parallel and self.workers >= 1
         )
@@ -276,17 +377,34 @@ class ParallelEngine:
         spans_before = obs.n_spans()
         with obs.span(
             "parallel.run", m=m, n=n, k=k, workers=self.workers
-        ).set(parallel=use_parallel):
+        ).set(parallel=use_parallel, symmetric=symmetric):
             if not use_parallel:
-                c, report = self._run_serial(a, b, op, plan, total_ops)
+                c, report = self._run_serial(a, b, op, plan, total_ops, symmetric)
             else:
-                c, report = self._run_sharded(a, b, op, plan)
+                c, report = self._run_sharded(a, b, op, plan, strategy, symmetric)
         obs.counters.add(HOST_ENGINE_SECONDS, report.seconds)
         if obs.enabled:
             report.metrics = MetricsReport.from_delta(
                 obs, counters_before, spans_before
             )
         return c, report
+
+    def _consult_tuner(
+        self, op: ComparisonOp, m: int, n: int, k: int, word_bits: int
+    ):
+        """Best-effort lookup in the persisted host tuning cache.
+
+        Any failure (missing, corrupt, or stale cache; import problems)
+        degrades to ``None`` -- ``"auto"`` then falls back to its
+        built-in default.  Imported lazily to avoid an import cycle
+        (the tuner benchmarks through this engine).
+        """
+        try:
+            from repro.parallel.tuner import lookup_tuned
+
+            return lookup_tuned(op, m, n, k, word_bits, self.workers)
+        except Exception:  # pragma: no cover - defensive degradation
+            return None
 
     # -- serial fallback ---------------------------------------------------------
 
@@ -297,14 +415,15 @@ class ParallelEngine:
         op: ComparisonOp,
         plan: BlockingPlan,
         total_ops: int,
+        symmetric: bool = False,
     ) -> tuple[np.ndarray, ParallelReport]:
         get_tracer().counters.add(SHARDS_EXECUTED)
         start = time.perf_counter()
         if total_ops <= SERIAL_BLOCKED_OP_LIMIT:
-            c = bit_gemm_blocked(a, b, op, plan)
+            c = bit_gemm_blocked(a, b, op, plan, symmetric=symmetric)
             strategy = "serial-blocked"
         else:
-            c = bit_gemm_fast(a, b, op)
+            c = bit_gemm_fast(a, b, op, symmetric=symmetric)
             strategy = "serial-fast"
         elapsed = time.perf_counter() - start
         profile = ShardProfile(
@@ -323,6 +442,7 @@ class ParallelEngine:
             used_parallel=False,
             seconds=elapsed,
             shard_profiles=[profile],
+            symmetric=symmetric,
         )
         return c, report
 
@@ -334,28 +454,35 @@ class ParallelEngine:
         b: np.ndarray,
         op: ComparisonOp,
         plan: BlockingPlan,
+        strategy: str,
+        symmetric: bool = False,
     ) -> tuple[np.ndarray, ParallelReport]:
         shard_plan = ShardPlan.from_blocking(
-            plan, self.workers, oversubscribe=self.oversubscribe
+            plan, self.workers, oversubscribe=self.oversubscribe,
+            symmetric=symmetric,
         )
-        strategy = "gemm" if self.strategy == "auto" else self.strategy
         # One logical GEMM however many shards execute it; per-shard
-        # word-ops sum to plan.total_ops() because shards partition C.
+        # word-ops sum to plan.total_ops() because shards partition C
+        # (Gram plans: to the computed triangle's share of it).
         get_tracer().counters.add(GEMM_CALLS)
         cache = PanelCache(self.cache_bytes)
         c = np.zeros((plan.m, plan.n), dtype=np.int64)
         run_shard = self._shard_gemm if strategy == "gemm" else self._shard_blocked
+        # Cross-side panel dedup is valid whenever both operands hold
+        # the same matrix -- even for asymmetric ops (full plans).
+        # symmetric=True implies equal content (validated upstream).
+        dedup = symmetric or same_operand(a, b)
 
         start = time.perf_counter()
         if shard_plan.n_shards <= 1:
             profiles = [
-                run_shard(shard, a, b, op, plan, cache, c)
+                run_shard(shard, a, b, op, plan, cache, c, dedup)
                 for shard in shard_plan.shards
             ]
         else:
             pool = self._get_pool()
             futures = [
-                pool.submit(run_shard, shard, a, b, op, plan, cache, c)
+                pool.submit(run_shard, shard, a, b, op, plan, cache, c, dedup)
                 for shard in shard_plan.shards
             ]
             profiles = [f.result() for f in futures]
@@ -370,6 +497,7 @@ class ParallelEngine:
             shard_plan=shard_plan,
             shard_profiles=profiles,
             cache_stats=cache.stats(),
+            symmetric=symmetric,
         )
         return c, report
 
@@ -384,8 +512,14 @@ class ParallelEngine:
         plan: BlockingPlan,
         cache: PanelCache,
         c: np.ndarray,
+        dedup: bool = False,
     ) -> ShardProfile:
-        """Identity-based shard kernel: one BLAS GEMM per k_c panel."""
+        """Identity-based shard kernel: one BLAS GEMM per k_c panel.
+
+        With ``dedup=True`` (self-comparison) the A-side and B-side
+        panels of the same row range share one cache key, so whichever
+        side unpacks a range first serves the other side's requests.
+        """
         obs = get_tracer()
         obs.counters.add(SHARDS_EXECUTED)
         obs.counters.add(GEMM_WORD_OPS, shard.word_ops(plan.k))
@@ -409,12 +543,18 @@ class ParallelEngine:
                 def build_b(k0=k0, k1=k1, dtype=dtype):
                     return unpack_bits(b[n0:n1, k0:k1]).astype(dtype)
 
-                bits_a, hit_a = cache.get_or_build_flag(
-                    ("Abits", m0, m1, k0, k1, dtype), build_a
+                key_a = (
+                    ("bits", m0, m1, k0, k1, dtype)
+                    if dedup
+                    else ("Abits", m0, m1, k0, k1, dtype)
                 )
-                bits_b, hit_b = cache.get_or_build_flag(
-                    ("Bbits", n0, n1, k0, k1, dtype), build_b
+                key_b = (
+                    ("bits", n0, n1, k0, k1, dtype)
+                    if dedup
+                    else ("Bbits", n0, n1, k0, k1, dtype)
                 )
+                bits_a, hit_a = cache.get_or_build_flag(key_a, build_a, side="A")
+                bits_b, hit_b = cache.get_or_build_flag(key_b, build_b, side="B")
                 hits += hit_a + hit_b
                 misses += (not hit_a) + (not hit_b)
                 dots += np.rint(bits_a @ bits_b.T).astype(np.int64)
@@ -423,13 +563,17 @@ class ParallelEngine:
                 block = dots
             else:
                 pop_a, hit = cache.get_or_build_flag(
-                    ("Apop", m0, m1), lambda: popcount(a[m0:m1]).sum(axis=1)
+                    ("pop", m0, m1) if dedup else ("Apop", m0, m1),
+                    lambda: popcount(a[m0:m1]).sum(axis=1),
+                    side="A",
                 )
                 hits += hit
                 misses += not hit
                 if op is ComparisonOp.XOR:
                     pop_b, hit = cache.get_or_build_flag(
-                        ("Bpop", n0, n1), lambda: popcount(b[n0:n1]).sum(axis=1)
+                        ("pop", n0, n1) if dedup else ("Bpop", n0, n1),
+                        lambda: popcount(b[n0:n1]).sum(axis=1),
+                        side="B",
                     )
                     hits += hit
                     misses += not hit
@@ -440,6 +584,13 @@ class ParallelEngine:
                     raise PackingError(f"_shard_gemm: unhandled op {op!r}")
 
             c[m0:m1, n0:n1] = block
+            if shard.mirror:
+                # Transpose slot is strictly below the computed band
+                # grid: disjoint from every computed slot, race-free.
+                mm0, mm1 = shard.mirror_m_range
+                mn0, mn1 = shard.mirror_n_range
+                c[mm0:mm1, mn0:mn1] = block.T
+                obs.counters.add(SHARDS_MIRRORED)
             return ShardProfile(
                 shard_id=shard.shard_id,
                 m_range=shard.m_range,
@@ -449,6 +600,7 @@ class ParallelEngine:
                 strategy="gemm",
                 cache_hits=hits,
                 cache_misses=misses,
+                mirrored=shard.mirror,
             )
 
     def _shard_blocked(
@@ -460,8 +612,15 @@ class ParallelEngine:
         plan: BlockingPlan,
         cache: PanelCache,
         c: np.ndarray,
+        dedup: bool = False,
     ) -> ShardProfile:
-        """BLIS-structured shard kernel: packed panels, batched tiles."""
+        """BLIS-structured shard kernel: packed panels, batched tiles.
+
+        ``dedup`` is accepted for signature uniformity with
+        :meth:`_shard_gemm`; the blocked strategy's A and B pack
+        layouts differ (``m_r`` row panels vs ``n_r`` column panels),
+        so its cache keys stay side-specific.
+        """
         obs = get_tracer()
         obs.counters.add(SHARDS_EXECUTED)
         obs.counters.add(GEMM_WORD_OPS, shard.word_ops(plan.k))
@@ -500,6 +659,11 @@ class ParallelEngine:
                         pm0 - m0, shard.m_size, shard.n_size, m_r, n_r,
                     )
             c[m0:m1, n0:n1] = block
+            if shard.mirror:
+                mm0, mm1 = shard.mirror_m_range
+                mn0, mn1 = shard.mirror_n_range
+                c[mm0:mm1, mn0:mn1] = block.T
+                obs.counters.add(SHARDS_MIRRORED)
             return ShardProfile(
                 shard_id=shard.shard_id,
                 m_range=shard.m_range,
@@ -509,6 +673,7 @@ class ParallelEngine:
                 strategy="blocked",
                 cache_hits=hits,
                 cache_misses=misses,
+                mirrored=shard.mirror,
             )
 
 
@@ -586,10 +751,12 @@ def bit_gemm_parallel(
     workers: int | None = None,
     plan: BlockingPlan | None = None,
     force_parallel: bool | None = None,
+    symmetric: bool | None = None,
+    strategy: str = "auto",
 ) -> np.ndarray:
     """One-shot parallel bit-GEMM (drop-in for the serial drivers)."""
-    c, _ = get_engine(workers).run(
-        a, b, op, plan=plan, force_parallel=force_parallel
+    c, _ = get_engine(workers, strategy).run(
+        a, b, op, plan=plan, force_parallel=force_parallel, symmetric=symmetric
     )
     return c
 

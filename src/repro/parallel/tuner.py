@@ -1,0 +1,373 @@
+"""Persisted host autotuner: measured strategy choice for ``"auto"``.
+
+The model-driven sweep in :mod:`repro.core.autotune` prices *device*
+configurations analytically.  Host-side strategy choice -- identity
+GEMM vs the blocked walk, full vs triangular Gram plans, and where the
+serial/parallel crossover sits -- depends on things no closed form
+captures (BLAS build, core count, NumPy version), so this module
+closes that loop empirically: :func:`tune_problem` benchmarks the
+candidate grid ``{gemm, blocked} x {full, triangular}`` on synthetic
+operands of the requested shape, times a serial baseline for the
+crossover decision, and persists the winner to a small JSON cache.
+
+The cache is keyed by ``(op, shape bucket, workers, word_bits, numpy
+version)`` -- shapes are bucketed to the next power of two so one
+measurement serves its whole size class, and the NumPy version is in
+the key because the winner may flip across BLAS builds.  The engine's
+``strategy="auto"`` consults the cache through :func:`lookup_tuned`
+(a lazy singleton + dict lookup, cheap enough for every run); a
+missing, corrupt, or foreign-format cache degrades to "no record"
+rather than erroring, so a stale file can never break execution.
+
+File format (``repro-host-tuning/1``)::
+
+    {
+      "format": "repro-host-tuning/1",
+      "records": {
+        "<key>": {"strategy": "gemm", "triangular": true,
+                   "crossover_ops": null, "best_seconds": 0.012,
+                   "candidates": 4}
+      }
+    }
+
+The cache path resolves, in order: explicit argument, the
+``REPRO_TUNING_CACHE`` environment variable, then
+``~/.cache/repro/host-tuning.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.blis.microkernel import ComparisonOp, get_microkernel
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "TUNING_FORMAT",
+    "TUNING_CACHE_ENV",
+    "DEFAULT_TUNING_PATH",
+    "TuningRecord",
+    "TuningCache",
+    "shape_bucket",
+    "tuning_key",
+    "configure_tuning",
+    "get_tuning_cache",
+    "lookup_tuned",
+    "tune_problem",
+]
+
+#: On-disk format tag; unknown tags are treated as "no cache".
+TUNING_FORMAT = "repro-host-tuning/1"
+
+#: Environment variable overriding the cache file location.
+TUNING_CACHE_ENV = "REPRO_TUNING_CACHE"
+
+#: Default cache file (per-user, survives repo checkouts).
+DEFAULT_TUNING_PATH = "~/.cache/repro/host-tuning.json"
+
+#: Strategies tune_problem races against each other.
+_STRATEGIES = ("gemm", "blocked")
+
+
+def shape_bucket(m: int, n: int, k_words: int) -> str:
+    """Bucket a problem shape to its next-power-of-two size class."""
+
+    def up(x: int) -> int:
+        return 1 if x <= 1 else 1 << (x - 1).bit_length()
+
+    return f"m{up(m)}-n{up(n)}-k{up(k_words)}"
+
+
+def tuning_key(
+    op: ComparisonOp,
+    m: int,
+    n: int,
+    k_words: int,
+    word_bits: int,
+    workers: int,
+) -> str:
+    """The cache key one measurement is stored (and looked up) under."""
+    return (
+        f"{op.value}|{shape_bucket(m, n, k_words)}|w{workers}"
+        f"|b{word_bits}|np{np.__version__}"
+    )
+
+
+@dataclass(frozen=True)
+class TuningRecord:
+    """One persisted tuning decision.
+
+    ``crossover_ops`` overrides the engine's serial/parallel crossover
+    for this size class when not ``None`` (recorded when the serial
+    baseline beat every parallel candidate).  ``triangular`` is the
+    measured preference for Gram plans; the engine only honours it
+    when the run is actually a symmetric self-comparison.
+    """
+
+    strategy: str
+    triangular: bool
+    crossover_ops: int | None
+    best_seconds: float
+    candidates: int
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "strategy": self.strategy,
+            "triangular": self.triangular,
+            "crossover_ops": self.crossover_ops,
+            "best_seconds": self.best_seconds,
+            "candidates": self.candidates,
+        }
+
+    @classmethod
+    def from_json(cls, data: object) -> "TuningRecord":
+        """Parse one record; raises ``ValueError`` on any shape problem."""
+        if not isinstance(data, Mapping):
+            raise ValueError(f"tuning record must be an object, got {type(data)}")
+        strategy = data.get("strategy")
+        if strategy not in _STRATEGIES:
+            raise ValueError(f"tuning record has unknown strategy {strategy!r}")
+        triangular = data.get("triangular")
+        if not isinstance(triangular, bool):
+            raise ValueError("tuning record: triangular must be a bool")
+        crossover = data.get("crossover_ops")
+        if crossover is not None and not isinstance(crossover, int):
+            raise ValueError("tuning record: crossover_ops must be int or null")
+        best_seconds = data.get("best_seconds")
+        if not isinstance(best_seconds, (int, float)) or isinstance(
+            best_seconds, bool
+        ):
+            raise ValueError("tuning record: best_seconds must be a number")
+        candidates = data.get("candidates")
+        if not isinstance(candidates, int) or isinstance(candidates, bool):
+            raise ValueError("tuning record: candidates must be an int")
+        return cls(
+            strategy=strategy,
+            triangular=triangular,
+            crossover_ops=crossover,
+            best_seconds=float(best_seconds),
+            candidates=candidates,
+        )
+
+
+class TuningCache:
+    """Thread-safe, lazily loaded JSON store of tuning records.
+
+    Loading is defensive end to end: a missing file, unreadable bytes,
+    invalid JSON, a foreign ``format`` tag, or malformed records all
+    leave the cache *empty* and record the reason in
+    :attr:`load_error` -- callers see "no record for this key", never
+    an exception.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        if path is None:
+            path = os.environ.get(TUNING_CACHE_ENV) or DEFAULT_TUNING_PATH
+        self.path = Path(path).expanduser()
+        self.load_error: str | None = None
+        self._records: dict[str, TuningRecord] = {}
+        self._loaded = False
+        self._lock = threading.Lock()
+
+    # -- persistence ---------------------------------------------------------
+
+    def _ensure_loaded(self) -> None:
+        with self._lock:
+            if self._loaded:
+                return
+            self._loaded = True
+            self._records = {}
+            self.load_error = None
+            try:
+                raw = self.path.read_text()
+            except FileNotFoundError:
+                return
+            except OSError as exc:
+                self.load_error = f"unreadable: {exc}"
+                return
+            try:
+                data = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                self.load_error = f"corrupt JSON: {exc}"
+                return
+            if not isinstance(data, dict) or data.get("format") != TUNING_FORMAT:
+                self.load_error = (
+                    f"unrecognised format "
+                    f"{data.get('format') if isinstance(data, dict) else data!r}"
+                )
+                return
+            records = data.get("records")
+            if not isinstance(records, dict):
+                self.load_error = "missing records object"
+                return
+            for key, value in records.items():
+                try:
+                    self._records[str(key)] = TuningRecord.from_json(value)
+                except ValueError as exc:
+                    # Skip the bad record, keep the good ones.
+                    self.load_error = f"skipped record {key!r}: {exc}"
+
+    def lookup(self, key: str) -> TuningRecord | None:
+        """The record stored under ``key``, or ``None``."""
+        self._ensure_loaded()
+        with self._lock:
+            return self._records.get(key)
+
+    def store(self, key: str, record: TuningRecord) -> None:
+        """Insert/replace ``key`` in memory (call :meth:`save` to persist)."""
+        self._ensure_loaded()
+        with self._lock:
+            self._records[key] = record
+
+    def save(self) -> None:
+        """Write every record atomically (temp file + rename)."""
+        self._ensure_loaded()
+        with self._lock:
+            payload = {
+                "format": TUNING_FORMAT,
+                "records": {
+                    key: record.to_json()
+                    for key, record in sorted(self._records.items())
+                },
+            }
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            tmp.write_text(json.dumps(payload, indent=2) + "\n")
+            os.replace(tmp, self.path)
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        with self._lock:
+            return len(self._records)
+
+
+# -- process-wide singleton ------------------------------------------------------
+
+_CACHE: TuningCache | None = None
+_CACHE_LOCK = threading.Lock()
+
+
+def configure_tuning(path: str | Path | None = None) -> TuningCache:
+    """(Re)point the process-wide tuning cache, returning it.
+
+    Tests use this to sandbox the cache; passing ``None`` re-resolves
+    the environment variable / default path.
+    """
+    global _CACHE
+    with _CACHE_LOCK:
+        _CACHE = TuningCache(path)
+        return _CACHE
+
+
+def get_tuning_cache() -> TuningCache:
+    """The process-wide tuning cache (created on first use)."""
+    global _CACHE
+    with _CACHE_LOCK:
+        if _CACHE is None:
+            _CACHE = TuningCache()
+        return _CACHE
+
+
+def lookup_tuned(
+    op: ComparisonOp,
+    m: int,
+    n: int,
+    k_words: int,
+    word_bits: int,
+    workers: int,
+) -> TuningRecord | None:
+    """Cheap cache consultation used by ``strategy="auto"``."""
+    cache = get_tuning_cache()
+    return cache.lookup(tuning_key(op, m, n, k_words, word_bits, workers))
+
+
+# -- measurement -----------------------------------------------------------------
+
+
+def tune_problem(
+    m: int,
+    n: int,
+    k_words: int,
+    op: ComparisonOp | str = ComparisonOp.AND,
+    workers: int | None = None,
+    repeats: int = 1,
+    seed: int = 0,
+    cache: TuningCache | None = None,
+    persist: bool = True,
+) -> TuningRecord:
+    """Benchmark the candidate grid for one shape and persist the winner.
+
+    Races ``{gemm, blocked}`` strategies -- each in full-plan form and,
+    when the problem is a square self-comparison with a symmetric op,
+    also in triangular Gram form -- on synthetic random operands, plus
+    a serial baseline.  The fastest parallel candidate becomes the
+    record; if the serial baseline beat it, ``crossover_ops`` is raised
+    above this size class so ``"auto"`` keeps such problems serial.
+    """
+    from repro.parallel.engine import get_engine
+
+    if m <= 0 or n <= 0 or k_words <= 0:
+        raise ConfigurationError(
+            f"tune_problem: extents must be positive, got {(m, n, k_words)}"
+        )
+    if repeats <= 0:
+        raise ConfigurationError(
+            f"tune_problem: repeats must be positive, got {repeats}"
+        )
+    op = get_microkernel(op).op
+    if workers is None:
+        workers = os.cpu_count() or 1
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, np.iinfo(np.uint64).max, size=(m, k_words), dtype=np.uint64)
+    b = a if m == n else rng.integers(
+        0, np.iinfo(np.uint64).max, size=(n, k_words), dtype=np.uint64
+    )
+    gram_eligible = m == n and op.is_symmetric
+    word_bits = 64
+    total_ops = m * n * k_words
+
+    def best_of(strategy: str, triangular: bool) -> float:
+        engine = get_engine(workers, strategy)
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            engine.run(a, b, op, force_parallel=True, symmetric=triangular)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    candidates: list[tuple[str, bool, float]] = []
+    for strategy in _STRATEGIES:
+        candidates.append((strategy, False, best_of(strategy, False)))
+        if gram_eligible:
+            candidates.append((strategy, True, best_of(strategy, True)))
+
+    serial_engine = get_engine(1, "gemm")
+    serial_best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        serial_engine.run(a, b, op, force_parallel=False)
+        serial_best = min(serial_best, time.perf_counter() - start)
+
+    strategy, triangular, best_seconds = min(candidates, key=lambda c: c[2])
+    crossover_ops = 2 * total_ops if serial_best < best_seconds else None
+    record = TuningRecord(
+        strategy=strategy,
+        triangular=triangular,
+        crossover_ops=crossover_ops,
+        best_seconds=best_seconds,
+        candidates=len(candidates),
+    )
+    if cache is None:
+        cache = get_tuning_cache()
+    cache.store(tuning_key(op, m, n, k_words, word_bits, workers), record)
+    if persist:
+        cache.save()
+    return record

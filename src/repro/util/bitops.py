@@ -122,6 +122,21 @@ def words_needed(n_bits: int, word_bits: int = WORD_BITS_32) -> int:
 _DTYPE_FOR_BITS = {8: np.uint8, 16: np.uint16, 32: np.uint32, 64: np.uint64}
 
 
+def _is_binary(arr: np.ndarray) -> bool:
+    """Whether every element is 0 or 1, using the cheapest check the
+    dtype allows: unsigned ints need one comparison, signed ints two;
+    only inexact dtypes (floats can hold e.g. 0.5) fall back to the
+    membership test."""
+    kind = arr.dtype.kind
+    if kind == "b":
+        return True
+    if kind == "u":
+        return bool((arr <= 1).all())
+    if kind == "i":
+        return bool(((arr >= 0) & (arr <= 1)).all())
+    return bool(np.isin(arr, (0, 1)).all())
+
+
 def pack_bits(
     bits: np.ndarray,
     word_bits: int = WORD_BITS_32,
@@ -158,7 +173,7 @@ def pack_bits(
     if arr.ndim != 2:
         raise PackingError(f"pack_bits: expected 2-D input, got ndim={arr.ndim}")
     if arr.dtype != np.bool_:
-        if not np.isin(arr, (0, 1)).all():
+        if not _is_binary(arr):
             raise PackingError("pack_bits: input must contain only 0s and 1s")
         arr = arr.astype(bool)
     rows, n_bits = arr.shape
@@ -172,12 +187,24 @@ def pack_bits(
     dtype = _DTYPE_FOR_BITS[word_bits]
 
     # np.packbits packs into uint8 MSB-first; view groups of word_bits/8
-    # bytes as one big-endian word, then byteswap into native order.
+    # bytes as one big-endian word, then convert into native order.
     padded_bits = np.zeros((rows, n_words * word_bits), dtype=bool)
     padded_bits[:, :n_bits] = arr
     as_u8 = np.packbits(padded_bits, axis=1)
     if word_bits == 8:
         return as_u8.astype(np.uint8)
+    return as_u8.view(f">u{word_bits // 8}").astype(dtype)
+
+
+def _pack_words_byteshift(as_u8: np.ndarray, word_bits: int) -> np.ndarray:
+    """Reference byte-assembly for the :func:`pack_bits` tail.
+
+    The per-byte shift-and-or loop the big-endian view replaced; kept
+    as an independent oracle so tests can cross-validate the two.
+    """
+    dtype = _DTYPE_FOR_BITS[word_bits]
+    rows = as_u8.shape[0]
+    n_words = as_u8.shape[1] // (word_bits // 8)
     be = as_u8.reshape(rows, n_words, word_bits // 8)
     words = np.zeros((rows, n_words), dtype=dtype)
     for byte_idx in range(word_bits // 8):

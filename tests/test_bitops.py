@@ -140,3 +140,72 @@ class TestPackUnpack:
         bits[0, 0] = 1
         packed = pack_bits(bits, 32)
         assert packed[0, 0] == np.uint32(0x80000000)
+
+
+class TestPackValidation:
+    """The dtype-aware binary check behind pack_bits."""
+
+    @pytest.mark.parametrize(
+        "dtype", [np.uint8, np.uint16, np.uint64, np.int8, np.int32, np.int64]
+    )
+    def test_integer_binary_accepted(self, dtype):
+        bits = np.array([[0, 1, 1, 0]], dtype=dtype)
+        assert popcount(pack_bits(bits, 32)).sum() == 2
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            np.array([[0, 2]], dtype=np.uint8),
+            np.array([[0, -1]], dtype=np.int8),
+            np.array([[0, 2]], dtype=np.int64),
+            np.array([[0.0, 0.5]]),
+            np.array([[0.0, -1.0]]),
+        ],
+    )
+    def test_non_binary_rejected_per_dtype(self, bad):
+        with pytest.raises(PackingError):
+            pack_bits(bad, 32)
+
+    def test_float_binary_accepted(self):
+        bits = np.array([[0.0, 1.0, 1.0]])
+        assert popcount(pack_bits(bits, 32)).sum() == 2
+
+
+class TestPackEdgeCases:
+    @pytest.mark.parametrize("word_bits", [8, 16, 32, 64])
+    def test_zero_rows_roundtrip(self, word_bits):
+        packed = pack_bits(np.zeros((0, 65), dtype=np.uint8), word_bits)
+        assert packed.shape == (0, words_needed(65, word_bits))
+        assert unpack_bits(packed, 65).shape == (0, 65)
+
+    @pytest.mark.parametrize("word_bits", [8, 16, 32, 64])
+    def test_zero_bits_roundtrip(self, word_bits):
+        packed = pack_bits(np.zeros((4, 0), dtype=np.uint8), word_bits)
+        assert packed.shape == (4, 0)
+        assert unpack_bits(packed, 0).shape == (4, 0)
+
+    def test_unpack_zero_words_honours_nbits_bound(self):
+        empty = np.zeros((2, 0), dtype=np.uint32)
+        with pytest.raises(PackingError):
+            unpack_bits(empty, 1)
+
+    @pytest.mark.parametrize("word_bits", [8, 16, 32, 64])
+    @pytest.mark.parametrize("n_bits", [1, 7, 63, 64, 65, 200])
+    def test_roundtrip_all_widths(self, word_bits, n_bits):
+        rng = np.random.default_rng(word_bits * 1000 + n_bits)
+        bits = (rng.random((3, n_bits)) < 0.5).astype(np.uint8)
+        packed = pack_bits(bits, word_bits)
+        assert (unpack_bits(packed, n_bits) == bits).all()
+
+    @pytest.mark.parametrize("word_bits", [16, 32, 64])
+    def test_vectorized_tail_matches_byteshift_loop(self, word_bits):
+        from repro.util.bitops import _pack_words_byteshift
+
+        rng = np.random.default_rng(9)
+        bits = (rng.random((6, 3 * word_bits + 5)) < 0.5).astype(bool)
+        packed = pack_bits(bits, word_bits)
+        n_words = packed.shape[1]
+        padded = np.zeros((6, n_words * word_bits), dtype=bool)
+        padded[:, : bits.shape[1]] = bits
+        as_u8 = np.packbits(padded, axis=1)
+        assert (packed == _pack_words_byteshift(as_u8, word_bits)).all()
