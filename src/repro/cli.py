@@ -18,6 +18,12 @@ sensible default for the machine; see :mod:`repro.parallel`), plus
 (``auto`` consults the persisted host tuning cache) and ``--no-gram``
 to disable the symmetric Gram fast path (see ``docs/PERF.md``).
 
+Resilience flags (see ``docs/RESILIENCE.md``): ``--retries N`` retries
+transient faults up to N times with backoff, ``--verify-sample RATE``
+spot-verifies that fraction of output shards against the serial
+reference, and ``--inject-faults SPEC`` injects a deterministic fault
+schedule (e.g. ``"kernel:1,shard@0:2,seed=7"``) for drills.
+
 Inputs are the library's ``.snptxt`` / ``.npz`` formats
 (:mod:`repro.snp.io`).  Results go to stdout (summaries) and optional
 ``--output`` NPZ files (full tables).
@@ -45,6 +51,8 @@ from repro.errors import ReproError
 from repro.gpu.arch import ALL_GPUS, get_gpu
 from repro.observability.trace_export import write_merged_trace
 from repro.observability.tracer import Tracer, set_tracer
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.runtime import ResilienceContext, resilient
 from repro.snp.io import (
     load_database_npz,
     load_dataset_npz,
@@ -154,6 +162,57 @@ def _observability(args: argparse.Namespace) -> Iterator[Tracer | None]:
         set_tracer(previous)
 
 
+@contextlib.contextmanager
+def _resilience_scope(
+    args: argparse.Namespace,
+) -> Iterator[ResilienceContext | None]:
+    """Install a resilience context for one command when flags ask.
+
+    ``--retries`` maps to a retry policy of ``retries + 1`` attempts;
+    ``--inject-faults`` parses the fault-schedule spec;
+    ``--verify-sample`` engages the spot-verification guard.  With none
+    of the flags given, the inactive process default stays installed
+    (zero overhead).
+    """
+    spec = getattr(args, "inject_faults", None)
+    retries = getattr(args, "retries", 0) or 0
+    verify = getattr(args, "verify_sample", 0.0) or 0.0
+    if retries < 0:
+        raise ReproError(f"--retries must be >= 0, got {retries}")
+    if not spec and retries == 0 and verify == 0.0:
+        yield None
+        return
+    policy = (
+        RetryPolicy(max_attempts=retries + 1) if retries > 0 else None
+    )
+    with resilient(plan=spec, policy=policy, verify_sample=verify) as context:
+        yield context
+
+
+def _emit_resilience(report: RunReport) -> None:
+    """Print the resilience accounting block when a context was active."""
+    res = report.resilience
+    if res is None:
+        return
+    rows: list[tuple[str, object]] = [
+        ("faults injected", res.faults_injected),
+        ("retries", res.retries),
+        ("shards quarantined", res.quarantined),
+        ("tiles verified", res.tiles_verified),
+        ("verify mismatches", res.verify_mismatches),
+        ("devices dropped", res.devices_dropped),
+    ]
+    if res.events:
+        rows.append((
+            "fired",
+            ", ".join(
+                f"{e.kind}@{e.target}#{e.attempt}" for e in res.events
+            ),
+        ))
+    print()
+    print(render_kv(rows, title="resilience"))
+
+
 def _observed_framework(
     args: argparse.Namespace,
     tracer: Tracer | None,
@@ -195,7 +254,7 @@ def _emit_observability(
 
 def _cmd_ld(args: argparse.Namespace) -> int:
     matrix = _load_matrix(args.input)
-    with _observability(args) as tracer:
+    with _observability(args) as tracer, _resilience_scope(args):
         framework = _observed_framework(args, tracer, Algorithm.LD)
         result = linkage_disequilibrium(
             matrix,
@@ -220,6 +279,7 @@ def _cmd_ld(args: argparse.Namespace) -> int:
             ("simulated end-to-end", f"{result.report.end_to_end_s * 1e3:.1f} ms"),
         ], title=f"LD on {args.device}"))
         _emit_observability(args, tracer, framework, result.report)
+        _emit_resilience(result.report)
     _save_table(args.output, counts=result.counts, stat=stat)
     return 0
 
@@ -227,7 +287,7 @@ def _cmd_ld(args: argparse.Namespace) -> int:
 def _cmd_identity(args: argparse.Namespace) -> int:
     queries = _load_matrix(args.queries)
     database = _load_matrix(args.database)
-    with _observability(args) as tracer:
+    with _observability(args) as tracer, _resilience_scope(args):
         framework = _observed_framework(args, tracer, Algorithm.FASTID_IDENTITY)
         result = identity_search(
             queries,
@@ -255,6 +315,7 @@ def _cmd_identity(args: argparse.Namespace) -> int:
             if len(hits) > 20:
                 print(f"... and {len(hits) - 20} more")
         _emit_observability(args, tracer, framework, result.report)
+        _emit_resilience(result.report)
     _save_table(args.output, distances=result.distances)
     return 0
 
@@ -262,7 +323,7 @@ def _cmd_identity(args: argparse.Namespace) -> int:
 def _cmd_mixture(args: argparse.Namespace) -> int:
     references = _load_matrix(args.references)
     mixture = _load_matrix(args.mixture)
-    with _observability(args) as tracer:
+    with _observability(args) as tracer, _resilience_scope(args):
         framework = _observed_framework(args, tracer, Algorithm.FASTID_MIXTURE)
         result = mixture_analysis(
             references,
@@ -285,6 +346,7 @@ def _cmd_mixture(args: argparse.Namespace) -> int:
             ids = ", ".join(str(r) for r, _ in flagged[:15]) or "(none)"
             print(f"mixture {mi}: {len(flagged)} consistent references: {ids}")
         _emit_observability(args, tracer, framework, result.report)
+        _emit_resilience(result.report)
     _save_table(args.output, scores=result.scores)
     return 0
 
@@ -336,6 +398,19 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--trace", metavar="PATH", help=trace_help)
         cmd.add_argument("--metrics", action="store_true", help=metrics_help)
 
+    retries_help = (
+        "retry transient device faults up to N times with exponential "
+        "backoff (0 = no retries; see docs/RESILIENCE.md)"
+    )
+    inject_help = (
+        "inject a deterministic fault schedule for resilience drills, "
+        "e.g. 'kernel:1,shard@0:2,bitflip@0,seed=7'"
+    )
+    verify_help = (
+        "spot-verify this fraction of output shards against the serial "
+        "reference (0 disables, 1 checks every shard)"
+    )
+
     def add_compute_flags(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument("--workers", type=int, default=None, help=workers_help)
         cmd.add_argument(
@@ -343,6 +418,16 @@ def build_parser() -> argparse.ArgumentParser:
             help=strategy_help,
         )
         cmd.add_argument("--no-gram", action="store_true", help=no_gram_help)
+        cmd.add_argument(
+            "--retries", type=int, default=0, metavar="N", help=retries_help
+        )
+        cmd.add_argument(
+            "--inject-faults", metavar="SPEC", help=inject_help
+        )
+        cmd.add_argument(
+            "--verify-sample", type=float, default=0.0, metavar="RATE",
+            help=verify_help,
+        )
 
     ld = sub.add_parser("ld", help="all-pairs linkage disequilibrium")
     ld.add_argument("--input", required=True, help=".snptxt or dataset .npz")

@@ -36,6 +36,8 @@ from repro.gpu.kernel import SnpKernel
 from repro.observability.counters import SIM_DEVICE_SECONDS
 from repro.observability.report import MetricsReport
 from repro.observability.tracer import get_tracer
+from repro.resilience.report import ResilienceReport
+from repro.resilience.runtime import get_resilience
 
 __all__ = ["SNPComparisonFramework"]
 
@@ -191,8 +193,10 @@ class SNPComparisonFramework:
     ) -> tuple[np.ndarray, RunReport]:
         """Run with pre-packed operands; returns (cropped table, report)."""
         obs = get_tracer()
+        res = get_resilience()
         counters_before = obs.counters.snapshot() if obs.enabled else None
         spans_before = obs.n_spans()
+        events_before = res.injector.n_fired()
         with obs.span(
             "framework.run",
             device=self.arch.name,
@@ -238,6 +242,22 @@ class SNPComparisonFramework:
         if obs.enabled:
             report.metrics = MetricsReport.from_delta(
                 obs, counters_before, spans_before
+            )
+        if res.active:
+            events = tuple(res.injector.fired()[events_before:])
+            engine_totals = ResilienceReport.combine(
+                p.parallel.resilience
+                for p in profiles
+                if p.parallel is not None and p.parallel.resilience is not None
+            )
+            report.resilience = ResilienceReport(
+                faults_injected=len(events),
+                retries=engine_totals.retries
+                + sum(p.retries for p in profiles),
+                quarantined=engine_totals.quarantined,
+                tiles_verified=engine_totals.tiles_verified,
+                verify_mismatches=engine_totals.verify_mismatches,
+                events=events,
             )
         return crop_result(raw, a, b), report
 

@@ -33,11 +33,13 @@ from repro.blis.blocking import tile_ranges
 from repro.blis.gemm import same_operand
 from repro.core.packing import PackedOperand
 from repro.errors import AllocationError, ConfigurationError
-from repro.gpu.device import CommandQueue, Context
+from repro.gpu.device import Buffer, CommandQueue, Context
 from repro.gpu.executor import KernelProfile
 from repro.gpu.kernel import SnpKernel
 from repro.gpu.event import Event
 from repro.observability.tracer import get_tracer
+from repro.resilience.retry import call_with_retry
+from repro.resilience.runtime import get_resilience
 
 __all__ = ["TilePlan", "plan_tiles", "run_pipeline"]
 
@@ -166,6 +168,17 @@ def run_pipeline(
     profiles: list[KernelProfile] = []
 
     obs = get_tracer()
+    res = get_resilience()
+
+    def _alloc(n_bytes: int, label: str) -> Buffer:
+        # Allocation failures (injected ``alloc`` faults or real
+        # AllocationError memory pressure) are retried under the
+        # active resilience policy; the one-attempt default makes
+        # this a plain create_buffer call.
+        return call_with_retry(
+            lambda: context.create_buffer(n_bytes, label=label), res.policy
+        )
+
     with obs.span(
         "pipeline.run",
         device=arch.name,
@@ -173,21 +186,17 @@ def run_pipeline(
         double_buffering=double_buffering,
     ):
         # Resident A upload.
-        a_buf = context.create_buffer(a.nbytes, label="A")
+        a_buf = _alloc(a.nbytes, label="A")
         a_event = queue.enqueue_write_buffer(a_buf, a.words, label="write:A")
 
         # Double-buffered B/C rotation (two slots each).
         n_slots = 2 if double_buffering and plan.n_tiles > 1 else 1
         b_bufs = [
-            context.create_buffer(
-                plan.tile_rows * b.k_words * word_bytes, label=f"B{i}"
-            )
+            _alloc(plan.tile_rows * b.k_words * word_bytes, label=f"B{i}")
             for i in range(n_slots)
         ]
         c_bufs = [
-            context.create_buffer(
-                m_padded * plan.tile_rows * _RESULT_BYTES, label=f"C{i}"
-            )
+            _alloc(m_padded * plan.tile_rows * _RESULT_BYTES, label=f"C{i}")
             for i in range(n_slots)
         ]
         # Last events occupying each slot (must complete before reuse).

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.gpu.executor import KernelProfile
 from repro.observability.report import MetricsReport
+from repro.resilience.report import ResilienceReport
 from repro.util.units import format_ops, format_percent, format_seconds
 
 __all__ = ["RunReport"]
@@ -44,6 +45,9 @@ class RunReport:
     #: Observability capture scoped to this run; ``None`` when the
     #: process tracer was disabled (the default).
     metrics: MetricsReport | None = None
+    #: Fault-tolerance accounting scoped to this run; ``None`` when no
+    #: resilience context was active (the default).
+    resilience: ResilienceReport | None = None
 
     @property
     def word_ops(self) -> int:

@@ -29,6 +29,33 @@ from repro.gpu.arch import GPUArchitecture
 __all__ = ["Match", "StreamingIdentitySearch"]
 
 
+def _check_binary_matrix(name: str, data: np.ndarray) -> np.ndarray:
+    """Validate one binary operand; returns the checked array.
+
+    Rejects wrong rank, non-integer dtypes and non-binary values with
+    messages precise enough to locate the bad feed, *before* any
+    search state is mutated.
+    """
+    arr = np.asarray(data)
+    if arr.ndim != 2:
+        raise DatasetError(
+            f"{name} must be a 2-D binary matrix, got {arr.ndim}-D "
+            f"shape {arr.shape}"
+        )
+    if arr.dtype != np.bool_ and not np.issubdtype(arr.dtype, np.integer):
+        raise DatasetError(
+            f"{name} has dtype {arr.dtype}; binary matrices must use an "
+            f"integer or bool dtype"
+        )
+    if arr.size and (arr.min() < 0 or arr.max() > 1):
+        raise DatasetError(
+            f"{name} contains non-binary values "
+            f"(min={int(arr.min())}, max={int(arr.max())}); entries must "
+            f"be 0 or 1"
+        )
+    return arr
+
+
 @dataclass(frozen=True, order=True)
 class Match:
     """One candidate: ordered by distance, then database index."""
@@ -76,8 +103,8 @@ class StreamingIdentitySearch:
         k: int = 5,
         device: str | GPUArchitecture = "Titan V",
     ) -> None:
-        q = np.asarray(queries)
-        if q.ndim != 2 or q.shape[0] == 0:
+        q = _check_binary_matrix("StreamingIdentitySearch: queries", queries)
+        if q.shape[0] == 0:
             raise DatasetError(
                 "StreamingIdentitySearch: queries must be a non-empty 2-D matrix"
             )
@@ -99,9 +126,13 @@ class StreamingIdentitySearch:
         """Search one database batch and fold it into the top-k sets.
 
         Batch rows receive global database indices in arrival order.
+        The batch is validated up front -- shape, dtype and
+        binary-ness -- so a malformed feed fails with a precise
+        :class:`~repro.errors.DatasetError` *before* any state
+        (``rows_seen``, top-k heaps) is touched.
         """
-        batch = np.asarray(profiles)
-        if batch.ndim != 2 or batch.shape[1] != self.queries.shape[1]:
+        batch = _check_binary_matrix("add_batch: batch", profiles)
+        if batch.shape[1] != self.queries.shape[1]:
             raise DatasetError(
                 f"add_batch: batch shape {batch.shape} incompatible with "
                 f"{self.queries.shape[1]} query sites"

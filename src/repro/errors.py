@@ -17,6 +17,19 @@ The hierarchy mirrors the major subsystems:
   sample/site counts, malformed files).
 * :class:`ModelError` -- analytical performance-model failures
   (unknown instruction, unsatisfiable bottleneck query).
+
+Two :class:`DeviceError` subclasses belong to the fault-tolerance
+layer (:mod:`repro.resilience`):
+
+* :class:`FaultInjectedError` -- a *simulated* fault fired by the
+  deterministic fault injector at an instrumented hook point (kernel
+  launch, allocation, device loss, shard execution).  It carries the
+  fault ``kind`` and ``target`` so the error classifier
+  (:func:`repro.resilience.retry.classify`) can map it to a
+  retryable / degradable / fatal disposition.
+* :class:`ShardExecutionError` -- a shard (or a whole partitioned
+  run) exhausted its retry budget with no recovery path left; raised
+  instead of ever returning a possibly-corrupt result.
 """
 
 from __future__ import annotations
@@ -27,6 +40,8 @@ __all__ = [
     "DeviceError",
     "AllocationError",
     "KernelLaunchError",
+    "FaultInjectedError",
+    "ShardExecutionError",
     "PackingError",
     "DatasetError",
     "ModelError",
@@ -62,6 +77,51 @@ class AllocationError(DeviceError):
 
 class KernelLaunchError(DeviceError):
     """A kernel was enqueued with an invalid launch configuration."""
+
+
+class FaultInjectedError(DeviceError):
+    """A simulated fault fired by the deterministic fault injector.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the injected fault.
+    kind:
+        The fault kind (``"kernel"``, ``"alloc"``, ``"device"``,
+        ``"shard"``, ``"slow"``); the classifier keys its disposition
+        off this.
+    target:
+        The hook-point target the fault fired at (launch ordinal,
+        shard id, device index), when known.
+    attempt:
+        The attempt number the fault fired on (0 = first try).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: str = "fault",
+        target: int | None = None,
+        attempt: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.target = target
+        self.attempt = attempt
+
+
+class ShardExecutionError(DeviceError):
+    """A shard (or partitioned run) failed beyond recovery.
+
+    Raised when the retry budget is exhausted and no degradation path
+    (quarantine recompute, device re-partition) remains -- the
+    resilience layer's guarantee is that corrupt or partial results
+    are never returned silently.
+    """
+
+    def __init__(self, message: str, shard_id: int | None = None) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
 
 
 class PackingError(ReproError, ValueError):

@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.errors import DeviceError, KernelLaunchError
 from repro.gpu.arch import ALL_GPUS, GPUArchitecture
+from repro.resilience.runtime import get_resilience
 from repro.gpu.event import Event
 from repro.gpu.executor import KernelProfile, execute_kernel
 from repro.gpu.kernel import KernelArgs, SnpKernel
@@ -125,6 +126,9 @@ class Context:
         self.ready_at = device.arch.memory.init_overhead_s
 
     def create_buffer(self, n_bytes: int, label: str = "") -> Buffer:
+        # Fault-injection hook: an ``alloc`` spec makes this allocation
+        # raise FaultInjectedError (retryable; see repro.resilience).
+        get_resilience().injector.check("alloc")
         return Buffer(self, n_bytes, label)
 
     def create_queue(self) -> "CommandQueue":

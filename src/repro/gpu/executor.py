@@ -24,12 +24,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.blis.gemm import bit_gemm_blocked, bit_gemm_fast, same_operand
-from repro.errors import KernelLaunchError
+from repro.errors import KernelLaunchError, ReproError
 from repro.gpu.cycles import CycleBreakdown, kernel_cycles
 from repro.gpu.kernel import KernelArgs, SnpKernel
-from repro.observability.counters import KERNEL_LAUNCHES
+from repro.observability.counters import KERNEL_LAUNCHES, KERNEL_RETRIES
 from repro.observability.tracer import get_tracer
 from repro.parallel.engine import ParallelReport, get_engine
+from repro.resilience.retry import Disposition, classify
+from repro.resilience.runtime import get_resilience
 
 __all__ = [
     "KernelProfile",
@@ -50,7 +52,8 @@ class KernelProfile:
 
     ``parallel`` carries the host-engine report (shard profiles, cache
     stats) when the functional path ran sharded; ``None`` for serial
-    and timing-only launches.
+    and timing-only launches.  ``retries`` counts launch re-attempts
+    after transient (injected) kernel-launch faults.
     """
 
     kernel_name: str
@@ -58,6 +61,7 @@ class KernelProfile:
     breakdown: CycleBreakdown
     used_blocked_path: bool
     parallel: ParallelReport | None = None
+    retries: int = 0
 
     @property
     def seconds(self) -> float:
@@ -156,8 +160,10 @@ def execute_kernel(
         else force_blocked_path
     )
     obs = get_tracer()
+    res = get_resilience()
     obs.counters.add(KERNEL_LAUNCHES)
     parallel_report: ParallelReport | None = None
+    launch_retries = 0
     with obs.span(
         "kernel.execute",
         kernel=f"snp_{kernel.op.value}",
@@ -166,23 +172,49 @@ def execute_kernel(
         n=args.n,
         k=args.k,
     ):
-        if workers is not None and workers > 1 and force_blocked_path is None:
-            c, parallel_report = get_engine(workers, strategy).run(
-                a, b, kernel.op, plan=plan, symmetric=symmetric
-            )
-            use_blocked = False
-        else:
-            serial_symmetric = (
-                kernel.op.is_symmetric and same_operand(a, b)
-                if symmetric is None
-                else symmetric
-            )
-            if use_blocked:
-                c = bit_gemm_blocked(
-                    a, b, kernel.op, plan, symmetric=serial_symmetric
-                )
-            else:
-                c = bit_gemm_fast(a, b, kernel.op, symmetric=serial_symmetric)
+        # Launch loop: an injected transient kernel-launch fault (or a
+        # retryable fault that escaped the engine's shard-level
+        # handling) is re-attempted under the active retry policy; each
+        # attempt consumes one kernel ordinal, so ``kernel:c`` specs
+        # model c consecutive failed launches before success.
+        attempt = 0
+        while True:
+            try:
+                res.injector.check("kernel", attempt=attempt)
+                if (
+                    workers is not None
+                    and workers > 1
+                    and force_blocked_path is None
+                ):
+                    c, parallel_report = get_engine(workers, strategy).run(
+                        a, b, kernel.op, plan=plan, symmetric=symmetric
+                    )
+                    use_blocked = False
+                else:
+                    serial_symmetric = (
+                        kernel.op.is_symmetric and same_operand(a, b)
+                        if symmetric is None
+                        else symmetric
+                    )
+                    if use_blocked:
+                        c = bit_gemm_blocked(
+                            a, b, kernel.op, plan, symmetric=serial_symmetric
+                        )
+                    else:
+                        c = bit_gemm_fast(
+                            a, b, kernel.op, symmetric=serial_symmetric
+                        )
+                break
+            except ReproError as exc:
+                if (
+                    classify(exc) is not Disposition.RETRY
+                    or attempt + 1 >= res.policy.max_attempts
+                ):
+                    raise
+                launch_retries += 1
+                obs.counters.add(KERNEL_RETRIES)
+                res.policy.wait(launch_retries - 1)
+                attempt += 1
 
     breakdown = kernel_cycles(kernel.arch, plan, kernel.op)
     profile = KernelProfile(
@@ -191,5 +223,6 @@ def execute_kernel(
         breakdown=breakdown,
         used_blocked_path=use_blocked,
         parallel=parallel_report,
+        retries=launch_retries,
     )
     return c, profile

@@ -15,6 +15,7 @@ the same per-device estimator the single-GPU benches use.
 from __future__ import annotations
 
 import dataclasses
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,25 +23,37 @@ import numpy as np
 from repro.core.config import Algorithm
 from repro.core.framework import SNPComparisonFramework
 from repro.core.planner import derive_config
-from repro.errors import ModelError
+from repro.errors import ModelError, ReproError, ShardExecutionError
 from repro.gpu.arch import GPUArchitecture
 from repro.model.endtoend import EndToEndEstimate, estimate_end_to_end
 from repro.multigpu.partition import DeviceSlice, partition_database
 from repro.multigpu.system import MultiGPUSystem
+from repro.observability.counters import DEVICES_DROPPED
 from repro.observability.tracer import get_tracer
+from repro.resilience.report import ResilienceReport
+from repro.resilience.retry import Disposition, classify
+from repro.resilience.runtime import get_resilience
 
 __all__ = ["MultiGPUReport", "run_multi_gpu", "estimate_multi_gpu", "scaling_series"]
 
 
 @dataclass
 class MultiGPUReport:
-    """Node-level timing of one multi-GPU run."""
+    """Node-level timing of one multi-GPU run.
+
+    ``dropped_devices`` lists device indices lost during the run (their
+    database slices were re-partitioned across the survivors);
+    ``resilience`` carries the fault-tolerance accounting when a
+    resilience context was active.
+    """
 
     system: str
     algorithm: str
     n_devices_used: int
     slices: list[DeviceSlice]
     per_device: list[EndToEndEstimate] = field(default_factory=list)
+    dropped_devices: list[int] = field(default_factory=list)
+    resilience: ResilienceReport | None = None
 
     @property
     def makespan_s(self) -> float:
@@ -109,6 +122,8 @@ def run_multi_gpu(
     arch = _adjusted_arch(system, len(active))
 
     obs = get_tracer()
+    res = get_resilience()
+    events_before = res.injector.n_fired()
     table = np.zeros((a.shape[0], b.shape[0]), dtype=np.int64)
     report = MultiGPUReport(
         system=system.name,
@@ -116,25 +131,72 @@ def run_multi_gpu(
         n_devices_used=len(active),
         slices=slices,
     )
+    sub_reports: list[ResilienceReport] = []
+    dropped: list[int] = []
+    # Work queue of (device, rows) assignments.  The happy path drains
+    # it in partition order; a device-lost fault re-partitions the
+    # failed assignment's rows across the surviving devices and keeps
+    # draining (graceful degradation; see docs/RESILIENCE.md).
+    pending: deque[DeviceSlice] = deque(active)
     with obs.span(
         "multigpu.run",
         system=system.name,
         algorithm=algorithm.value,
         devices=len(active),
     ):
-        for dev_slice in active:
-            with obs.span(
-                "multigpu.device",
-                device=dev_slice.device_index,
-                rows=dev_slice.n_rows,
-            ):
-                framework = SNPComparisonFramework(
-                    arch, algorithm, workers=workers, gram=gram, strategy=strategy
-                )
-                slice_table, run_report = framework.run(
-                    a, b[dev_slice.row_start : dev_slice.row_stop]
-                )
+        while pending:
+            dev_slice = pending.popleft()
+            try:
+                with obs.span(
+                    "multigpu.device",
+                    device=dev_slice.device_index,
+                    rows=dev_slice.n_rows,
+                ):
+                    res.injector.check(
+                        "device", target=dev_slice.device_index
+                    )
+                    framework = SNPComparisonFramework(
+                        arch,
+                        algorithm,
+                        workers=workers,
+                        gram=gram,
+                        strategy=strategy,
+                    )
+                    slice_table, run_report = framework.run(
+                        a, b[dev_slice.row_start : dev_slice.row_stop]
+                    )
+            except ReproError as exc:
+                if classify(exc) is not Disposition.DEGRADE:
+                    raise
+                dropped.append(dev_slice.device_index)
+                obs.counters.add(DEVICES_DROPPED)
+                survivors = [
+                    s.device_index
+                    for s in active
+                    if s.device_index not in dropped
+                ]
+                if not survivors:
+                    raise ShardExecutionError(
+                        f"run_multi_gpu: every device lost (last: device "
+                        f"{dev_slice.device_index}); no survivors to "
+                        f"re-partition onto"
+                    ) from exc
+                for sub in partition_database(
+                    dev_slice.n_rows, len(survivors), align=config.n_r
+                ):
+                    if sub.is_empty:
+                        continue
+                    pending.append(
+                        DeviceSlice(
+                            device_index=survivors[sub.device_index],
+                            row_start=dev_slice.row_start + sub.row_start,
+                            row_stop=dev_slice.row_start + sub.row_stop,
+                        )
+                    )
+                continue
             table[:, dev_slice.row_start : dev_slice.row_stop] = slice_table
+            if run_report.resilience is not None:
+                sub_reports.append(run_report.resilience)
             report.per_device.append(
                 EndToEndEstimate(
                     device=arch.name,
@@ -151,6 +213,20 @@ def run_multi_gpu(
                     kernel_word_ops=run_report.word_ops,
                 )
             )
+    report.dropped_devices = dropped
+    report.n_devices_used = len(active) - len(dropped)
+    if res.active:
+        events = tuple(res.injector.fired()[events_before:])
+        totals = ResilienceReport.combine(sub_reports)
+        report.resilience = ResilienceReport(
+            faults_injected=len(events),
+            retries=totals.retries,
+            quarantined=totals.quarantined,
+            tiles_verified=totals.tiles_verified,
+            verify_mismatches=totals.verify_mismatches,
+            devices_dropped=len(dropped),
+            events=events,
+        )
     return table, report
 
 

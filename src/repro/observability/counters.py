@@ -39,6 +39,13 @@ __all__ = [
     "SHARDS_MIRRORED",
     "HOST_ENGINE_SECONDS",
     "SIM_DEVICE_SECONDS",
+    "FAULTS_INJECTED",
+    "SHARD_RETRIES",
+    "SHARDS_QUARANTINED",
+    "KERNEL_RETRIES",
+    "DEVICES_DROPPED",
+    "VERIFY_MISMATCHES",
+    "TILES_VERIFIED",
 ]
 
 # -- counter names (the catalogue) ---------------------------------------------
@@ -77,6 +84,25 @@ SHARDS_MIRRORED = "shards.mirrored"
 HOST_ENGINE_SECONDS = "time.host_engine_s"
 #: Simulated device seconds (end-to-end makespans of framework runs).
 SIM_DEVICE_SECONDS = "time.simulated_device_s"
+#: Simulated faults fired by the deterministic injector
+#: (:mod:`repro.resilience.faults`); 0 in production runs.
+FAULTS_INJECTED = "resilience.faults_injected"
+#: Shard executions re-queued after a retryable failure.
+SHARD_RETRIES = "resilience.shard_retries"
+#: Shards that exhausted their retry budget and were recomputed on the
+#: serial reference path (bit-exact graceful degradation).
+SHARDS_QUARANTINED = "resilience.shards_quarantined"
+#: Kernel launches retried after a transient launch failure.
+KERNEL_RETRIES = "resilience.kernel_retries"
+#: Devices dropped from a multi-GPU run after being lost mid-run
+#: (their slices were re-partitioned across survivors).
+DEVICES_DROPPED = "resilience.devices_dropped"
+#: Spot-verification mismatches: a sampled output tile disagreed with
+#: the serial popcount reference and was recomputed.
+VERIFY_MISMATCHES = "resilience.verify_mismatches"
+#: Output tiles re-checked against the serial reference by the
+#: spot-verification guard (``verify_sample > 0``).
+TILES_VERIFIED = "resilience.tiles_verified"
 
 #: Every counter the instrumented layers emit, with a one-line meaning.
 COUNTER_CATALOGUE: dict[str, str] = {
@@ -95,6 +121,13 @@ COUNTER_CATALOGUE: dict[str, str] = {
     SHARDS_MIRRORED: "shards filled by transpose reflection (Gram mode)",
     HOST_ENGINE_SECONDS: "host wall seconds inside the parallel engine",
     SIM_DEVICE_SECONDS: "simulated device seconds (framework makespans)",
+    FAULTS_INJECTED: "simulated faults fired by the injector",
+    SHARD_RETRIES: "shard executions re-queued after retryable failures",
+    SHARDS_QUARANTINED: "shards recomputed on the serial reference path",
+    KERNEL_RETRIES: "kernel launches retried after transient failures",
+    DEVICES_DROPPED: "devices dropped and re-partitioned mid multi-GPU run",
+    VERIFY_MISMATCHES: "spot-verification mismatches (tiles recomputed)",
+    TILES_VERIFIED: "output tiles re-checked against the serial reference",
 }
 
 

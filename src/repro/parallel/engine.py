@@ -56,26 +56,51 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
 from repro.blis.blocking import BlockingPlan
-from repro.blis.gemm import bit_gemm_blocked, bit_gemm_fast, same_operand
+from repro.blis.gemm import (
+    bit_gemm_blocked,
+    bit_gemm_fast,
+    bit_gemm_reference,
+    same_operand,
+)
 from repro.blis.microkernel import ComparisonOp, get_microkernel
 from repro.blis.packing import pack_a_panel, pack_b_panel
-from repro.errors import ConfigurationError, PackingError
+from repro.errors import (
+    ConfigurationError,
+    PackingError,
+    ReproError,
+    ShardExecutionError,
+)
 from repro.observability.counters import (
     GEMM_CALLS,
     GEMM_WORD_OPS,
     HOST_ENGINE_SECONDS,
+    SHARD_RETRIES,
     SHARDS_EXECUTED,
     SHARDS_MIRRORED,
+    SHARDS_QUARANTINED,
+    TILES_VERIFIED,
+    VERIFY_MISMATCHES,
 )
 from repro.observability.report import MetricsReport
 from repro.observability.tracer import get_tracer
 from repro.parallel.cache import DEFAULT_BUDGET_BYTES, CacheStats, PanelCache
 from repro.parallel.plan import TRIANGULAR_MIN_BANDS, Shard, ShardPlan
+from repro.resilience.report import ResilienceReport
+from repro.resilience.retry import Disposition, classify
+from repro.resilience.runtime import ResilienceContext, get_resilience
 from repro.util.bitops import popcount, unpack_bits
+
+if TYPE_CHECKING:
+    from repro.parallel.tuner import TuningRecord
+
+#: Shard kernel contract: (shard, a, b, op, plan, cache, dedup) ->
+#: (output block, cache hits, cache misses).
+ShardCompute = Callable[..., "tuple[np.ndarray, int, int]"]
 
 __all__ = [
     "PARALLEL_CROSSOVER_OPS",
@@ -145,6 +170,14 @@ class ShardProfile:
     ``mirrored`` marks Gram-mode off-diagonal shards: the block was
     computed once and additionally reflected into its transpose slot
     (the reflected word-ops are *not* in ``word_ops``).
+
+    The resilience fields record the unhappy path: ``retries`` counts
+    re-executions after retryable faults, ``quarantined`` marks a shard
+    whose budget was exhausted and whose block was recomputed on the
+    serial reference path, ``verified`` marks a shard the
+    spot-verification guard re-checked, and ``mismatched`` marks a
+    verified shard whose block disagreed with the reference (the
+    reference block was adopted).
     """
 
     shard_id: int
@@ -156,6 +189,10 @@ class ShardProfile:
     cache_hits: int
     cache_misses: int
     mirrored: bool = False
+    retries: int = 0
+    quarantined: bool = False
+    verified: bool = False
+    mismatched: bool = False
 
     @property
     def throughput_word_ops(self) -> float:
@@ -169,6 +206,8 @@ class ParallelReport:
 
     ``metrics`` carries the run-scoped observability delta (counters
     plus span aggregates) when tracing was enabled; ``None`` otherwise.
+    ``resilience`` carries the fault-tolerance accounting when a
+    resilience context was active during the run; ``None`` otherwise.
     """
 
     workers: int
@@ -180,6 +219,7 @@ class ParallelReport:
     cache_stats: CacheStats | None = None
     metrics: MetricsReport | None = None
     symmetric: bool = False
+    resilience: ResilienceReport | None = None
 
     @property
     def n_shards(self) -> int:
@@ -189,6 +229,16 @@ class ParallelReport:
     def n_mirrored(self) -> int:
         """Shards whose transpose slot was filled by reflection."""
         return sum(1 for p in self.shard_profiles if p.mirrored)
+
+    @property
+    def n_retries(self) -> int:
+        """Total shard re-executions after retryable faults."""
+        return sum(p.retries for p in self.shard_profiles)
+
+    @property
+    def n_quarantined(self) -> int:
+        """Shards recomputed on the serial reference path."""
+        return sum(1 for p in self.shard_profiles if p.quarantined)
 
     @property
     def total_word_ops(self) -> int:
@@ -373,8 +423,10 @@ class ParallelEngine:
             else force_parallel and self.workers >= 1
         )
         obs = get_tracer()
+        res = get_resilience()
         counters_before = obs.counters.snapshot() if obs.enabled else None
         spans_before = obs.n_spans()
+        events_before = res.injector.n_fired()
         with obs.span(
             "parallel.run", m=m, n=n, k=k, workers=self.workers
         ).set(parallel=use_parallel, symmetric=symmetric):
@@ -387,11 +439,25 @@ class ParallelEngine:
             report.metrics = MetricsReport.from_delta(
                 obs, counters_before, spans_before
             )
+        if res.active:
+            events = tuple(res.injector.fired()[events_before:])
+            report.resilience = ResilienceReport(
+                faults_injected=len(events),
+                retries=report.n_retries,
+                quarantined=report.n_quarantined,
+                tiles_verified=sum(
+                    1 for p in report.shard_profiles if p.verified
+                ),
+                verify_mismatches=sum(
+                    1 for p in report.shard_profiles if p.mismatched
+                ),
+                events=events,
+            )
         return c, report
 
     def _consult_tuner(
         self, op: ComparisonOp, m: int, n: int, k: int, word_bits: int
-    ):
+    ) -> "TuningRecord | None":
         """Best-effort lookup in the persisted host tuning cache.
 
         Any failure (missing, corrupt, or stale cache; import problems)
@@ -417,25 +483,47 @@ class ParallelEngine:
         total_ops: int,
         symmetric: bool = False,
     ) -> tuple[np.ndarray, ParallelReport]:
-        get_tracer().counters.add(SHARDS_EXECUTED)
-        start = time.perf_counter()
+        res = get_resilience()
         if total_ops <= SERIAL_BLOCKED_OP_LIMIT:
-            c = bit_gemm_blocked(a, b, op, plan, symmetric=symmetric)
             strategy = "serial-blocked"
+
+            def driver() -> np.ndarray:
+                return bit_gemm_blocked(a, b, op, plan, symmetric=symmetric)
+
         else:
-            c = bit_gemm_fast(a, b, op, symmetric=symmetric)
             strategy = "serial-fast"
-        elapsed = time.perf_counter() - start
-        profile = ShardProfile(
+
+            def driver() -> np.ndarray:
+                return bit_gemm_fast(a, b, op, symmetric=symmetric)
+
+        def compute(
+            shard: Shard,
+            a_: np.ndarray,
+            b_: np.ndarray,
+            op_: ComparisonOp,
+            plan_: BlockingPlan,
+            cache_: PanelCache | None,
+            dedup_: bool,
+        ) -> tuple[np.ndarray, int, int]:
+            get_tracer().counters.add(SHARDS_EXECUTED)
+            return driver(), 0, 0
+
+        # The serial run goes through the same resilient wrapper as
+        # pool shards, addressed as shard 0 -- one fault model whether
+        # or not the crossover picked the pool.
+        whole = Shard(
             shard_id=0,
+            grid_row=0,
+            grid_col=0,
             m_range=(0, plan.m),
             n_range=(0, plan.n),
-            word_ops=total_ops,
-            seconds=elapsed,
-            strategy=strategy,
-            cache_hits=0,
-            cache_misses=0,
         )
+        start = time.perf_counter()
+        c = np.zeros((plan.m, plan.n), dtype=np.int64)
+        profile = self._execute_shard(
+            compute, whole, a, b, op, plan, None, c, False, strategy, res
+        )
+        elapsed = time.perf_counter() - start
         report = ParallelReport(
             workers=1,
             strategy=strategy,
@@ -467,22 +555,34 @@ class ParallelEngine:
         get_tracer().counters.add(GEMM_CALLS)
         cache = PanelCache(self.cache_bytes)
         c = np.zeros((plan.m, plan.n), dtype=np.int64)
-        run_shard = self._shard_gemm if strategy == "gemm" else self._shard_blocked
+        compute = (
+            self._compute_shard_gemm
+            if strategy == "gemm"
+            else self._compute_shard_blocked
+        )
         # Cross-side panel dedup is valid whenever both operands hold
         # the same matrix -- even for asymmetric ops (full plans).
         # symmetric=True implies equal content (validated upstream).
         dedup = symmetric or same_operand(a, b)
+        res = get_resilience()
 
         start = time.perf_counter()
         if shard_plan.n_shards <= 1:
             profiles = [
-                run_shard(shard, a, b, op, plan, cache, c, dedup)
+                self._execute_shard(
+                    compute, shard, a, b, op, plan, cache, c, dedup,
+                    strategy, res,
+                )
                 for shard in shard_plan.shards
             ]
         else:
             pool = self._get_pool()
             futures = [
-                pool.submit(run_shard, shard, a, b, op, plan, cache, c, dedup)
+                pool.submit(
+                    self._execute_shard,
+                    compute, shard, a, b, op, plan, cache, c, dedup,
+                    strategy, res,
+                )
                 for shard in shard_plan.shards
             ]
             profiles = [f.result() for f in futures]
@@ -501,9 +601,124 @@ class ParallelEngine:
         )
         return c, report
 
+    # -- resilient shard execution -----------------------------------------------
+
+    def _reference_block(
+        self, shard: Shard, a: np.ndarray, b: np.ndarray, op: ComparisonOp
+    ) -> np.ndarray:
+        """Serial popcount oracle for one shard's output block.
+
+        Used for quarantine recompute and spot verification; bit-exact
+        with both shard strategies by the engine's correctness
+        contract.
+        """
+        m0, m1 = shard.m_range
+        n0, n1 = shard.n_range
+        return bit_gemm_reference(a[m0:m1], b[n0:n1], op)
+
+    def _execute_shard(
+        self,
+        compute: ShardCompute,
+        shard: Shard,
+        a: np.ndarray,
+        b: np.ndarray,
+        op: ComparisonOp,
+        plan: BlockingPlan,
+        cache: PanelCache | None,
+        c: np.ndarray,
+        dedup: bool,
+        strategy: str,
+        res: ResilienceContext,
+    ) -> ShardProfile:
+        """Run one shard under the active resilience context.
+
+        The degradation ladder (docs/RESILIENCE.md): retryable faults
+        are re-attempted under the policy's backoff budget; an
+        exhausted budget quarantines the shard onto the serial
+        reference recompute (bit-exact) or, with quarantine disabled,
+        raises :class:`~repro.errors.ShardExecutionError`.  FATAL and
+        DEGRADE errors propagate unchanged.  After a successful
+        compute, sampled shards are spot-verified against the
+        reference; a mismatch (e.g. an injected bit flip) adopts the
+        reference block, so corrupt tiles never reach the caller.
+        """
+        obs = get_tracer()
+        injector = res.injector
+        start = time.perf_counter()
+        attempt = 0
+        retries = 0
+        quarantined = False
+        while True:
+            try:
+                injector.check_shard(shard.shard_id, attempt)
+                block, hits, misses = compute(
+                    shard, a, b, op, plan, cache, dedup
+                )
+                block = injector.corrupt_block(block, shard.shard_id)
+                break
+            except ReproError as exc:
+                if classify(exc) is not Disposition.RETRY:
+                    raise
+                if attempt + 1 < res.policy.max_attempts:
+                    retries += 1
+                    obs.counters.add(SHARD_RETRIES)
+                    res.policy.wait(retries - 1)
+                    attempt += 1
+                    continue
+                if res.policy.quarantine:
+                    obs.counters.add(SHARDS_QUARANTINED)
+                    quarantined = True
+                    with obs.span(
+                        "resilience.quarantine", shard=shard.shard_id
+                    ):
+                        block = self._reference_block(shard, a, b, op)
+                    hits = misses = 0
+                    break
+                raise ShardExecutionError(
+                    f"shard {shard.shard_id} failed after {attempt + 1} "
+                    f"attempt(s): {exc}",
+                    shard_id=shard.shard_id,
+                ) from exc
+        verified = False
+        mismatched = False
+        if not quarantined and res.should_verify(shard.shard_id):
+            verified = True
+            obs.counters.add(TILES_VERIFIED)
+            with obs.span("resilience.verify", shard=shard.shard_id):
+                reference = self._reference_block(shard, a, b, op)
+            if not np.array_equal(block, reference):
+                mismatched = True
+                obs.counters.add(VERIFY_MISMATCHES)
+                block = reference
+        m0, m1 = shard.m_range
+        n0, n1 = shard.n_range
+        c[m0:m1, n0:n1] = block
+        if shard.mirror:
+            # Transpose slot is strictly below the computed band grid:
+            # disjoint from every computed slot, race-free.
+            mm0, mm1 = shard.mirror_m_range
+            mn0, mn1 = shard.mirror_n_range
+            c[mm0:mm1, mn0:mn1] = block.T
+            obs.counters.add(SHARDS_MIRRORED)
+        return ShardProfile(
+            shard_id=shard.shard_id,
+            m_range=shard.m_range,
+            n_range=shard.n_range,
+            word_ops=shard.word_ops(plan.k),
+            seconds=time.perf_counter() - start,
+            strategy=strategy,
+            cache_hits=hits,
+            cache_misses=misses,
+            mirrored=shard.mirror,
+            retries=retries,
+            quarantined=quarantined,
+            verified=verified,
+            mismatched=mismatched,
+        )
+
     # -- shard kernels ---------------------------------------------------------
 
-    def _shard_gemm(
+    def _compute_shard_gemm(
         self,
         shard: Shard,
         a: np.ndarray,
@@ -511,20 +726,20 @@ class ParallelEngine:
         op: ComparisonOp,
         plan: BlockingPlan,
         cache: PanelCache,
-        c: np.ndarray,
         dedup: bool = False,
-    ) -> ShardProfile:
+    ) -> tuple[np.ndarray, int, int]:
         """Identity-based shard kernel: one BLAS GEMM per k_c panel.
 
         With ``dedup=True`` (self-comparison) the A-side and B-side
         panels of the same row range share one cache key, so whichever
         side unpacks a range first serves the other side's requests.
+        Returns ``(block, cache_hits, cache_misses)``; the resilient
+        wrapper owns the C write and the profile.
         """
         obs = get_tracer()
         obs.counters.add(SHARDS_EXECUTED)
         obs.counters.add(GEMM_WORD_OPS, shard.word_ops(plan.k))
         with obs.span("parallel.shard", shard=shard.shard_id, strategy="gemm"):
-            start = time.perf_counter()
             hits = misses = 0
             m0, m1 = shard.m_range
             n0, n1 = shard.n_range
@@ -581,29 +796,13 @@ class ParallelEngine:
                 elif op is ComparisonOp.ANDNOT:
                     block = pop_a[:, None] - dots
                 else:  # pragma: no cover - ops are exhaustive above
-                    raise PackingError(f"_shard_gemm: unhandled op {op!r}")
+                    raise PackingError(
+                        f"_compute_shard_gemm: unhandled op {op!r}"
+                    )
 
-            c[m0:m1, n0:n1] = block
-            if shard.mirror:
-                # Transpose slot is strictly below the computed band
-                # grid: disjoint from every computed slot, race-free.
-                mm0, mm1 = shard.mirror_m_range
-                mn0, mn1 = shard.mirror_n_range
-                c[mm0:mm1, mn0:mn1] = block.T
-                obs.counters.add(SHARDS_MIRRORED)
-            return ShardProfile(
-                shard_id=shard.shard_id,
-                m_range=shard.m_range,
-                n_range=shard.n_range,
-                word_ops=shard.word_ops(plan.k),
-                seconds=time.perf_counter() - start,
-                strategy="gemm",
-                cache_hits=hits,
-                cache_misses=misses,
-                mirrored=shard.mirror,
-            )
+            return block, hits, misses
 
-    def _shard_blocked(
+    def _compute_shard_blocked(
         self,
         shard: Shard,
         a: np.ndarray,
@@ -611,21 +810,20 @@ class ParallelEngine:
         op: ComparisonOp,
         plan: BlockingPlan,
         cache: PanelCache,
-        c: np.ndarray,
         dedup: bool = False,
-    ) -> ShardProfile:
+    ) -> tuple[np.ndarray, int, int]:
         """BLIS-structured shard kernel: packed panels, batched tiles.
 
         ``dedup`` is accepted for signature uniformity with
-        :meth:`_shard_gemm`; the blocked strategy's A and B pack
-        layouts differ (``m_r`` row panels vs ``n_r`` column panels),
-        so its cache keys stay side-specific.
+        :meth:`_compute_shard_gemm`; the blocked strategy's A and B
+        pack layouts differ (``m_r`` row panels vs ``n_r`` column
+        panels), so its cache keys stay side-specific.  Returns
+        ``(block, cache_hits, cache_misses)``.
         """
         obs = get_tracer()
         obs.counters.add(SHARDS_EXECUTED)
         obs.counters.add(GEMM_WORD_OPS, shard.word_ops(plan.k))
         with obs.span("parallel.shard", shard=shard.shard_id, strategy="blocked"):
-            start = time.perf_counter()
             hits = misses = 0
             kernel = get_microkernel(op)
             m0, m1 = shard.m_range
@@ -658,23 +856,7 @@ class ParallelEngine:
                         block, a_packed, b_packed, kernel.combine,
                         pm0 - m0, shard.m_size, shard.n_size, m_r, n_r,
                     )
-            c[m0:m1, n0:n1] = block
-            if shard.mirror:
-                mm0, mm1 = shard.mirror_m_range
-                mn0, mn1 = shard.mirror_n_range
-                c[mm0:mm1, mn0:mn1] = block.T
-                obs.counters.add(SHARDS_MIRRORED)
-            return ShardProfile(
-                shard_id=shard.shard_id,
-                m_range=shard.m_range,
-                n_range=shard.n_range,
-                word_ops=shard.word_ops(plan.k),
-                seconds=time.perf_counter() - start,
-                strategy="blocked",
-                cache_hits=hits,
-                cache_misses=misses,
-                mirrored=shard.mirror,
-            )
+            return block, hits, misses
 
 
 def _batched_micro_update(

@@ -227,15 +227,54 @@ class TuningCache:
         with self._lock:
             self._records[key] = record
 
+    @staticmethod
+    def _read_disk_records(path: Path) -> dict[str, TuningRecord]:
+        """Best-effort parse of the records currently on disk.
+
+        Shares :meth:`_ensure_loaded`'s tolerance: anything unreadable,
+        corrupt, or foreign-format reads as "no records" so a damaged
+        file never blocks a save.
+        """
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        if not isinstance(data, dict) or data.get("format") != TUNING_FORMAT:
+            return {}
+        records = data.get("records")
+        if not isinstance(records, dict):
+            return {}
+        out: dict[str, TuningRecord] = {}
+        for key, value in records.items():
+            try:
+                out[str(key)] = TuningRecord.from_json(value)
+            except ValueError:
+                continue
+        return out
+
     def save(self) -> None:
-        """Write every record atomically (temp file + rename)."""
+        """Persist atomically, merging concurrent writers' records.
+
+        ``os.replace`` makes each write atomic, but two processes that
+        loaded the cache, tuned *different* problems and saved would
+        otherwise last-writer-win -- the first writer's new record
+        silently vanishes.  So the file is re-read under the lock and
+        its records merged in before the replace: keys this process
+        holds in memory win (a re-measurement intentionally supersedes
+        the stored record), keys only on disk are preserved.  The merge
+        result also becomes the in-memory state, so a subsequent
+        :meth:`lookup` sees everything the file does.
+        """
         self._ensure_loaded()
         with self._lock:
+            merged = self._read_disk_records(self.path)
+            merged.update(self._records)
+            self._records = merged
             payload = {
                 "format": TUNING_FORMAT,
                 "records": {
                     key: record.to_json()
-                    for key, record in sorted(self._records.items())
+                    for key, record in sorted(merged.items())
                 },
             }
             self.path.parent.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,201 @@
+"""Retry policy with deterministic backoff, plus the error classifier.
+
+The policy is the host-side analogue of what a production driver does
+when a transient device fault interrupts a long batch run: wait an
+exponentially growing interval (with seeded jitter, so concurrent
+retriers do not stampede in lockstep yet every run is reproducible)
+and try again, up to a bounded attempt budget.  Both the clock and the
+sleep function are injectable so tests can assert the exact backoff
+schedule without waiting on wall time.
+
+:func:`classify` maps the :class:`~repro.errors.ReproError` hierarchy
+onto three dispositions:
+
+* ``RETRY`` -- transient by construction: injected kernel-launch,
+  allocation, shard and slow-shard faults
+  (:class:`~repro.errors.FaultInjectedError`), plus
+  :class:`~repro.errors.AllocationError` (memory pressure a real
+  driver may see clear between attempts).
+* ``DEGRADE`` -- the resource is gone but the work is not: a lost
+  device (``kind="device"``); the caller should drop the resource and
+  re-partition, not retry against it.
+* ``FATAL`` -- deterministic misuse or data problems
+  (:class:`~repro.errors.ConfigurationError`,
+  :class:`~repro.errors.PackingError`,
+  :class:`~repro.errors.DatasetError`,
+  :class:`~repro.errors.ModelError`, real
+  :class:`~repro.errors.KernelLaunchError`); retrying cannot help.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+from repro.errors import (
+    AllocationError,
+    ConfigurationError,
+    DatasetError,
+    DeviceError,
+    FaultInjectedError,
+    ModelError,
+    PackingError,
+    ReproError,
+)
+
+__all__ = [
+    "Disposition",
+    "classify",
+    "RetryPolicy",
+    "DEFAULT_POLICY",
+    "call_with_retry",
+]
+
+T = TypeVar("T")
+
+
+class Disposition(enum.Enum):
+    """What the resilience layer should do about one error."""
+
+    RETRY = "retry"
+    DEGRADE = "degrade"
+    FATAL = "fatal"
+
+
+#: Injected fault kinds that are transient (safe to retry in place).
+_TRANSIENT_KINDS = frozenset({"kernel", "alloc", "shard", "slow"})
+
+
+def classify(exc: BaseException) -> Disposition:
+    """Map one exception to its retry disposition (see module docstring)."""
+    if isinstance(exc, FaultInjectedError):
+        if exc.kind == "device":
+            return Disposition.DEGRADE
+        if exc.kind in _TRANSIENT_KINDS:
+            return Disposition.RETRY
+        return Disposition.FATAL
+    if isinstance(exc, AllocationError):
+        return Disposition.RETRY
+    if isinstance(
+        exc, (ConfigurationError, PackingError, DatasetError, ModelError)
+    ):
+        return Disposition.FATAL
+    if isinstance(exc, (DeviceError, ReproError)):
+        return Disposition.FATAL
+    return Disposition.FATAL
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic seeded jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts (first try included).  ``1`` disables retries
+        -- the process default, so the hot path is unchanged unless a
+        caller opts in (CLI ``--retries``, chaos harness).
+    base_delay_s / multiplier / max_delay_s:
+        Backoff ``min(max_delay_s, base_delay_s * multiplier**n)``
+        before the ``n``-th retry (n = 0 for the first retry).
+    jitter:
+        Fraction of the backoff added as seeded uniform noise in
+        ``[0, jitter)`` -- deterministic per policy instance.
+    seed:
+        Seed of the jitter stream.
+    sleep / clock:
+        Injectable effects for tests; production uses ``time.sleep``
+        and ``time.monotonic``.
+    quarantine:
+        Whether shard-level failures that exhaust ``max_attempts`` may
+        fall back to the serial reference recompute.  ``False`` turns
+        budget exhaustion into :class:`~repro.errors.ShardExecutionError`.
+    """
+
+    max_attempts: int = 1
+    base_delay_s: float = 0.001
+    multiplier: float = 2.0
+    max_delay_s: float = 0.050
+    jitter: float = 0.5
+    seed: int = 0
+    sleep: Callable[[float], None] = time.sleep
+    clock: Callable[[], float] = time.monotonic
+    quarantine: bool = True
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts <= 0:
+            raise ConfigurationError(
+                f"RetryPolicy: max_attempts must be positive, "
+                f"got {self.max_attempts}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ConfigurationError(
+                "RetryPolicy: delays must be non-negative"
+            )
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"RetryPolicy: multiplier must be >= 1, got {self.multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"RetryPolicy: jitter must be in [0, 1], got {self.jitter}"
+            )
+        self._rng = random.Random(self.seed)
+
+    @property
+    def retries_allowed(self) -> int:
+        """Retries after the first attempt."""
+        return self.max_attempts - 1
+
+    def backoff_delay(self, retry_index: int) -> float:
+        """Seconds to wait before retry ``retry_index`` (0-based).
+
+        Deterministic for a given policy instance: the jitter stream
+        is seeded and consumed one draw per call.
+        """
+        base = min(
+            self.max_delay_s, self.base_delay_s * self.multiplier**retry_index
+        )
+        return base * (1.0 + self.jitter * self._rng.random())
+
+    def wait(self, retry_index: int) -> float:
+        """Sleep the backoff for retry ``retry_index``; returns the delay."""
+        delay = self.backoff_delay(retry_index)
+        if delay > 0:
+            self.sleep(delay)
+        return delay
+
+
+#: The inactive default: one attempt, no quarantine pressure, no cost.
+DEFAULT_POLICY = RetryPolicy(max_attempts=1)
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> T:
+    """Run ``fn``, retrying RETRY-classified errors under ``policy``.
+
+    ``on_retry(retry_index, exc)`` is invoked before each backoff wait
+    (counter hooks).  FATAL and DEGRADE errors propagate unchanged, as
+    does the final error once the attempt budget is exhausted.
+    """
+    retry_index = 0
+    while True:
+        try:
+            return fn()
+        except ReproError as exc:
+            if (
+                classify(exc) is not Disposition.RETRY
+                or retry_index >= policy.retries_allowed
+            ):
+                raise
+            if on_retry is not None:
+                on_retry(retry_index, exc)
+            policy.wait(retry_index)
+            retry_index += 1

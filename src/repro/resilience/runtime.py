@@ -1,0 +1,146 @@
+"""Process-global resilience context (injector + policy + verification).
+
+Mirrors the tracer's global-with-null-default pattern
+(:mod:`repro.observability.tracer`): instrumented layers fetch the
+active :class:`ResilienceContext` with :func:`get_resilience`; the
+default context carries the :data:`~repro.resilience.faults.NULL_INJECTOR`
+and a one-attempt :class:`~repro.resilience.retry.RetryPolicy`, so
+every hook costs one attribute check when resilience is not engaged.
+
+:func:`resilient` is the scoped entry point the CLI and the chaos
+harness use::
+
+    with resilient(plan=FaultPlan.from_spec("shard@0:1"),
+                   policy=RetryPolicy(max_attempts=3),
+                   verify_sample=1.0):
+        framework.run(...)
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from repro.errors import ConfigurationError
+from repro.resilience.faults import (
+    NULL_INJECTOR,
+    FaultInjector,
+    FaultPlan,
+    NullInjector,
+)
+from repro.resilience.retry import DEFAULT_POLICY, RetryPolicy
+
+__all__ = [
+    "ResilienceContext",
+    "DEFAULT_CONTEXT",
+    "get_resilience",
+    "set_resilience",
+    "resilient",
+]
+
+AnyInjector = Union[FaultInjector, NullInjector]
+
+
+@dataclass(frozen=True)
+class ResilienceContext:
+    """Everything the instrumented layers need for one resilient run.
+
+    Attributes
+    ----------
+    injector:
+        The fault injector hooks consult (null by default).
+    policy:
+        Retry/backoff policy; ``max_attempts=1`` disables retries.
+    verify_sample:
+        Fraction of output tiles the spot-verification guard re-checks
+        against the serial popcount reference (0 disables, 1 checks
+        every tile).  Sampling is seeded and shard-addressed, so the
+        same shards are verified on every run.
+    verify_seed:
+        Seed of the verification sampling stream.
+    """
+
+    injector: AnyInjector = NULL_INJECTOR
+    policy: RetryPolicy = field(default_factory=lambda: DEFAULT_POLICY)
+    verify_sample: float = 0.0
+    verify_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.verify_sample <= 1.0:
+            raise ConfigurationError(
+                f"ResilienceContext: verify_sample must be in [0, 1], "
+                f"got {self.verify_sample}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """Whether any resilience feature is engaged."""
+        return (
+            self.injector.enabled
+            or self.policy.max_attempts > 1
+            or self.verify_sample > 0.0
+        )
+
+    def should_verify(self, shard_id: int) -> bool:
+        """Deterministic spot-verification sampling for one shard."""
+        if self.verify_sample <= 0.0:
+            return False
+        if self.verify_sample >= 1.0:
+            return True
+        draw = random.Random((self.verify_seed << 16) ^ (shard_id + 1)).random()
+        return draw < self.verify_sample
+
+
+#: The inactive process default.
+DEFAULT_CONTEXT = ResilienceContext()
+
+_active: ResilienceContext = DEFAULT_CONTEXT
+_active_lock = threading.Lock()
+
+
+def get_resilience() -> ResilienceContext:
+    """The process-global resilience context hooks consult."""
+    return _active
+
+
+def set_resilience(context: ResilienceContext | None) -> ResilienceContext:
+    """Install ``context`` (``None`` = default); returns the previous one."""
+    global _active
+    with _active_lock:
+        previous = _active
+        _active = context if context is not None else DEFAULT_CONTEXT
+    return previous
+
+
+@contextlib.contextmanager
+def resilient(
+    plan: FaultPlan | str | None = None,
+    policy: RetryPolicy | None = None,
+    verify_sample: float = 0.0,
+    verify_seed: int = 0,
+) -> Iterator[ResilienceContext]:
+    """Scoped resilience: install a context, restore the previous on exit.
+
+    ``plan`` may be a :class:`FaultPlan`, a spec string, or ``None``
+    (no injection); ``policy=None`` keeps the inactive one-attempt
+    default.
+    """
+    if isinstance(plan, str):
+        plan = FaultPlan.from_spec(plan)
+    injector: AnyInjector = (
+        FaultInjector(plan) if plan is not None else NULL_INJECTOR
+    )
+    context = ResilienceContext(
+        injector=injector,
+        policy=policy if policy is not None else DEFAULT_POLICY,
+        verify_sample=verify_sample,
+        verify_seed=verify_seed,
+    )
+    previous = set_resilience(context)
+    try:
+        yield context
+    finally:
+        set_resilience(previous)
