@@ -24,9 +24,19 @@ spot-verifies that fraction of output shards against the serial
 reference, and ``--inject-faults SPEC`` injects a deterministic fault
 schedule (e.g. ``"kernel:1,shard@0:2,seed=7"``) for drills.
 
-Inputs are the library's ``.snptxt`` / ``.npz`` formats
-(:mod:`repro.snp.io`).  Results go to stdout (summaries) and optional
-``--output`` NPZ files (full tables).
+Streaming (see ``docs/STREAMING.md``): ``--chunk-rows N`` runs the
+out-of-core path -- the streamed input (LD entities, the identity
+database, the mixture references) is consumed N rows at a time through
+the double-buffered prefetch executor, so it never needs to fit in
+memory.  Pair it with the packed ``.snpbin`` format::
+
+    repro-snp ld       --input pop.snpbin --compare samples --chunk-rows 4096
+    repro-snp identity --queries q.npz --database db.snpbin --chunk-rows 8192
+    repro-snp mixture  --references db.snpbin --mixture m.snptxt --chunk-rows 8192
+
+Inputs are the library's ``.snptxt`` / ``.npz`` / ``.snpbin`` formats
+(:mod:`repro.snp.io`, :mod:`repro.io_stream`).  Results go to stdout
+(summaries) and optional ``--output`` NPZ files (full tables).
 """
 
 from __future__ import annotations
@@ -47,8 +57,15 @@ from repro.core.mixture import mixture_analysis
 from repro.core.planner import derive_config
 from repro.core.config import render_header
 from repro.core.profiles import RunReport
+from repro.core.streaming import (
+    StreamingIdentitySearch,
+    StreamingLD,
+    StreamingMixture,
+)
 from repro.errors import ReproError
 from repro.gpu.arch import ALL_GPUS, get_gpu
+from repro.io_stream import PackedDatasetReader, StreamStats, open_source
+from repro.observability.report import MetricsReport
 from repro.observability.trace_export import write_merged_trace
 from repro.observability.tracer import Tracer, set_tracer
 from repro.resilience.retry import RetryPolicy
@@ -64,7 +81,7 @@ __all__ = ["main", "build_parser"]
 
 
 def _load_matrix(path: str) -> np.ndarray:
-    """Load a binary matrix from .snptxt or dataset/database .npz."""
+    """Load a binary matrix from .snptxt, dataset/database .npz or .snpbin."""
     p = Path(path)
     if p.suffix == ".snptxt":
         return read_snptxt(p).matrix
@@ -73,7 +90,12 @@ def _load_matrix(path: str) -> np.ndarray:
             return load_dataset_npz(p).matrix
         except ReproError:
             return load_database_npz(p).profiles
-    raise ReproError(f"unsupported input format: {path} (use .snptxt or .npz)")
+    if p.suffix == ".snpbin":
+        with PackedDatasetReader(p) as reader:
+            return reader.read_bits(0, reader.n_rows)
+    raise ReproError(
+        f"unsupported input format: {path} (use .snptxt, .npz or .snpbin)"
+    )
 
 
 def _save_table(path: str | None, **arrays: np.ndarray) -> None:
@@ -252,19 +274,76 @@ def _emit_observability(
         print(f"\nwrote {n_events} trace events to {trace_path}")
 
 
+def _emit_stream_stats(stats: StreamStats) -> None:
+    """Print the streamed-ingest accounting block."""
+    print()
+    print(render_kv([
+        ("chunks", stats.chunks),
+        ("bytes read", stats.bytes_read),
+        ("read time", f"{stats.read_s * 1e3:.1f} ms"),
+        ("prefetch stall", f"{stats.stall_s * 1e3:.1f} ms"),
+        ("stall fraction", f"{stats.stall_fraction:.1%}"),
+    ], title="streaming"))
+
+
+def _emit_streaming_observability(
+    args: argparse.Namespace,
+    tracer: Tracer | None,
+    framework: SNPComparisonFramework | None,
+) -> None:
+    """Streaming counterpart of :func:`_emit_observability`.
+
+    A streamed run has no single per-run metrics report, so the metrics
+    block covers everything the command's tracer saw (all chunks); the
+    merged trace keeps the last chunk's device lane.
+    """
+    if tracer is None:
+        return
+    if getattr(args, "metrics", False):
+        print()
+        print(MetricsReport.from_tracer(tracer))
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        queues = []
+        if framework is not None and framework.last_queue is not None:
+            queues.append(framework.last_queue)
+        n_events = write_merged_trace(trace_path, tracer, queues)
+        print(f"\nwrote {n_events} trace events to {trace_path}")
+
+
 def _cmd_ld(args: argparse.Namespace) -> int:
-    matrix = _load_matrix(args.input)
+    streaming = args.chunk_rows is not None
+    if streaming and args.compare != "samples":
+        raise ReproError(
+            "--chunk-rows streams rows as the compared entities and "
+            "requires --compare samples (site-major streaming needs a "
+            "transposed input file)"
+        )
+    matrix = None if streaming else _load_matrix(args.input)
     with _observability(args) as tracer, _resilience_scope(args):
         framework = _observed_framework(args, tracer, Algorithm.LD)
-        result = linkage_disequilibrium(
-            matrix,
-            device=args.device,
-            compare=args.compare,
-            framework=framework,
-            workers=_resolve_workers(args),
-            gram=not args.no_gram,
-            strategy=args.strategy,
-        )
+        stats: StreamStats | None = None
+        if streaming:
+            streamer = StreamingLD(
+                device=args.device,
+                workers=_resolve_workers(args),
+                gram=not args.no_gram,
+                strategy=args.strategy,
+                framework=framework,
+            )
+            with open_source(args.input) as source:
+                result = streamer.run(source, args.chunk_rows)
+            stats = streamer.last_stats
+        else:
+            result = linkage_disequilibrium(
+                matrix,
+                device=args.device,
+                compare=args.compare,
+                framework=framework,
+                workers=_resolve_workers(args),
+                gram=not args.no_gram,
+                strategy=args.strategy,
+            )
         stat = {
             "r2": result.r_squared, "d": result.d, "dprime": result.d_prime
         }[args.stat]
@@ -278,13 +357,67 @@ def _cmd_ld(args: argparse.Namespace) -> int:
              int((off > args.threshold).sum() // 2)),
             ("simulated end-to-end", f"{result.report.end_to_end_s * 1e3:.1f} ms"),
         ], title=f"LD on {args.device}"))
-        _emit_observability(args, tracer, framework, result.report)
+        if stats is not None:
+            _emit_stream_stats(stats)
+        if streaming:
+            _emit_streaming_observability(args, tracer, framework)
+        else:
+            _emit_observability(args, tracer, framework, result.report)
         _emit_resilience(result.report)
     _save_table(args.output, counts=result.counts, stat=stat)
     return 0
 
 
+def _cmd_identity_streaming(args: argparse.Namespace) -> int:
+    """Out-of-core identity: stream the database, retain top-k."""
+    queries = _load_matrix(args.queries)
+    with _observability(args) as tracer, _resilience_scope(args):
+        framework = _observed_framework(args, tracer, Algorithm.FASTID_IDENTITY)
+        search = StreamingIdentitySearch(
+            queries,
+            k=args.top_k,
+            device=args.device,
+            workers=_resolve_workers(args),
+            strategy=args.strategy,
+            framework=framework,
+        )
+        with open_source(args.database) as source:
+            stats = search.consume(source, args.chunk_rows)
+        print(render_kv([
+            ("queries", search.n_queries),
+            ("database profiles", search.rows_seen),
+            ("sites", queries.shape[1]),
+            ("candidates retained per query", search.k),
+            ("simulated end-to-end", f"{search.simulated_seconds * 1e3:.1f} ms"),
+        ], title=f"streaming identity search on {args.device}"))
+        hits = [
+            (qi, m.database_index, m.distance)
+            for qi, matches in enumerate(search.all_matches())
+            for m in matches
+        ]
+        if hits:
+            print()
+            print(render_table(
+                ["query", "profile", "distance"],
+                [[q, p, d] for q, p, d in hits[:20]],
+            ))
+            if len(hits) > 20:
+                print(f"... and {len(hits) - 20} more")
+        _emit_stream_stats(stats)
+        _emit_streaming_observability(args, tracer, framework)
+    if args.output and hits:
+        _save_table(
+            args.output,
+            query=np.array([q for q, _, _ in hits], dtype=np.int64),
+            profile=np.array([p for _, p, _ in hits], dtype=np.int64),
+            distance=np.array([d for _, _, d in hits], dtype=np.int64),
+        )
+    return 0
+
+
 def _cmd_identity(args: argparse.Namespace) -> int:
+    if args.chunk_rows is not None:
+        return _cmd_identity_streaming(args)
     queries = _load_matrix(args.queries)
     database = _load_matrix(args.database)
     with _observability(args) as tracer, _resilience_scope(args):
@@ -321,21 +454,37 @@ def _cmd_identity(args: argparse.Namespace) -> int:
 
 
 def _cmd_mixture(args: argparse.Namespace) -> int:
-    references = _load_matrix(args.references)
+    streaming = args.chunk_rows is not None
+    references = None if streaming else _load_matrix(args.references)
     mixture = _load_matrix(args.mixture)
     with _observability(args) as tracer, _resilience_scope(args):
         framework = _observed_framework(args, tracer, Algorithm.FASTID_MIXTURE)
-        result = mixture_analysis(
-            references,
-            mixture,
-            device=args.device,
-            framework=framework,
-            workers=_resolve_workers(args),
-            gram=not args.no_gram,
-            strategy=args.strategy,
-        )
+        stats: StreamStats | None = None
+        if streaming:
+            streamer = StreamingMixture(
+                mixture,
+                device=args.device,
+                workers=_resolve_workers(args),
+                strategy=args.strategy,
+                framework=framework,
+            )
+            with open_source(args.references) as source:
+                stats = streamer.consume(source, args.chunk_rows)
+            result = streamer.result()
+            n_references = streamer.rows_seen
+        else:
+            result = mixture_analysis(
+                references,
+                mixture,
+                device=args.device,
+                framework=framework,
+                workers=_resolve_workers(args),
+                gram=not args.no_gram,
+                strategy=args.strategy,
+            )
+            n_references = references.shape[0]
         print(render_kv([
-            ("references", references.shape[0]),
+            ("references", n_references),
             ("mixtures", mixture.shape[0]),
             ("kernel",
              "AND (pre-negated DB)" if result.prenegated else "fused AND-NOT"),
@@ -345,7 +494,12 @@ def _cmd_mixture(args: argparse.Namespace) -> int:
             flagged = result.consistent_contributors(mi, args.max_score)
             ids = ", ".join(str(r) for r, _ in flagged[:15]) or "(none)"
             print(f"mixture {mi}: {len(flagged)} consistent references: {ids}")
-        _emit_observability(args, tracer, framework, result.report)
+        if stats is not None:
+            _emit_stream_stats(stats)
+        if streaming:
+            _emit_streaming_observability(args, tracer, framework)
+        else:
+            _emit_observability(args, tracer, framework, result.report)
         _emit_resilience(result.report)
     _save_table(args.output, scores=result.scores)
     return 0
@@ -410,6 +564,12 @@ def build_parser() -> argparse.ArgumentParser:
         "spot-verify this fraction of output shards against the serial "
         "reference (0 disables, 1 checks every shard)"
     )
+    chunk_help = (
+        "stream the large input (LD entities, identity database, "
+        "mixture references) N rows at a time through the "
+        "double-buffered prefetch executor instead of loading it whole "
+        "(out-of-core; see docs/STREAMING.md)"
+    )
 
     def add_compute_flags(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument("--workers", type=int, default=None, help=workers_help)
@@ -428,9 +588,15 @@ def build_parser() -> argparse.ArgumentParser:
             "--verify-sample", type=float, default=0.0, metavar="RATE",
             help=verify_help,
         )
+        cmd.add_argument(
+            "--chunk-rows", type=int, default=None, metavar="N",
+            help=chunk_help,
+        )
 
     ld = sub.add_parser("ld", help="all-pairs linkage disequilibrium")
-    ld.add_argument("--input", required=True, help=".snptxt or dataset .npz")
+    ld.add_argument(
+        "--input", required=True, help=".snptxt, dataset .npz or .snpbin"
+    )
     ld.add_argument("--device", default="Titan V")
     ld.add_argument("--compare", default="sites", choices=["sites", "samples"])
     ld.add_argument("--stat", default="r2", choices=["r2", "d", "dprime"])
@@ -445,6 +611,11 @@ def build_parser() -> argparse.ArgumentParser:
     ident.add_argument("--database", required=True)
     ident.add_argument("--device", default="Titan V")
     ident.add_argument("--max-distance", type=int, default=0)
+    ident.add_argument(
+        "--top-k", type=int, default=5, metavar="K",
+        help="candidates retained per query on the streaming path "
+        "(with --chunk-rows)",
+    )
     add_compute_flags(ident)
     ident.add_argument("--output")
     add_observability_flags(ident)

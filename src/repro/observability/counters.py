@@ -39,6 +39,12 @@ __all__ = [
     "SHARDS_MIRRORED",
     "HOST_ENGINE_SECONDS",
     "SIM_DEVICE_SECONDS",
+    "STREAM_CHUNKS",
+    "STREAM_BYTES_READ",
+    "STREAM_READ_SECONDS",
+    "STREAM_PREFETCH_STALL_SECONDS",
+    "STREAM_CHUNK_RETRIES",
+    "STREAM_PREFILTER_FALLBACKS",
     "FAULTS_INJECTED",
     "SHARD_RETRIES",
     "SHARDS_QUARANTINED",
@@ -84,6 +90,25 @@ SHARDS_MIRRORED = "shards.mirrored"
 HOST_ENGINE_SECONDS = "time.host_engine_s"
 #: Simulated device seconds (end-to-end makespans of framework runs).
 SIM_DEVICE_SECONDS = "time.simulated_device_s"
+#: Chunks consumed by streaming workloads (:mod:`repro.io_stream`).
+STREAM_CHUNKS = "stream.chunks"
+#: Bytes pulled from chunk-source backing stores (packed on-disk bytes
+#: for ``.snpbin`` sources, raw bytes otherwise) -- deterministic for a
+#: given source and chunk size.
+STREAM_BYTES_READ = "stream.bytes_read"
+#: Host wall seconds the prefetch producer spent reading + preparing
+#: chunks (runs on the background thread under double buffering).
+STREAM_READ_SECONDS = "stream.read_s"
+#: Host wall seconds the *consumer* stalled waiting for the next chunk;
+#: with effective prefetch overlap this is much smaller than
+#: ``stream.read_s``.
+STREAM_PREFETCH_STALL_SECONDS = "stream.prefetch_stall_s"
+#: Streaming chunks re-run after a retryable failure (the per-chunk
+#: rung of the resilience ladder).
+STREAM_CHUNK_RETRIES = "stream.chunk_retries"
+#: Streaming identity batches folded without the vectorized top-k
+#: pre-filter (heap not yet full, e.g. k close to the database size).
+STREAM_PREFILTER_FALLBACKS = "stream.prefilter_fallbacks"
 #: Simulated faults fired by the deterministic injector
 #: (:mod:`repro.resilience.faults`); 0 in production runs.
 FAULTS_INJECTED = "resilience.faults_injected"
@@ -121,6 +146,12 @@ COUNTER_CATALOGUE: dict[str, str] = {
     SHARDS_MIRRORED: "shards filled by transpose reflection (Gram mode)",
     HOST_ENGINE_SECONDS: "host wall seconds inside the parallel engine",
     SIM_DEVICE_SECONDS: "simulated device seconds (framework makespans)",
+    STREAM_CHUNKS: "chunks consumed by streaming workloads",
+    STREAM_BYTES_READ: "bytes pulled from chunk-source backing stores",
+    STREAM_READ_SECONDS: "host seconds reading/preparing chunks (producer)",
+    STREAM_PREFETCH_STALL_SECONDS: "host seconds the consumer waited on chunks",
+    STREAM_CHUNK_RETRIES: "streaming chunks re-run after retryable failures",
+    STREAM_PREFILTER_FALLBACKS: "identity batches folded without the top-k pre-filter",
     FAULTS_INJECTED: "simulated faults fired by the injector",
     SHARD_RETRIES: "shard executions re-queued after retryable failures",
     SHARDS_QUARANTINED: "shards recomputed on the serial reference path",

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from dataclasses import dataclass
 from pathlib import Path
@@ -72,6 +73,8 @@ DETERMINISTIC_COUNTERS = (
     "shards.executed",
     "shards.mirrored",
     "kernel.launches",
+    "stream.chunks",
+    "stream.bytes_read",
 )
 
 #: Default relative tolerance for ``timing``/``ratio`` metrics -- wide
@@ -246,6 +249,27 @@ def compare_metrics(
             )
             continue
         value = fresh_metric.value
+        # Non-finite values must fail loudly for every kind: NaN makes
+        # every comparison below false, so a NaN timing/ratio would
+        # otherwise slide into the "ok" branch and the CI gate would
+        # report green on a measurement that never happened.
+        if not math.isfinite(value) or not math.isfinite(base_value):
+            bad = "fresh" if not math.isfinite(value) else "baseline"
+            comparisons.append(
+                Comparison(
+                    name=name,
+                    kind=kind,
+                    baseline=base_value,
+                    fresh=value,
+                    status="regressed",
+                    detail=(
+                        f"non-finite {bad} value "
+                        f"(baseline={base_value}, fresh={value}); "
+                        f"re-record or fix the producing benchmark"
+                    ),
+                )
+            )
+            continue
         if kind == KIND_EXACT:
             if value == base_value:
                 status, detail = "ok", "exact match"

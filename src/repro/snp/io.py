@@ -40,10 +40,40 @@ __all__ = [
 _SNPTXT_MAGIC = "# repro snptxt v1"
 
 
+def _npz_path(path: str | os.PathLike) -> Path:
+    """Normalize an NPZ target path to carry the ``.npz`` suffix.
+
+    ``np.savez_compressed`` appends ``.npz`` to suffixless paths, so a
+    save/load pair given the same bare path used to disagree about the
+    file name (save wrote ``<path>.npz``, load opened ``<path>`` and
+    died with a raw ``FileNotFoundError``).  Both directions normalize
+    through this helper so they always agree.
+    """
+    p = Path(path)
+    return p if p.suffix == ".npz" else p.with_name(p.name + ".npz")
+
+
+def _open_npz(path: str | os.PathLike, loader: str) -> Path:
+    """Resolve the on-disk NPZ for ``path``, wrapping missing files.
+
+    Prefers the path exactly as given (files written by other tools may
+    lack the suffix), then the suffix-normalized variant; a miss on
+    both raises :class:`DatasetError` instead of a raw OS error.
+    """
+    exact = Path(path)
+    if exact.is_file():
+        return exact
+    normalized = _npz_path(path)
+    if normalized.is_file():
+        return normalized
+    raise DatasetError(f"{loader}: no such file: {exact} (or {normalized})")
+
+
 def save_dataset_npz(path: str | os.PathLike, dataset: SNPDataset) -> None:
-    """Save a dataset to ``path`` (NPZ, compressed)."""
+    """Save a dataset to ``path`` (NPZ, compressed; ``.npz`` appended
+    when missing, matching what :func:`load_dataset_npz` will open)."""
     np.savez_compressed(
-        path,
+        _npz_path(path),
         matrix=np.packbits(dataset.matrix, axis=1),
         n_sites=np.int64(dataset.n_sites),
         sample_ids=np.array(dataset.sample_ids, dtype=np.str_),
@@ -53,7 +83,7 @@ def save_dataset_npz(path: str | os.PathLike, dataset: SNPDataset) -> None:
 
 def load_dataset_npz(path: str | os.PathLike) -> SNPDataset:
     """Load a dataset previously written by :func:`save_dataset_npz`."""
-    with np.load(path, allow_pickle=False) as data:
+    with np.load(_open_npz(path, "load_dataset_npz"), allow_pickle=False) as data:
         try:
             packed = data["matrix"]
             n_sites = int(data["n_sites"])
@@ -66,9 +96,10 @@ def load_dataset_npz(path: str | os.PathLike) -> SNPDataset:
 
 
 def save_database_npz(path: str | os.PathLike, database: ForensicDatabase) -> None:
-    """Save a forensic database to ``path`` (NPZ, compressed)."""
+    """Save a forensic database to ``path`` (NPZ, compressed; ``.npz``
+    appended when missing, matching :func:`load_database_npz`)."""
     np.savez_compressed(
-        path,
+        _npz_path(path),
         profiles=np.packbits(database.profiles, axis=1),
         n_sites=np.int64(database.n_sites),
         frequencies=database.frequencies,
@@ -77,7 +108,7 @@ def save_database_npz(path: str | os.PathLike, database: ForensicDatabase) -> No
 
 def load_database_npz(path: str | os.PathLike) -> ForensicDatabase:
     """Load a database previously written by :func:`save_database_npz`."""
-    with np.load(path, allow_pickle=False) as data:
+    with np.load(_open_npz(path, "load_database_npz"), allow_pickle=False) as data:
         try:
             packed = data["profiles"]
             n_sites = int(data["n_sites"])

@@ -44,6 +44,7 @@ from repro.observability import (
 )
 from repro.observability.regress import (
     DETERMINISTIC_COUNTERS,
+    Metric,
     compare_metrics,
     load_metrics,
     record_baseline,
@@ -472,3 +473,39 @@ class TestRegressionGate:
             )
             == 1
         )
+
+
+class TestNonFiniteGate:
+    """NaN/inf measurements must fail the gate, never slide into "ok".
+
+    NaN makes every ordered comparison false, so before the explicit
+    guard a NaN timing or ratio fell through to the "ok"/"within
+    tolerance" branch and CI reported green on a measurement that never
+    happened.
+    """
+
+    def _one(self, kind, fresh_value, base_value=1.0):
+        baseline = record_baseline("t", [Metric("m:x", base_value, kind)])
+        (comparison,) = compare_metrics(baseline, [Metric("m:x", fresh_value, kind)])
+        return comparison
+
+    @pytest.mark.parametrize("kind", ["exact", "timing", "ratio"])
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_non_finite_fresh_regresses_every_kind(self, kind, bad):
+        comparison = self._one(kind, bad)
+        assert comparison.status == "regressed"
+        assert comparison.failed
+        assert "non-finite fresh value" in comparison.detail
+
+    @pytest.mark.parametrize("kind", ["exact", "timing", "ratio"])
+    def test_non_finite_baseline_regresses_every_kind(self, kind):
+        comparison = self._one(kind, 1.0, base_value=float("nan"))
+        assert comparison.status == "regressed"
+        assert "non-finite baseline value" in comparison.detail
+        assert "re-record" in comparison.detail
+
+    def test_finite_values_unaffected(self):
+        assert self._one("timing", 1.0).status == "ok"
+        assert self._one("exact", 1.0).status == "ok"

@@ -31,6 +31,27 @@ class TestDatasetNpz:
         assert loaded.sample_ids == dataset.sample_ids
         assert loaded.site_ids == dataset.site_ids
 
+    def test_suffixless_path_roundtrip(self, tmp_path, dataset):
+        # np.savez_compressed appends .npz to suffixless paths; save and
+        # load must agree on the resulting file name.
+        bare = tmp_path / "dataset"
+        save_dataset_npz(bare, dataset)
+        assert (tmp_path / "dataset.npz").is_file()
+        loaded = load_dataset_npz(bare)
+        assert (loaded.matrix == dataset.matrix).all()
+
+    def test_str_and_path_inputs_agree(self, tmp_path, dataset):
+        save_dataset_npz(str(tmp_path / "s"), dataset)
+        a = load_dataset_npz(str(tmp_path / "s"))
+        b = load_dataset_npz(tmp_path / "s.npz")
+        assert (a.matrix == b.matrix).all()
+
+    def test_missing_file_raises_dataset_error(self, tmp_path):
+        with pytest.raises(DatasetError, match="no such file"):
+            load_dataset_npz(tmp_path / "absent")
+        with pytest.raises(DatasetError, match="no such file"):
+            load_dataset_npz(tmp_path / "absent.npz")
+
     def test_non_word_aligned_sites(self, tmp_path):
         ds = SNPDataset(matrix=np.eye(3, 13, dtype=np.uint8))
         path = tmp_path / "odd.npz"
@@ -58,6 +79,18 @@ class TestDatabaseNpz:
         np.savez(path, nope=np.zeros(2))
         with pytest.raises(DatasetError):
             load_database_npz(path)
+
+    def test_suffixless_path_roundtrip(self, tmp_path):
+        db = generate_database(11, 40, rng=2)
+        bare = tmp_path / "database"
+        save_database_npz(bare, db)
+        assert (tmp_path / "database.npz").is_file()
+        loaded = load_database_npz(bare)
+        assert (loaded.profiles == db.profiles).all()
+
+    def test_missing_file_raises_dataset_error(self, tmp_path):
+        with pytest.raises(DatasetError, match="no such file"):
+            load_database_npz(tmp_path / "absent")
 
 
 class TestSnptxt:
