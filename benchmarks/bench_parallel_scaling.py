@@ -20,6 +20,12 @@ Runs two ways:
 * standalone, for the CI smoke job (writes a timing-artifact JSON)::
 
       PYTHONPATH=src python benchmarks/bench_parallel_scaling.py --smoke --json timings.json
+
+A third mode races the kernel-ABI backends (:mod:`repro.kernels`)
+single-threaded against the reference panel and gates every *compiled*
+backend at :data:`COMPILED_SPEEDUP_FLOOR`::
+
+      PYTHONPATH=src python benchmarks/bench_parallel_scaling.py --backends --json backend-race.json
 """
 
 import argparse
@@ -45,6 +51,10 @@ SMOKE_PROBLEM = dict(m=128, n=512, k_words=32)
 
 WORKER_SWEEP = (1, 2, 4)
 SPEEDUP_FLOOR = 1.5
+
+#: Single-thread floor for compiled kernel backends vs the reference
+#: panel (the issue's >=5x acceptance bar; measured wins are larger).
+COMPILED_SPEEDUP_FLOOR = 5.0
 
 
 def make_operands(m, n, k_words, word_bits=32, rng=0):
@@ -133,6 +143,119 @@ def run_sweep(problem, repeats=3, workers_sweep=WORKER_SWEEP):
     }
 
 
+def run_backend_race(problem, repeats=3, op=ComparisonOp.AND):
+    """Race every tunable kernel backend single-thread vs the reference.
+
+    Times the reference panel (:func:`bit_gemm_reference`) as the
+    baseline, then each registered backend that is available and
+    tunable through :func:`repro.blis.gemm.bit_gemm_backend`.  Every
+    table is checked bit-exact, and one untimed instrumented pass per
+    backend asserts the word-op accounting is backend-invariant.
+    """
+    from repro.blis.gemm import bit_gemm_backend
+    from repro.observability.counters import GEMM_CALLS, GEMM_WORD_OPS
+    from repro.observability.tracer import Tracer, set_tracer
+    from repro.kernels import registered_backends
+
+    pa, pb = make_operands(**problem)
+    ref_best = float("inf")
+    expected = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        expected = bit_gemm_reference(pa, pb, op)
+        ref_best = min(ref_best, time.perf_counter() - start)
+
+    def counted(name):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            bit_gemm_backend(pa, pb, op, backend=name)
+        finally:
+            set_tracer(previous)
+        snapshot = tracer.counters.snapshot()
+        return {
+            GEMM_CALLS: snapshot.get(GEMM_CALLS, 0),
+            GEMM_WORD_OPS: snapshot.get(GEMM_WORD_OPS, 0),
+        }
+
+    rows = []
+    counters = None
+    for be in registered_backends():
+        info = be.info
+        if not info.available or not info.tunable:
+            continue
+        best = float("inf")
+        table = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            table = bit_gemm_backend(pa, pb, op, backend=info.name)
+            best = min(best, time.perf_counter() - start)
+        backend_counters = counted(info.name)
+        if counters is None:
+            counters = backend_counters
+        rows.append({
+            "name": info.name,
+            "kind": info.kind,
+            "version": info.version,
+            "compiled": info.compiled,
+            "seconds": best,
+            "speedup": ref_best / best,
+            "bit_exact": bool((table == expected).all()),
+            "counters_invariant": backend_counters == counters,
+        })
+    return {
+        "problem": dict(problem),
+        "repeats": repeats,
+        "word_ops": problem["m"] * problem["n"] * problem["k_words"],
+        "reference_seconds": ref_best,
+        "backends": rows,
+        "counters": counters or {},
+    }
+
+
+def render_backends(result):
+    lines = [
+        "kernel-backend race  (m={m}, n={n}, k={k_words} words, "
+        "single thread)".format(**result["problem"]),
+        f"reference panel: {result['reference_seconds']:.4f} s",
+        f"{'backend':>10} {'kind':>10} {'compiled':>9} {'seconds':>9} "
+        f"{'speedup':>8} {'bit-exact':>10}",
+    ]
+    for row in result["backends"]:
+        lines.append(
+            f"{row['name']:>10} {row['kind']:>10} "
+            f"{'yes' if row['compiled'] else 'no':>9} "
+            f"{row['seconds']:>9.4f} {row['speedup']:>7.2f}x "
+            f"{'yes' if row['bit_exact'] else 'NO':>10}"
+        )
+    return "\n".join(lines)
+
+
+def check_backend_race(result, enforce_floor=True):
+    """Gate a backend-race result; returns a list of failure strings."""
+    failures = []
+    for row in result["backends"]:
+        if not row["bit_exact"]:
+            failures.append(
+                f"backend {row['name']} differs from bit_gemm_reference"
+            )
+        if not row["counters_invariant"]:
+            failures.append(
+                f"backend {row['name']} drifted the word-op counters"
+            )
+        if (
+            enforce_floor
+            and row["compiled"]
+            and row["speedup"] < COMPILED_SPEEDUP_FLOOR
+        ):
+            failures.append(
+                f"compiled backend {row['name']} speedup "
+                f"{row['speedup']:.2f}x below the "
+                f"{COMPILED_SPEEDUP_FLOOR}x floor"
+            )
+    return failures
+
+
 def render(result):
     lines = [
         "parallel scaling  (m={m}, n={n}, k={k_words} words)".format(
@@ -201,10 +324,30 @@ def main(argv=None):
         "--repeats", type=int, default=None,
         help="timing repeats per worker count (default: 3, smoke: 1)",
     )
+    parser.add_argument(
+        "--backends", action="store_true",
+        help="race the kernel-ABI backends single-thread vs the "
+        "reference panel instead of sweeping worker counts; compiled "
+        f"backends must beat {COMPILED_SPEEDUP_FLOOR}x (unless --smoke)",
+    )
     args = parser.parse_args(argv)
 
     problem = SMOKE_PROBLEM if args.smoke else FULL_PROBLEM
     repeats = args.repeats if args.repeats is not None else (1 if args.smoke else 3)
+
+    if args.backends:
+        result = run_backend_race(problem, repeats=repeats)
+        result["mode"] = "backends"
+        print(render_backends(result))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(result, fh, indent=2)
+            print(f"\nwrote {args.json}")
+        failures = check_backend_race(result, enforce_floor=not args.smoke)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+
     result = run_sweep(problem, repeats=repeats)
     result["mode"] = "smoke" if args.smoke else "full"
     # Deterministic counters for the regression gate (untimed pass).

@@ -25,7 +25,12 @@ from repro.blis.microkernel import (
     MICROKERNELS,
 )
 from repro.blis.packing import pack_a_panel, pack_b_panel, unpack_a_panel
-from repro.blis.gemm import bit_gemm_reference, bit_gemm_blocked, bit_gemm_fast
+from repro.blis.gemm import (
+    bit_gemm_reference,
+    bit_gemm_blocked,
+    bit_gemm_fast,
+    bit_gemm_backend,
+)
 
 __all__ = [
     "BlockingPlan",
@@ -41,4 +46,5 @@ __all__ = [
     "bit_gemm_reference",
     "bit_gemm_blocked",
     "bit_gemm_fast",
+    "bit_gemm_backend",
 ]

@@ -51,6 +51,7 @@ __all__ = [
     "bit_gemm_reference",
     "bit_gemm_blocked",
     "bit_gemm_fast",
+    "bit_gemm_backend",
     "same_operand",
 ]
 
@@ -122,19 +123,57 @@ def bit_gemm_reference(
 ) -> np.ndarray:
     """Literal evaluation of the popcount-GEMM (test oracle).
 
+    The loop itself lives in
+    :func:`repro.kernels.numpy_backend.reference_panel` -- the
+    registered ``"numpy"`` reference backend -- so the oracle tests
+    race against *is* the reference backend, by construction.
     ``row_block`` bounds the size of the (rows, n, k) broadcast
     temporary.
     """
+    # Lazy import: repro.kernels registers backends that reach back
+    # into this module, so the module-level edge must stay one-way.
+    from repro.kernels.numpy_backend import reference_panel
+
     a, b = _check_operands(a, b)
     kernel = get_microkernel(op)
-    m, k = a.shape
-    n = b.shape[0]
-    c = np.zeros((m, n), dtype=np.int64)
-    for start in range(0, m, row_block):
-        stop = min(start + row_block, m)
-        combined = kernel.combine(a[start:stop, None, :], b[None, :, :])
-        c[start:stop] = popcount(combined).sum(axis=2)
-    return c
+    return reference_panel(a, b, kernel, row_block)
+
+
+def bit_gemm_backend(
+    a: np.ndarray,
+    b: np.ndarray,
+    op: ComparisonOp | str = ComparisonOp.AND,
+    backend: str = "auto",
+    symmetric: bool = False,
+) -> np.ndarray:
+    """Evaluate the popcount-GEMM through a registered kernel backend.
+
+    ``backend`` resolves per :func:`repro.kernels.resolve_backend`
+    (``"auto"`` honours ``REPRO_BACKEND`` and defaults to the
+    reference backend).  ``symmetric=True`` is accepted (and
+    validated) for API uniformity with the other drivers, but panel
+    backends compute the full product -- the triangular savings live
+    in the shard plan above this layer -- so the word-op counter
+    records the full ``m * n * k``, matching :func:`bit_gemm_fast`.
+    """
+    from repro.kernels import resolve_backend
+
+    a, b = _check_operands(a, b)
+    kernel = get_microkernel(op)
+    if symmetric:
+        _check_symmetric("bit_gemm_backend", a, b, kernel.op)
+    be = resolve_backend(backend)
+    obs = get_tracer()
+    obs.counters.add(GEMM_CALLS)
+    obs.counters.add(GEMM_WORD_OPS, a.shape[0] * b.shape[0] * a.shape[1])
+    with obs.span(
+        "gemm.backend",
+        backend=be.info.name,
+        m=a.shape[0],
+        n=b.shape[0],
+        k=a.shape[1],
+    ):
+        return be.bit_gemm_panel(a, b, kernel.op)
 
 
 def bit_gemm_blocked(

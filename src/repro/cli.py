@@ -15,8 +15,12 @@ The three comparison commands take ``--workers N`` to shard the
 functional bit-GEMM across N host threads (``--workers 0`` picks a
 sensible default for the machine; see :mod:`repro.parallel`), plus
 ``--strategy {auto,gemm,blocked}`` to pick the shard strategy
-(``auto`` consults the persisted host tuning cache) and ``--no-gram``
-to disable the symmetric Gram fast path (see ``docs/PERF.md``).
+(``auto`` consults the persisted host tuning cache),
+``--backend {auto,numpy,numba,...}`` to pick the kernel-ABI backend
+computing the bit-GEMM (``auto`` defers to ``REPRO_BACKEND`` and the
+tuner's per-machine winner; see ``docs/KERNELS.md``), and
+``--no-gram`` to disable the symmetric Gram fast path (see
+``docs/PERF.md``).
 
 Resilience flags (see ``docs/RESILIENCE.md``): ``--retries N`` retries
 transient faults up to N times with backoff, ``--verify-sample RATE``
@@ -65,6 +69,7 @@ from repro.core.streaming import (
 from repro.errors import ReproError
 from repro.gpu.arch import ALL_GPUS, get_gpu
 from repro.io_stream import PackedDatasetReader, StreamStats, open_source
+from repro.kernels import backend_names
 from repro.observability.report import MetricsReport
 from repro.observability.trace_export import write_merged_trace
 from repro.observability.tracer import Tracer, set_tracer
@@ -250,6 +255,7 @@ def _observed_framework(
         workers=_resolve_workers(args),
         gram=not getattr(args, "no_gram", False),
         strategy=getattr(args, "strategy", "auto"),
+        backend=getattr(args, "backend", "auto"),
     )
 
 
@@ -329,6 +335,7 @@ def _cmd_ld(args: argparse.Namespace) -> int:
                 workers=_resolve_workers(args),
                 gram=not args.no_gram,
                 strategy=args.strategy,
+                backend=args.backend,
                 framework=framework,
             )
             with open_source(args.input) as source:
@@ -343,6 +350,7 @@ def _cmd_ld(args: argparse.Namespace) -> int:
                 workers=_resolve_workers(args),
                 gram=not args.no_gram,
                 strategy=args.strategy,
+                backend=args.backend,
             )
         stat = {
             "r2": result.r_squared, "d": result.d, "dprime": result.d_prime
@@ -379,6 +387,7 @@ def _cmd_identity_streaming(args: argparse.Namespace) -> int:
             device=args.device,
             workers=_resolve_workers(args),
             strategy=args.strategy,
+            backend=args.backend,
             framework=framework,
         )
         with open_source(args.database) as source:
@@ -430,6 +439,7 @@ def _cmd_identity(args: argparse.Namespace) -> int:
             workers=_resolve_workers(args),
             gram=not args.no_gram,
             strategy=args.strategy,
+            backend=args.backend,
         )
         hits = result.matches(args.max_distance)
         print(render_kv([
@@ -466,6 +476,7 @@ def _cmd_mixture(args: argparse.Namespace) -> int:
                 device=args.device,
                 workers=_resolve_workers(args),
                 strategy=args.strategy,
+                backend=args.backend,
                 framework=framework,
             )
             with open_source(args.references) as source:
@@ -481,6 +492,7 @@ def _cmd_mixture(args: argparse.Namespace) -> int:
                 workers=_resolve_workers(args),
                 gram=not args.no_gram,
                 strategy=args.strategy,
+                backend=args.backend,
             )
             n_references = references.shape[0]
         print(render_kv([
@@ -543,6 +555,11 @@ def build_parser() -> argparse.ArgumentParser:
     strategy_help = (
         "host shard strategy (auto consults the persisted tuning cache)"
     )
+    backend_help = (
+        "kernel-ABI backend for the functional bit-GEMM (auto defers to "
+        "REPRO_BACKEND, then the tuner's per-machine winner; see "
+        "docs/KERNELS.md)"
+    )
     no_gram_help = (
         "disable the symmetric Gram fast path (compute the full table "
         "even for self-comparisons)"
@@ -576,6 +593,10 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument(
             "--strategy", default="auto", choices=["auto", "gemm", "blocked"],
             help=strategy_help,
+        )
+        cmd.add_argument(
+            "--backend", default="auto",
+            choices=["auto", *backend_names()], help=backend_help,
         )
         cmd.add_argument("--no-gram", action="store_true", help=no_gram_help)
         cmd.add_argument(

@@ -33,6 +33,7 @@ from repro.errors import ConfigurationError
 from repro.gpu.arch import GPUArchitecture, get_gpu
 from repro.gpu.device import CommandQueue, Context, Device
 from repro.gpu.kernel import SnpKernel
+from repro.kernels import get_backend
 from repro.observability.counters import SIM_DEVICE_SECONDS
 from repro.observability.report import MetricsReport
 from repro.observability.tracer import get_tracer
@@ -78,6 +79,11 @@ class SNPComparisonFramework:
     strategy:
         Host shard strategy: ``"auto"`` (consults the persisted host
         tuning cache), ``"gemm"``, or ``"blocked"``.
+    backend:
+        Kernel-ABI backend (:mod:`repro.kernels`) for the functional
+        tables: ``"auto"`` (``REPRO_BACKEND`` env, then the tuner's
+        per-machine winner, then the reference backend) or an explicit
+        registered name such as ``"numpy"`` or ``"numba"``.
     """
 
     def __init__(
@@ -90,6 +96,7 @@ class SNPComparisonFramework:
         workers: int | None = None,
         gram: bool = True,
         strategy: str = "auto",
+        backend: str = "auto",
     ) -> None:
         self.arch = get_gpu(device) if isinstance(device, str) else device
         self.algorithm = (
@@ -100,6 +107,9 @@ class SNPComparisonFramework:
         self.workers = workers
         self.gram = gram
         self.strategy = strategy
+        if backend != "auto":
+            get_backend(backend)  # unknown names fail at construction
+        self.backend = backend
         self.config = config or derive_config(
             self.arch, self.algorithm, prenegate=prenegate
         )
@@ -219,6 +229,7 @@ class SNPComparisonFramework:
                 workers=self.workers,
                 symmetric=None if self.gram else False,
                 strategy=self.strategy,
+                backend=self.backend,
             )
             end_to_end = queue.finish()
             busy = queue.busy_summary()
@@ -271,9 +282,10 @@ class SNPComparisonFramework:
         workers = f", workers={self.workers}" if self.workers else ""
         gram = "" if self.gram else ", gram=False"
         strategy = "" if self.strategy == "auto" else f", strategy={self.strategy!r}"
+        backend = "" if self.backend == "auto" else f", backend={self.backend!r}"
         return (
             f"SNPComparisonFramework(device={self.arch.name!r}, "
             f"algorithm={self.algorithm.value!r}, op={self.config.op.value!r}, "
             f"grid={self.config.grid_rows}x{self.config.grid_cols}"
-            f"{workers}{gram}{strategy})"
+            f"{workers}{gram}{strategy}{backend})"
         )

@@ -66,6 +66,7 @@ def identity_search(
     workers: int | None = None,
     gram: bool = True,
     strategy: str = "auto",
+    backend: str = "auto",
 ) -> IdentityResult:
     """Search ``queries`` against ``database`` on the simulated GPU.
 
@@ -86,6 +87,9 @@ def identity_search(
     strategy:
         Host shard strategy (``"auto"``/``"gemm"``/``"blocked"``).
         Ignored when ``framework`` is supplied.
+    backend:
+        Kernel-ABI backend (:mod:`repro.kernels`): ``"auto"`` or a
+        registered name.  Ignored when ``framework`` is supplied.
     """
     q = np.asarray(queries)
     db = database.profiles if isinstance(database, ForensicDatabase) else np.asarray(database)
@@ -99,7 +103,7 @@ def identity_search(
     if framework is None:
         framework = SNPComparisonFramework(
             device, Algorithm.FASTID_IDENTITY, workers=workers,
-            gram=gram, strategy=strategy,
+            gram=gram, strategy=strategy, backend=backend,
         )
     distances, report = framework.run(q, db)
     return IdentityResult(distances=distances, report=report)

@@ -93,6 +93,7 @@ def linkage_disequilibrium(
     workers: int | None = None,
     gram: bool = True,
     strategy: str = "auto",
+    backend: str = "auto",
 ) -> LDResult:
     """Compute all-pairs LD on the simulated GPU framework.
 
@@ -119,6 +120,9 @@ def linkage_disequilibrium(
     strategy:
         Host shard strategy (``"auto"``/``"gemm"``/``"blocked"``).
         Ignored when ``framework`` is supplied.
+    backend:
+        Kernel-ABI backend (:mod:`repro.kernels`): ``"auto"`` or a
+        registered name.  Ignored when ``framework`` is supplied.
     """
     matrix = data.matrix if isinstance(data, SNPDataset) else np.asarray(data)
     if matrix.ndim != 2:
@@ -134,7 +138,8 @@ def linkage_disequilibrium(
         )
     if framework is None:
         framework = SNPComparisonFramework(
-            device, Algorithm.LD, workers=workers, gram=gram, strategy=strategy
+            device, Algorithm.LD, workers=workers, gram=gram,
+            strategy=strategy, backend=backend,
         )
     counts, report = framework.run(entities)
     n_obs = entities.shape[1]

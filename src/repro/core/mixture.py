@@ -74,6 +74,7 @@ def mixture_analysis(
     workers: int | None = None,
     gram: bool = True,
     strategy: str = "auto",
+    backend: str = "auto",
 ) -> MixtureResult:
     """Score ``references`` against ``mixtures`` on the simulated GPU.
 
@@ -98,6 +99,9 @@ def mixture_analysis(
     strategy:
         Host shard strategy (``"auto"``/``"gemm"``/``"blocked"``).
         Ignored when ``framework`` is supplied.
+    backend:
+        Kernel-ABI backend (:mod:`repro.kernels`): ``"auto"`` or a
+        registered name.  Ignored when ``framework`` is supplied.
     """
     r = np.asarray(references)
     m = np.asarray(mixtures)
@@ -110,7 +114,7 @@ def mixture_analysis(
     if framework is None:
         framework = SNPComparisonFramework(
             device, Algorithm.FASTID_MIXTURE, prenegate=prenegate,
-            workers=workers, gram=gram, strategy=strategy,
+            workers=workers, gram=gram, strategy=strategy, backend=backend,
         )
     scores, report = framework.run(r, m)
     return MixtureResult(

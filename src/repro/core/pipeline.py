@@ -122,6 +122,7 @@ def run_pipeline(
     workers: int | None = None,
     symmetric: bool | None = None,
     strategy: str = "auto",
+    backend: str = "auto",
 ) -> tuple[np.ndarray, list[KernelProfile], TilePlan]:
     """Execute the tiled comparison; returns (raw table, profiles, plan).
 
@@ -136,7 +137,9 @@ def run_pipeline(
     row ranges, so per-tile outputs are not symmetric), the kernel is
     launched with the Gram hint and computes only the upper triangle.
     ``False`` disables the hint; ``True`` requires eligibility and
-    raises otherwise.  ``strategy`` selects the host shard strategy.
+    raises otherwise.  ``strategy`` selects the host shard strategy
+    and ``backend`` the kernel-ABI backend (:mod:`repro.kernels`) for
+    each tile's functional table.
     """
     context = queue.context
     arch = context.device.arch
@@ -223,6 +226,7 @@ def run_pipeline(
                     workers=workers,
                     symmetric=symmetric,
                     strategy=strategy,
+                    backend=backend,
                 )
                 profiles.append(profile)
                 tile_out, read_ev = queue.enqueue_read_buffer(

@@ -209,6 +209,7 @@ class StreamingIdentitySearch:
         device: str | GPUArchitecture = "Titan V",
         workers: int | None = None,
         strategy: str = "auto",
+        backend: str = "auto",
         framework: SNPComparisonFramework | None = None,
     ) -> None:
         q = _check_binary_matrix("StreamingIdentitySearch: queries", queries)
@@ -227,7 +228,8 @@ class StreamingIdentitySearch:
         self.queries = q
         self.k = k
         self.framework = framework or SNPComparisonFramework(
-            device, Algorithm.FASTID_IDENTITY, workers=workers, strategy=strategy
+            device, Algorithm.FASTID_IDENTITY, workers=workers,
+            strategy=strategy, backend=backend,
         )
         self._states = [_QueryState(k=k) for _ in range(q.shape[0])]
         self.rows_seen = 0
@@ -360,10 +362,12 @@ class StreamingLD:
         workers: int | None = None,
         gram: bool = True,
         strategy: str = "auto",
+        backend: str = "auto",
         framework: SNPComparisonFramework | None = None,
     ) -> None:
         self.framework = framework or SNPComparisonFramework(
-            device, Algorithm.LD, workers=workers, gram=gram, strategy=strategy
+            device, Algorithm.LD, workers=workers, gram=gram,
+            strategy=strategy, backend=backend,
         )
 
     def run(
@@ -441,6 +445,7 @@ class StreamingMixture:
         prenegate: bool | None = None,
         workers: int | None = None,
         strategy: str = "auto",
+        backend: str = "auto",
         framework: SNPComparisonFramework | None = None,
     ) -> None:
         m = _check_binary_matrix("StreamingMixture: mixtures", mixtures)
@@ -455,6 +460,7 @@ class StreamingMixture:
             prenegate=prenegate,
             workers=workers,
             strategy=strategy,
+            backend=backend,
         )
         self._score_blocks: list[np.ndarray] = []
         self._reports: list[RunReport] = []

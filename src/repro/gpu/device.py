@@ -222,6 +222,7 @@ class CommandQueue:
         workers: int | None = None,
         symmetric: bool | None = None,
         strategy: str = "auto",
+        backend: str = "auto",
     ) -> tuple[Event, KernelProfile]:
         """Launch a comparison kernel reading ``a``/``b``, writing ``c``.
 
@@ -230,9 +231,9 @@ class CommandQueue:
         dimension); otherwise ``c`` is overwritten.  ``workers`` routes
         the functional compute through the sharded host engine (the
         simulated timing is unaffected -- it prices the device, not the
-        host).  ``symmetric``/``strategy`` are the Gram-mode hint and
-        shard-strategy choice forwarded to
-        :func:`~repro.gpu.executor.execute_kernel`.
+        host).  ``symmetric``/``strategy``/``backend`` are the
+        Gram-mode hint, shard-strategy choice, and kernel-ABI backend
+        forwarded to :func:`~repro.gpu.executor.execute_kernel`.
         """
         if kernel.arch is not self.arch:
             raise KernelLaunchError(
@@ -245,7 +246,7 @@ class CommandQueue:
         earliest = self._earliest(wait_for)
         result, profile = execute_kernel(
             kernel, a.data, b.data, args, workers=workers,
-            symmetric=symmetric, strategy=strategy,
+            symmetric=symmetric, strategy=strategy, backend=backend,
         )
         if accumulate:
             existing = c._data

@@ -23,10 +23,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.blis.gemm import bit_gemm_blocked, bit_gemm_fast, same_operand
+from repro.blis.gemm import (
+    bit_gemm_backend,
+    bit_gemm_blocked,
+    bit_gemm_fast,
+    same_operand,
+)
 from repro.errors import KernelLaunchError, ReproError
 from repro.gpu.cycles import CycleBreakdown, kernel_cycles
 from repro.gpu.kernel import KernelArgs, SnpKernel
+from repro.kernels import DEFAULT_BACKEND_NAME, resolve_backend_name
 from repro.observability.counters import KERNEL_LAUNCHES, KERNEL_RETRIES
 from repro.observability.tracer import get_tracer
 from repro.parallel.engine import ParallelReport, get_engine
@@ -103,6 +109,7 @@ def execute_kernel(
     workers: int | None = None,
     symmetric: bool | None = None,
     strategy: str = "auto",
+    backend: str = "auto",
 ) -> tuple[np.ndarray, KernelProfile]:
     """Run one kernel launch; returns (C table, profile).
 
@@ -132,6 +139,14 @@ def execute_kernel(
         Host-engine shard strategy (``"auto"``/``"gemm"``/
         ``"blocked"``); ``"auto"`` consults the persisted host tuning
         cache.  Only used when the engine path runs.
+    backend:
+        Kernel-ABI backend (:mod:`repro.kernels`) for the functional
+        table.  ``"auto"`` defers to ``REPRO_BACKEND`` / the tuner /
+        the reference backend; an explicit name is validated.  On the
+        serial path a non-default backend computes the table through
+        :func:`repro.blis.gemm.bit_gemm_backend` (bit-exact); Gram-mode
+        serial runs and pinned blocked walks stay on the reference
+        drivers so their counters and tile structure are unchanged.
     """
     a = np.asarray(a_words)
     b = np.asarray(b_words)
@@ -186,9 +201,9 @@ def execute_kernel(
                     and workers > 1
                     and force_blocked_path is None
                 ):
-                    c, parallel_report = get_engine(workers, strategy).run(
-                        a, b, kernel.op, plan=plan, symmetric=symmetric
-                    )
+                    c, parallel_report = get_engine(
+                        workers, strategy, backend
+                    ).run(a, b, kernel.op, plan=plan, symmetric=symmetric)
                     use_blocked = False
                 else:
                     serial_symmetric = (
@@ -196,7 +211,15 @@ def execute_kernel(
                         if symmetric is None
                         else symmetric
                     )
-                    if use_blocked:
+                    resolved = resolve_backend_name(backend)
+                    if (
+                        resolved != DEFAULT_BACKEND_NAME
+                        and not serial_symmetric
+                        and force_blocked_path is None
+                    ):
+                        c = bit_gemm_backend(a, b, kernel.op, backend=resolved)
+                        use_blocked = False
+                    elif use_blocked:
                         c = bit_gemm_blocked(
                             a, b, kernel.op, plan, symmetric=serial_symmetric
                         )

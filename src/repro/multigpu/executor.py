@@ -91,6 +91,7 @@ def run_multi_gpu(
     workers: int | None = None,
     gram: bool = True,
     strategy: str = "auto",
+    backend: str = "auto",
 ) -> tuple[np.ndarray, MultiGPUReport]:
     """Functional multi-GPU run: bit-exact table plus node timing.
 
@@ -103,7 +104,8 @@ def run_multi_gpu(
     (:func:`repro.parallel.get_engine`), all simulated devices share
     **one** thread pool rather than spawning one per device.
 
-    ``gram``/``strategy`` forward to each device's framework.  Note a
+    ``gram``/``strategy``/``backend`` forward to each device's
+    framework.  Note a
     partitioned run rarely benefits from Gram mode: each device
     compares the full query against a *slice* of the database, which
     is not a self-comparison (only the degenerate single-device,
@@ -161,6 +163,7 @@ def run_multi_gpu(
                         workers=workers,
                         gram=gram,
                         strategy=strategy,
+                        backend=backend,
                     )
                     slice_table, run_report = framework.run(
                         a, b[dev_slice.row_start : dev_slice.row_stop]

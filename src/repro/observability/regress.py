@@ -30,6 +30,12 @@ Supported input formats (auto-detected per file):
 * ``bench_parallel_scaling.py --json`` sweeps: per-worker seconds
   (``timing``), speedups (``ratio``), word-ops / shard counts /
   bit-exactness and deterministic observability counters (``exact``);
+* ``bench_parallel_scaling.py --backends --json`` races: per-backend
+  seconds (``timing``), speedup vs the reference panel (``ratio``),
+  bit-exactness / counter invariance and the word-op counters
+  (``exact``).  Backends present only in the fresh run (e.g. Numba
+  installed in CI but not where the baseline was recorded) are
+  ignored, so one baseline serves the whole backend matrix;
 * metrics-report JSON (:meth:`repro.observability.report.MetricsReport.to_json`):
   deterministic counters as ``exact``, span totals as ``timing``.
 
@@ -114,6 +120,8 @@ def flatten_metrics(data: dict[str, Any], prefix: str) -> list[Metric]:
     """Flatten one benchmark JSON payload into named metrics."""
     if "benchmarks" in data:
         return _flatten_pytest_benchmark(data, prefix)
+    if "backends" in data and "problem" in data:
+        return _flatten_backend_race(data, prefix)
     if "rows" in data and "problem" in data:
         return _flatten_scaling_sweep(data, prefix)
     if "counters" in data:
@@ -155,6 +163,48 @@ def _flatten_scaling_sweep(data: dict[str, Any], prefix: str) -> list[Metric]:
         metrics.append(
             Metric(
                 f"{prefix}:workers{w}.n_shards", float(row["n_shards"]), KIND_EXACT
+            )
+        )
+    for name, value in sorted(data.get("counters", {}).items()):
+        if name in DETERMINISTIC_COUNTERS:
+            metrics.append(
+                Metric(f"{prefix}:counter.{name}", float(value), KIND_EXACT)
+            )
+    return metrics
+
+
+def _flatten_backend_race(data: dict[str, Any], prefix: str) -> list[Metric]:
+    metrics = [
+        Metric(f"{prefix}:word_ops", float(data["word_ops"]), KIND_EXACT)
+    ]
+    for row in data.get("backends", []):
+        name = row["name"]
+        metrics.append(
+            Metric(
+                f"{prefix}:backend.{name}.seconds",
+                float(row["seconds"]),
+                KIND_TIMING,
+            )
+        )
+        metrics.append(
+            Metric(
+                f"{prefix}:backend.{name}.speedup",
+                float(row["speedup"]),
+                KIND_RATIO,
+            )
+        )
+        metrics.append(
+            Metric(
+                f"{prefix}:backend.{name}.bit_exact",
+                float(bool(row["bit_exact"])),
+                KIND_EXACT,
+            )
+        )
+        metrics.append(
+            Metric(
+                f"{prefix}:backend.{name}.counters_invariant",
+                float(bool(row["counters_invariant"])),
+                KIND_EXACT,
             )
         )
     for name, value in sorted(data.get("counters", {}).items()):
@@ -335,9 +385,28 @@ def render_comparisons(comparisons: list[Comparison]) -> str:
 # -- CLI -----------------------------------------------------------------------
 
 
+def _parse_tolerances(specs: list[str] | None) -> dict[str, float]:
+    tolerances: dict[str, float] = {}
+    for spec in specs or []:
+        name, sep, value = spec.rpartition("=")
+        if not sep or not name:
+            raise ValueError(
+                f"--tolerance expects NAME=VALUE, got {spec!r}"
+            )
+        tolerances[name] = float(value)
+    return tolerances
+
+
 def _cmd_record(args: argparse.Namespace) -> int:
     metrics = load_metrics(args.inputs)
-    doc = record_baseline(args.name, metrics)
+    tolerances = _parse_tolerances(args.tolerance)
+    unknown = set(tolerances) - {m.name for m in metrics}
+    if unknown:
+        raise ValueError(
+            f"--tolerance names not among recorded metrics: "
+            f"{', '.join(sorted(unknown))}"
+        )
+    doc = record_baseline(args.name, metrics, tolerances=tolerances)
     out = Path(args.out)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
@@ -386,6 +455,14 @@ def build_parser() -> argparse.ArgumentParser:
     record = sub.add_parser("record", help="write a baseline from benchmark JSONs")
     record.add_argument("--name", required=True, help="baseline name")
     record.add_argument("--out", required=True, help="baseline JSON output path")
+    record.add_argument(
+        "--tolerance",
+        action="append",
+        metavar="NAME=VALUE",
+        help="pin a per-metric relative tolerance in the baseline "
+        "(full metric name; repeatable; overrides --timing-tolerance "
+        "at compare time)",
+    )
     record.add_argument("inputs", nargs="+", help="benchmark JSON files")
     record.set_defaults(func=_cmd_record)
 

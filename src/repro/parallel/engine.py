@@ -29,6 +29,21 @@ threshold -- or ``workers=1`` -- take the serial fallback through the
 existing :mod:`repro.blis.gemm` drivers, so the engine is safe to
 leave enabled everywhere.
 
+**Kernel backends.**  Orthogonally to the shard strategy, the engine
+accepts a kernel-ABI backend (:mod:`repro.kernels`).  A non-reference
+backend (``"numba"``, ``"cnative"``, ``"sim"``) replaces the shard
+compute with the backend's ``bit_gemm_panel`` (reported as strategy
+``"panel"``) and the serial fallback with the
+:func:`~repro.blis.gemm.bit_gemm_backend` driver; the reference
+``"numpy"`` backend keeps the strategies above.  ``backend="auto"``
+resolves, in order: the ``REPRO_BACKEND`` environment variable, the
+tuning record's measured winner (the tuner races backends exactly as
+it races strategies), then the reference backend.  Deterministic
+counters are backend-invariant: shard kernels record the same
+``GEMM_WORD_OPS``/``SHARDS_EXECUTED`` whichever backend computes the
+block, and symmetric *serial* runs always keep the triangular
+reference walk so Gram-mode accounting never drifts.
+
 **Gram mode.**  When both operands are the *same* packed matrix
 (``same_operand``) and the op is symmetric, the output satisfies
 ``C == C.T`` and the engine switches to a triangular shard plan
@@ -62,10 +77,18 @@ import numpy as np
 
 from repro.blis.blocking import BlockingPlan
 from repro.blis.gemm import (
+    bit_gemm_backend,
     bit_gemm_blocked,
     bit_gemm_fast,
     bit_gemm_reference,
     same_operand,
+)
+from repro.kernels import (
+    DEFAULT_BACKEND_NAME,
+    KernelBackend,
+    backend_available,
+    env_backend_name,
+    get_backend,
 )
 from repro.blis.microkernel import ComparisonOp, get_microkernel
 from repro.blis.packing import pack_a_panel, pack_b_panel
@@ -214,6 +237,7 @@ class ParallelReport:
     strategy: str
     used_parallel: bool
     seconds: float
+    backend: str = DEFAULT_BACKEND_NAME
     shard_plan: ShardPlan | None = None
     shard_profiles: list[ShardProfile] = field(default_factory=list)
     cache_stats: CacheStats | None = None
@@ -314,6 +338,14 @@ class ParallelEngine:
         Shards per worker the plan aims for (see :class:`ShardPlan`).
     crossover_ops:
         Problems below this many word-ops run serially.
+    backend:
+        Kernel-ABI backend (:mod:`repro.kernels`).  ``"auto"`` honours
+        the ``REPRO_BACKEND`` environment variable, then the persisted
+        tuning record for the problem's size class, then the reference
+        backend.  A non-reference backend swaps the shard compute for
+        its :meth:`~repro.kernels.KernelBackend.bit_gemm_panel`
+        (word-op accounting unchanged -- shards record the same counts
+        whichever backend computes them).
 
     One engine owns one lazily created pool; it is reused across runs
     and across callers -- :func:`get_engine` hands the same engine to
@@ -329,6 +361,7 @@ class ParallelEngine:
         strategy: str = "auto",
         oversubscribe: int = 2,
         crossover_ops: int = PARALLEL_CROSSOVER_OPS,
+        backend: str = "auto",
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
@@ -341,11 +374,14 @@ class ParallelEngine:
                 f"ParallelEngine: unknown strategy {strategy!r} "
                 f"(valid: {', '.join(self.STRATEGIES)})"
             )
+        if backend != "auto":
+            get_backend(backend)  # unknown names fail at construction
         self.workers = workers
         self.cache_bytes = cache_bytes
         self.strategy = strategy
         self.oversubscribe = oversubscribe
         self.crossover_ops = crossover_ops
+        self.backend = backend
         self._pool: ThreadPoolExecutor | None = None
         self._pool_lock = threading.Lock()
 
@@ -407,16 +443,35 @@ class ParallelEngine:
         total_ops = plan.total_ops()
         strategy = self.strategy
         crossover = self.crossover_ops
-        if strategy == "auto":
+        backend_name = self.backend
+        if backend_name == "auto":
+            env_name = env_backend_name()
+            if env_name is not None:
+                backend_name = env_name
+        tuned: TuningRecord | None = None
+        if strategy == "auto" or backend_name == "auto":
             tuned = self._consult_tuner(op, m, n, k, a.dtype.itemsize * 8)
+        if strategy == "auto":
             if tuned is not None:
-                strategy = tuned.strategy
+                # "panel" records belong to a backend run; the numpy
+                # strategies fall back to the default in that case.
+                if tuned.strategy in ("gemm", "blocked"):
+                    strategy = tuned.strategy
+                else:
+                    strategy = "gemm"
                 if symmetric and not tuned.triangular:
                     symmetric = False
                 if tuned.crossover_ops is not None:
                     crossover = tuned.crossover_ops
             else:
                 strategy = "gemm"
+        if backend_name == "auto":
+            # Untuned auto stays on the reference backend; the tuner's
+            # measured per-machine winner upgrades it.
+            if tuned is not None and backend_available(tuned.backend):
+                backend_name = tuned.backend
+            else:
+                backend_name = DEFAULT_BACKEND_NAME
         use_parallel = (
             self.workers > 1 and total_ops >= crossover
             if force_parallel is None
@@ -431,9 +486,13 @@ class ParallelEngine:
             "parallel.run", m=m, n=n, k=k, workers=self.workers
         ).set(parallel=use_parallel, symmetric=symmetric):
             if not use_parallel:
-                c, report = self._run_serial(a, b, op, plan, total_ops, symmetric)
+                c, report = self._run_serial(
+                    a, b, op, plan, total_ops, symmetric, backend_name
+                )
             else:
-                c, report = self._run_sharded(a, b, op, plan, strategy, symmetric)
+                c, report = self._run_sharded(
+                    a, b, op, plan, strategy, symmetric, backend_name
+                )
         obs.counters.add(HOST_ENGINE_SECONDS, report.seconds)
         if obs.enabled:
             report.metrics = MetricsReport.from_delta(
@@ -482,15 +541,29 @@ class ParallelEngine:
         plan: BlockingPlan,
         total_ops: int,
         symmetric: bool = False,
+        backend_name: str = DEFAULT_BACKEND_NAME,
     ) -> tuple[np.ndarray, ParallelReport]:
         res = get_resilience()
-        if total_ops <= SERIAL_BLOCKED_OP_LIMIT:
+        if backend_name != DEFAULT_BACKEND_NAME and not symmetric:
+            # Non-reference backends compute whole panels; symmetric
+            # serial runs stay on the triangular reference walk so
+            # Gram-mode word-op accounting is identical across
+            # backends (the panel ABI has no triangular form -- the
+            # savings live in the shard plan, which serial runs skip).
+            strategy = "serial-panel"
+
+            def driver() -> np.ndarray:
+                return bit_gemm_backend(a, b, op, backend=backend_name)
+
+        elif total_ops <= SERIAL_BLOCKED_OP_LIMIT:
+            backend_name = DEFAULT_BACKEND_NAME
             strategy = "serial-blocked"
 
             def driver() -> np.ndarray:
                 return bit_gemm_blocked(a, b, op, plan, symmetric=symmetric)
 
         else:
+            backend_name = DEFAULT_BACKEND_NAME
             strategy = "serial-fast"
 
             def driver() -> np.ndarray:
@@ -529,6 +602,7 @@ class ParallelEngine:
             strategy=strategy,
             used_parallel=False,
             seconds=elapsed,
+            backend=backend_name,
             shard_profiles=[profile],
             symmetric=symmetric,
         )
@@ -544,6 +618,7 @@ class ParallelEngine:
         plan: BlockingPlan,
         strategy: str,
         symmetric: bool = False,
+        backend_name: str = DEFAULT_BACKEND_NAME,
     ) -> tuple[np.ndarray, ParallelReport]:
         shard_plan = ShardPlan.from_blocking(
             plan, self.workers, oversubscribe=self.oversubscribe,
@@ -555,11 +630,14 @@ class ParallelEngine:
         get_tracer().counters.add(GEMM_CALLS)
         cache = PanelCache(self.cache_bytes)
         c = np.zeros((plan.m, plan.n), dtype=np.int64)
-        compute = (
-            self._compute_shard_gemm
-            if strategy == "gemm"
-            else self._compute_shard_blocked
-        )
+        compute: ShardCompute
+        if backend_name != DEFAULT_BACKEND_NAME:
+            compute = _make_backend_compute(get_backend(backend_name))
+            strategy = "panel"
+        elif strategy == "gemm":
+            compute = self._compute_shard_gemm
+        else:
+            compute = self._compute_shard_blocked
         # Cross-side panel dedup is valid whenever both operands hold
         # the same matrix -- even for asymmetric ops (full plans).
         # symmetric=True implies equal content (validated upstream).
@@ -594,6 +672,7 @@ class ParallelEngine:
             strategy=strategy,
             used_parallel=True,
             seconds=elapsed,
+            backend=backend_name,
             shard_plan=shard_plan,
             shard_profiles=profiles,
             cache_stats=cache.stats(),
@@ -900,16 +979,51 @@ def _batched_micro_update(
         block[r0:r1, :n_size] += tiles[: r1 - r0, :n_size]
 
 
+def _make_backend_compute(backend: KernelBackend) -> ShardCompute:
+    """Shard kernel delegating to a kernel-ABI backend panel.
+
+    Counter accounting is identical to the built-in shard kernels
+    (``SHARDS_EXECUTED`` + the shard's word-ops), so the deterministic
+    counters the regression gate compares are backend-invariant.  The
+    panel cache is unused: backends consume packed words directly.
+    """
+    name = backend.info.name
+
+    def compute(
+        shard: Shard,
+        a: np.ndarray,
+        b: np.ndarray,
+        op: ComparisonOp,
+        plan: BlockingPlan,
+        cache: PanelCache | None,
+        dedup: bool,
+    ) -> tuple[np.ndarray, int, int]:
+        obs = get_tracer()
+        obs.counters.add(SHARDS_EXECUTED)
+        obs.counters.add(GEMM_WORD_OPS, shard.word_ops(plan.k))
+        with obs.span(
+            "parallel.shard", shard=shard.shard_id, strategy=f"panel:{name}"
+        ):
+            m0, m1 = shard.m_range
+            n0, n1 = shard.n_range
+            block = backend.bit_gemm_panel(a[m0:m1], b[n0:n1], op)
+        return block, 0, 0
+
+    return compute
+
+
 # -- module-level conveniences ---------------------------------------------------
 
-_ENGINES: dict[tuple[int, str], ParallelEngine] = {}
+_ENGINES: dict[tuple[int, str, str], ParallelEngine] = {}
 _ENGINES_LOCK = threading.Lock()
 
 
 def get_engine(
-    workers: int | None = None, strategy: str = "auto"
+    workers: int | None = None,
+    strategy: str = "auto",
+    backend: str = "auto",
 ) -> ParallelEngine:
-    """Process-wide engine per (workers, strategy) pair.
+    """Process-wide engine per (workers, strategy, backend) triple.
 
     Every caller asking for the same worker count shares one pool --
     this is how the multi-GPU executor runs all simulated devices on a
@@ -917,11 +1031,13 @@ def get_engine(
     """
     if workers is None:
         workers = os.cpu_count() or 1
-    key = (workers, strategy)
+    key = (workers, strategy, backend)
     with _ENGINES_LOCK:
         engine = _ENGINES.get(key)
         if engine is None:
-            engine = ParallelEngine(workers=workers, strategy=strategy)
+            engine = ParallelEngine(
+                workers=workers, strategy=strategy, backend=backend
+            )
             _ENGINES[key] = engine
         return engine
 
@@ -935,9 +1051,10 @@ def bit_gemm_parallel(
     force_parallel: bool | None = None,
     symmetric: bool | None = None,
     strategy: str = "auto",
+    backend: str = "auto",
 ) -> np.ndarray:
     """One-shot parallel bit-GEMM (drop-in for the serial drivers)."""
-    c, _ = get_engine(workers, strategy).run(
+    c, _ = get_engine(workers, strategy, backend).run(
         a, b, op, plan=plan, force_parallel=force_parallel, symmetric=symmetric
     )
     return c

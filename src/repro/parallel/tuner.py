@@ -6,14 +6,22 @@ GEMM vs the blocked walk, full vs triangular Gram plans, and where the
 serial/parallel crossover sits -- depends on things no closed form
 captures (BLAS build, core count, NumPy version), so this module
 closes that loop empirically: :func:`tune_problem` benchmarks the
-candidate grid ``{gemm, blocked} x {full, triangular}`` on synthetic
-operands of the requested shape, times a serial baseline for the
-crossover decision, and persists the winner to a small JSON cache.
+candidate grid ``{gemm, blocked} x {full, triangular}`` -- plus every
+available tunable kernel-ABI backend (:mod:`repro.kernels`), raced the
+same way -- on synthetic operands of the requested shape, times a
+serial baseline for the crossover decision, and persists the winner to
+a small JSON cache.  A backend winner is recorded with strategy
+``"panel"`` and its backend name, which ``backend="auto"`` then
+applies per-machine.
 
 The cache is keyed by ``(op, shape bucket, workers, word_bits, numpy
-version)`` -- shapes are bucketed to the next power of two so one
-measurement serves its whole size class, and the NumPy version is in
-the key because the winner may flip across BLAS builds.  The engine's
+version, backend fingerprint)`` -- shapes are bucketed to the next
+power of two so one measurement serves its whole size class, the NumPy
+version is in the key because the winner may flip across BLAS builds,
+and the backend fingerprint (names + versions of the tunable backend
+set, :func:`repro.kernels.backend_fingerprint`) is in the key so
+installing, removing, or upgrading a backend invalidates records
+measured against the old set instead of pinning a stale winner.  The engine's
 ``strategy="auto"`` consults the cache through :func:`lookup_tuned`
 (a lazy singleton + dict lookup, cheap enough for every run); a
 missing, corrupt, or foreign-format cache degrades to "no record"
@@ -26,7 +34,7 @@ File format (``repro-host-tuning/1``)::
       "records": {
         "<key>": {"strategy": "gemm", "triangular": true,
                    "crossover_ops": null, "best_seconds": 0.012,
-                   "candidates": 4}
+                   "candidates": 4, "backend": "numpy"}
       }
     }
 
@@ -49,6 +57,11 @@ import numpy as np
 
 from repro.blis.microkernel import ComparisonOp, get_microkernel
 from repro.errors import ConfigurationError
+from repro.kernels import (
+    DEFAULT_BACKEND_NAME,
+    backend_fingerprint,
+    registered_backends,
+)
 
 __all__ = [
     "TUNING_FORMAT",
@@ -73,8 +86,12 @@ TUNING_CACHE_ENV = "REPRO_TUNING_CACHE"
 #: Default cache file (per-user, survives repo checkouts).
 DEFAULT_TUNING_PATH = "~/.cache/repro/host-tuning.json"
 
-#: Strategies tune_problem races against each other.
+#: Reference-backend strategies tune_problem races against each other.
 _STRATEGIES = ("gemm", "blocked")
+
+#: Strategies a persisted record may carry: the reference pair plus
+#: ``"panel"``, which marks a non-reference kernel-backend winner.
+_RECORD_STRATEGIES = ("gemm", "blocked", "panel")
 
 
 def shape_bucket(m: int, n: int, k_words: int) -> str:
@@ -94,10 +111,16 @@ def tuning_key(
     word_bits: int,
     workers: int,
 ) -> str:
-    """The cache key one measurement is stored (and looked up) under."""
+    """The cache key one measurement is stored (and looked up) under.
+
+    The key ends with the kernel-backend fingerprint (names +
+    versions of the tunable backend set): a record measured before
+    Numba was installed -- or against a different backend version --
+    stops matching instead of silently pinning the old winner.
+    """
     return (
         f"{op.value}|{shape_bucket(m, n, k_words)}|w{workers}"
-        f"|b{word_bits}|np{np.__version__}"
+        f"|b{word_bits}|np{np.__version__}|be[{backend_fingerprint()}]"
     )
 
 
@@ -117,6 +140,7 @@ class TuningRecord:
     crossover_ops: int | None
     best_seconds: float
     candidates: int
+    backend: str = DEFAULT_BACKEND_NAME
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -125,6 +149,7 @@ class TuningRecord:
             "crossover_ops": self.crossover_ops,
             "best_seconds": self.best_seconds,
             "candidates": self.candidates,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -133,8 +158,11 @@ class TuningRecord:
         if not isinstance(data, Mapping):
             raise ValueError(f"tuning record must be an object, got {type(data)}")
         strategy = data.get("strategy")
-        if strategy not in _STRATEGIES:
+        if strategy not in _RECORD_STRATEGIES:
             raise ValueError(f"tuning record has unknown strategy {strategy!r}")
+        backend = data.get("backend", DEFAULT_BACKEND_NAME)
+        if not isinstance(backend, str) or not backend:
+            raise ValueError("tuning record: backend must be a non-empty string")
         triangular = data.get("triangular")
         if not isinstance(triangular, bool):
             raise ValueError("tuning record: triangular must be a bool")
@@ -155,6 +183,7 @@ class TuningRecord:
             crossover_ops=crossover,
             best_seconds=float(best_seconds),
             candidates=candidates,
+            backend=backend,
         )
 
 
@@ -344,12 +373,15 @@ def tune_problem(
 ) -> TuningRecord:
     """Benchmark the candidate grid for one shape and persist the winner.
 
-    Races ``{gemm, blocked}`` strategies -- each in full-plan form and,
-    when the problem is a square self-comparison with a symmetric op,
-    also in triangular Gram form -- on synthetic random operands, plus
-    a serial baseline.  The fastest parallel candidate becomes the
-    record; if the serial baseline beat it, ``crossover_ops`` is raised
-    above this size class so ``"auto"`` keeps such problems serial.
+    Races ``{gemm, blocked}`` reference strategies and every available
+    tunable kernel backend -- each in full-plan form and, when the
+    problem is a square self-comparison with a symmetric op, also in
+    triangular Gram form -- on synthetic random operands, plus a
+    serial baseline.  The fastest parallel candidate becomes the
+    record (backend winners carry strategy ``"panel"`` and their
+    backend name); if the serial baseline beat it, ``crossover_ops``
+    is raised above this size class so ``"auto"`` keeps such problems
+    serial.
     """
     from repro.parallel.engine import get_engine
 
@@ -373,8 +405,10 @@ def tune_problem(
     word_bits = 64
     total_ops = m * n * k_words
 
-    def best_of(strategy: str, triangular: bool) -> float:
-        engine = get_engine(workers, strategy)
+    def best_of(
+        strategy: str, triangular: bool, backend: str = DEFAULT_BACKEND_NAME
+    ) -> float:
+        engine = get_engine(workers, strategy, backend)
         best = float("inf")
         for _ in range(repeats):
             start = time.perf_counter()
@@ -382,11 +416,31 @@ def tune_problem(
             best = min(best, time.perf_counter() - start)
         return best
 
-    candidates: list[tuple[str, bool, float]] = []
+    # The candidate grid: reference strategies, then every available
+    # tunable kernel backend raced the same way (full and, where
+    # eligible, triangular Gram plans).
+    candidates: list[tuple[str, str, bool, float]] = []
     for strategy in _STRATEGIES:
-        candidates.append((strategy, False, best_of(strategy, False)))
+        candidates.append(
+            (DEFAULT_BACKEND_NAME, strategy, False, best_of(strategy, False))
+        )
         if gram_eligible:
-            candidates.append((strategy, True, best_of(strategy, True)))
+            candidates.append(
+                (DEFAULT_BACKEND_NAME, strategy, True, best_of(strategy, True))
+            )
+    for be in registered_backends():
+        info = be.info
+        if not info.tunable or not info.available:
+            continue
+        if info.name == DEFAULT_BACKEND_NAME:
+            continue
+        candidates.append(
+            (info.name, "panel", False, best_of("gemm", False, info.name))
+        )
+        if gram_eligible:
+            candidates.append(
+                (info.name, "panel", True, best_of("gemm", True, info.name))
+            )
 
     serial_engine = get_engine(1, "gemm")
     serial_best = float("inf")
@@ -395,7 +449,9 @@ def tune_problem(
         serial_engine.run(a, b, op, force_parallel=False)
         serial_best = min(serial_best, time.perf_counter() - start)
 
-    strategy, triangular, best_seconds = min(candidates, key=lambda c: c[2])
+    backend, strategy, triangular, best_seconds = min(
+        candidates, key=lambda c: c[3]
+    )
     crossover_ops = 2 * total_ops if serial_best < best_seconds else None
     record = TuningRecord(
         strategy=strategy,
@@ -403,6 +459,7 @@ def tune_problem(
         crossover_ops=crossover_ops,
         best_seconds=best_seconds,
         candidates=len(candidates),
+        backend=backend,
     )
     if cache is None:
         cache = get_tuning_cache()

@@ -6,6 +6,8 @@ import json
 
 import numpy as np
 import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -23,6 +25,7 @@ from repro.errors import ConfigurationError, PackingError
 from repro.observability.counters import GEMM_WORD_OPS, PANEL_DEDUP_HITS, SHARDS_MIRRORED
 from repro.observability.tracer import Tracer, set_tracer
 from repro.parallel import ShardPlan, get_engine
+from repro.kernels import DEFAULT_BACKEND_NAME, registered_backends
 from repro.parallel.tuner import (
     TUNING_FORMAT,
     TuningCache,
@@ -32,6 +35,17 @@ from repro.parallel.tuner import (
     tune_problem,
     tuning_key,
 )
+
+
+def _n_extra_tunable_backends() -> int:
+    """Tunable, available backends the tuner races beyond the default."""
+    return sum(
+        1
+        for be in registered_backends()
+        if be.info.tunable
+        and be.info.available
+        and be.info.name != DEFAULT_BACKEND_NAME
+    )
 
 SYMMETRIC_OPS = [
     ComparisonOp.AND,
@@ -400,8 +414,10 @@ class TestTuningCache:
         record = tune_problem(
             48, 48, 2, op=ComparisonOp.AND, workers=2, cache=cache
         )
-        assert record.strategy in STRATEGIES
-        assert record.candidates == 4  # {gemm, blocked} x {full, triangular}
+        assert record.strategy in STRATEGIES + ["panel"]
+        # {gemm, blocked} x {full, triangular} plus {full, triangular}
+        # for each extra tunable backend the tuner races.
+        assert record.candidates == 4 + 2 * _n_extra_tunable_backends()
         reloaded = TuningCache(tmp_path / "tuning.json")
         key = tuning_key(ComparisonOp.AND, 48, 48, 2, 64, 2)
         assert reloaded.lookup(key) == record
@@ -412,7 +428,7 @@ class TestTuningCache:
             32, 48, 2, op=ComparisonOp.ANDNOT, workers=2, cache=cache,
             persist=False,
         )
-        assert record.candidates == 2
+        assert record.candidates == 2 + _n_extra_tunable_backends()
         assert not record.triangular
 
     def test_tune_problem_rejects_bad_extents(self, tmp_path):

@@ -10,6 +10,8 @@ larger than the input), and the per-chunk resilience retry rung.
 
 import numpy as np
 import pytest
+
+pytest.importorskip("hypothesis")
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,9 @@
 """Property-based tests on the framework and model invariants."""
 
 import numpy as np
+import pytest
+
+pytest.importorskip("hypothesis")
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp

@@ -1,6 +1,9 @@
 """Property-based tests: the popcount-GEMM drivers agree everywhere."""
 
 import numpy as np
+import pytest
+
+pytest.importorskip("hypothesis")
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
