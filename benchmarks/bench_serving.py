@@ -1,0 +1,283 @@
+"""Serving bench: request coalescing amortization, occupancy, latency SLOs.
+
+The serving layer (``repro.serve``) only earns its keep if coalescing
+concurrent queries into one bit-GEMM panel actually amortizes work: at
+``clients`` concurrent single-profile queries the served
+``gemm.popc_word_ops`` per query must drop to ``<= OPS_RATIO_CEILING``
+(0.6) of the one-query-per-panel baseline.  Both sides of that ratio
+are *exact counters* measured under forced batches
+(:meth:`IdentityService.search_many`), so the gate is deterministic on
+any runner.  The bench also demonstrates:
+
+* **bit-exactness** -- solo and coalesced served top-k equal
+  :class:`repro.core.streaming.StreamingIdentitySearch` on the same
+  database (first-seen tie-breaking included);
+* **occupancy** -- the coalesced batch carries exactly ``clients`` rows
+  (``serve.batch_rows`` / ``serve.batches`` deltas);
+* **latency** -- p50/p99 and QPS through the *live* coalescing window
+  (in-process submits, tenant-ledger percentiles).  These are the only
+  nondeterministic numbers here; the baseline pins wide per-metric
+  tolerances for them (docs/PERF.md).
+
+Runs two ways:
+
+* under pytest-benchmark, like the other benches::
+
+      PYTHONPATH=src python -m pytest benchmarks/bench_serving.py --benchmark-only
+
+* standalone, for the CI jobs (writes a serving JSON the regression
+  gate ingests via ``repro.observability.regress``)::
+
+      PYTHONPATH=src python benchmarks/bench_serving.py --smoke --json serving-smoke.json
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.core.streaming import StreamingIdentitySearch
+from repro.observability.counters import (
+    GEMM_WORD_OPS,
+    SERVE_BATCH_ROWS,
+    SERVE_BATCHES,
+)
+from repro.observability.regress import DETERMINISTIC_COUNTERS
+from repro.observability.tracer import Tracer, set_tracer
+from repro.serve.index import ProfileIndex
+from repro.serve.service import IdentityService
+
+#: The benchmark problem: the paper's identity search served online, in
+#: miniature -- enough shards to exercise the resident-segment walk.
+FULL_PROBLEM = dict(
+    rows=1024, sites=2048, clients=16, shard_rows=256, k=5, latency_rounds=6
+)
+
+#: CI smoke problem: small database, same client count as the gate.
+SMOKE_PROBLEM = dict(
+    rows=192, sites=320, clients=8, shard_rows=64, k=5, latency_rounds=3
+)
+
+#: Coalescing gate: served word-ops per query at ``clients`` concurrent
+#: single-profile queries, as a fraction of the solo baseline.
+OPS_RATIO_CEILING = 0.6
+
+
+def make_inputs(problem, rng=0):
+    rng = np.random.default_rng(rng)
+    database = rng.integers(
+        0, 2, size=(problem["rows"], problem["sites"]), dtype=np.uint8
+    )
+    query_sets = [
+        rng.integers(0, 2, size=(1, problem["sites"]), dtype=np.uint8)
+        for _ in range(problem["clients"])
+    ]
+    return database, query_sets
+
+
+def oracle_matches(queries, database, k):
+    search = StreamingIdentitySearch(queries, k=k)
+    search.add_batch(database)
+    return search.all_matches()
+
+
+def measure_forced(service, query_sets, tracer):
+    """Solo vs coalesced forced batches; exact counter deltas."""
+    clients = len(query_sets)
+    ops_0 = tracer.counters.get(GEMM_WORD_OPS)
+    solo = [service.search_many([q])[0] for q in query_sets]
+    ops_1 = tracer.counters.get(GEMM_WORD_OPS)
+    rows_0 = tracer.counters.get(SERVE_BATCH_ROWS)
+    batches_0 = tracer.counters.get(SERVE_BATCHES)
+    coalesced = service.search_many(query_sets)
+    ops_2 = tracer.counters.get(GEMM_WORD_OPS)
+    rows_1 = tracer.counters.get(SERVE_BATCH_ROWS)
+    batches_1 = tracer.counters.get(SERVE_BATCHES)
+
+    solo_per_query = (ops_1 - ops_0) / clients
+    coal_per_query = (ops_2 - ops_1) / clients
+    occupancy = (rows_1 - rows_0) / max(1, batches_1 - batches_0)
+    return solo, coalesced, solo_per_query, coal_per_query, occupancy
+
+
+def measure_latency(service, query_sets, rounds, tenant="bench"):
+    """Live-window submits: p50/p99 from the tenant ledger, wall QPS."""
+    start = time.perf_counter()
+    for _ in range(rounds):
+        futures = [
+            service.submit(q, tenant=tenant) for q in query_sets
+        ]
+        for future in futures:
+            future.result(timeout=120)
+    wall = time.perf_counter() - start
+    summary = service.ledger.summary()[tenant]
+    queries = rounds * len(query_sets)
+    return {
+        "p50_s": summary["p50_s"],
+        "p99_s": summary["p99_s"],
+        "qps": queries / wall if wall else 0.0,
+    }
+
+
+def run_bench(problem, workdir):
+    """Build a sharded index, serve it, return a JSON-ready dict."""
+    database, query_sets = make_inputs(problem)
+    oracles = [oracle_matches(q, database, problem["k"]) for q in query_sets]
+
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        index = ProfileIndex.build(
+            workdir, database, shard_rows=problem["shard_rows"], word_bits=32
+        )
+        service = IdentityService(
+            index,
+            k=problem["k"],
+            window_s=0.02,
+            max_batch_rows=max(64, problem["clients"]),
+        )
+        with service, index:
+            solo, coalesced, solo_pq, coal_pq, occupancy = measure_forced(
+                service, query_sets, tracer
+            )
+            counters = {
+                name: value
+                for name, value in sorted(tracer.counters.snapshot().items())
+                if name in DETERMINISTIC_COUNTERS
+            }
+            # Latency is nondeterministic; keep it off the exact counters.
+            set_tracer(Tracer())
+            latency = measure_latency(
+                service, query_sets, problem["latency_rounds"]
+            )
+    finally:
+        set_tracer(previous)
+
+    bit_exact = solo == oracles and coalesced == oracles
+    return {
+        "problem": dict(problem),
+        "serving": {
+            "word_ops_per_query_solo": solo_pq,
+            "word_ops_per_query_coalesced": coal_pq,
+            "amortization_speedup": solo_pq / coal_pq if coal_pq else 1.0,
+            "batch_occupancy": occupancy,
+            "bit_exact": bool(bit_exact),
+            "p50_s": latency["p50_s"],
+            "p99_s": latency["p99_s"],
+            "qps": latency["qps"],
+        },
+        "counters": counters,
+    }
+
+
+def render(result):
+    p = result["problem"]
+    s = result["serving"]
+    ratio = (
+        s["word_ops_per_query_coalesced"] / s["word_ops_per_query_solo"]
+        if s["word_ops_per_query_solo"]
+        else 1.0
+    )
+    return "\n".join([
+        f"serving  ({p['rows']} rows x {p['sites']} sites, "
+        f"{p['clients']} clients, shard_rows={p['shard_rows']}, "
+        f"k={p['k']})",
+        f"  word-ops/query solo      {s['word_ops_per_query_solo']:>12.0f}",
+        f"  word-ops/query coalesced {s['word_ops_per_query_coalesced']:>12.0f}  "
+        f"(ratio {ratio:.3f}, ceiling {OPS_RATIO_CEILING})",
+        f"  amortization speedup     {s['amortization_speedup']:>12.2f}x",
+        f"  batch occupancy          {s['batch_occupancy']:>12.1f} rows/batch",
+        f"  served p50 / p99         {s['p50_s'] * 1e3:>8.2f} / "
+        f"{s['p99_s'] * 1e3:.2f} ms",
+        f"  throughput               {s['qps']:>12.1f} qps",
+        f"  bit-exact                {'yes' if s['bit_exact'] else 'NO':>12}",
+    ])
+
+
+# -- pytest-benchmark entries ---------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - pytest always present in CI
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.artifact("serving")
+    def bench_serving_full(benchmark, tmp_path):
+        """Time the full serving bench; assert the deterministic gates."""
+        result = benchmark.pedantic(
+            run_bench, args=(FULL_PROBLEM, tmp_path), rounds=1, iterations=1
+        )
+        print("\n" + render(result))
+        serving = result["serving"]
+        assert serving["bit_exact"]
+        assert (
+            serving["word_ops_per_query_coalesced"]
+            <= OPS_RATIO_CEILING * serving["word_ops_per_query_solo"]
+        )
+
+    @pytest.mark.artifact("serving")
+    def bench_serving_coalesced_panel(benchmark, tmp_path):
+        """Time one coalesced forced batch over the full problem."""
+        database, query_sets = make_inputs(FULL_PROBLEM)
+        index = ProfileIndex.build(
+            tmp_path,
+            database,
+            shard_rows=FULL_PROBLEM["shard_rows"],
+            word_bits=32,
+        )
+        service = IdentityService(index, k=FULL_PROBLEM["k"])
+        with service, index:
+            results = benchmark(service.search_many, query_sets)
+        assert len(results) == FULL_PROBLEM["clients"]
+
+
+# -- standalone CLI (CI jobs) ----------------------------------------------------
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small problem for CI smoke on shared runners",
+    )
+    parser.add_argument("--json", help="write the result dict to this path")
+    args = parser.parse_args(argv)
+
+    problem = SMOKE_PROBLEM if args.smoke else FULL_PROBLEM
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serving-") as tmp:
+        result = run_bench(problem, tmp)
+    result["mode"] = "smoke" if args.smoke else "full"
+    print(render(result))
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2)
+        print(f"\nwrote {args.json}")
+
+    serving = result["serving"]
+    if not serving["bit_exact"]:
+        print(
+            "FAIL: served top-k differs from StreamingIdentitySearch",
+            file=sys.stderr,
+        )
+        return 1
+    ceiling = OPS_RATIO_CEILING * serving["word_ops_per_query_solo"]
+    if serving["word_ops_per_query_coalesced"] > ceiling:
+        print(
+            f"FAIL: coalesced word-ops/query "
+            f"{serving['word_ops_per_query_coalesced']:.0f} above "
+            f"{OPS_RATIO_CEILING} x solo "
+            f"({serving['word_ops_per_query_solo']:.0f})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -463,6 +463,76 @@ def _cmd_identity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the long-lived identity-search service (docs/SERVING.md)."""
+    from repro.serve import IdentityService, ProfileIndex, run_server
+
+    if bool(args.index) == bool(args.database):
+        raise ReproError(
+            "serve: give exactly one of --index (shard directory) or "
+            "--database (matrix file to load into a memory index)"
+        )
+    with _observability(args) as tracer, _resilience_scope(args):
+        if args.index:
+            index = ProfileIndex(
+                args.index, shard_rows=args.shard_rows,
+                word_bits=get_gpu(args.device).word_bits,
+            )
+        else:
+            profiles = _load_matrix(args.database)
+            index = ProfileIndex(
+                n_bits=int(profiles.shape[1]), shard_rows=args.shard_rows
+            )
+            index.append(profiles)
+        service = IdentityService(
+            index,
+            k=args.top_k,
+            device=args.device,
+            workers=_resolve_workers(args),
+            strategy=args.strategy,
+            backend=args.backend,
+            window_s=args.window_ms / 1e3,
+            max_batch_rows=args.max_batch_rows,
+        )
+        with service, index:
+            print(render_kv([
+                ("database profiles", index.n_rows),
+                ("sites", index.n_bits),
+                ("segments", index.n_segments),
+                ("device", args.device),
+                ("coalescing window", f"{args.window_ms:.1f} ms"),
+                ("max batch rows", args.max_batch_rows),
+            ], title="identity service"))
+            run_server(
+                service,
+                host=args.host,
+                port=args.port,
+                max_requests=args.max_requests,
+                on_start=lambda host, port: print(
+                    f"listening on {host}:{port} (JSON lines; "
+                    f"ops: search, append, stats, ping)",
+                    flush=True,
+                ),
+            )
+            summaries = service.ledger.summary()
+            if summaries:
+                print()
+                print(render_table(
+                    ["tenant", "queries", "failures", "p50 ms", "p99 ms", "qps"],
+                    [
+                        [name, int(s["queries"]), int(s["failures"]),
+                         f"{s['p50_s'] * 1e3:.1f}", f"{s['p99_s'] * 1e3:.1f}",
+                         f"{s['qps']:.1f}"]
+                        for name, s in summaries.items()
+                    ],
+                    title="tenants served",
+                ))
+        if tracer is not None and getattr(args, "metrics", False):
+            print()
+            print(MetricsReport.from_tracer(tracer))
+    return 0
+
+
 def _cmd_mixture(args: argparse.Namespace) -> int:
     streaming = args.chunk_rows is not None
     references = None if streaming else _load_matrix(args.references)
@@ -641,6 +711,54 @@ def build_parser() -> argparse.ArgumentParser:
     ident.add_argument("--output")
     add_observability_flags(ident)
     ident.set_defaults(func=_cmd_identity)
+
+    serve = sub.add_parser(
+        "serve",
+        help="boot the long-lived identity-search service "
+        "(JSON-lines TCP; see docs/SERVING.md)",
+    )
+    serve.add_argument(
+        "--index", metavar="DIR",
+        help="shard directory of .snpbin files kept mmap-resident "
+        "(online appends seal new shards here)",
+    )
+    serve.add_argument(
+        "--database", metavar="FILE",
+        help=".snptxt/.npz/.snpbin matrix loaded into a memory index",
+    )
+    serve.add_argument("--device", default="Titan V")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7433,
+        help="TCP port (0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--top-k", type=int, default=5, metavar="K",
+        help="default candidates retained per query "
+        "(requests may override per call)",
+    )
+    serve.add_argument(
+        "--window-ms", type=float, default=5.0, metavar="MS",
+        help="coalescing window: concurrent queries admitted within "
+        "this span of the first arrival share one GEMM panel",
+    )
+    serve.add_argument(
+        "--max-batch-rows", type=int, default=512, metavar="N",
+        help="query-row budget per coalesced batch (cut early at N)",
+    )
+    serve.add_argument(
+        "--shard-rows", type=int, default=4096, metavar="N",
+        help="appended rows accumulated before sealing a new .snpbin "
+        "shard (--index mode)",
+    )
+    serve.add_argument(
+        "--max-requests", type=int, default=None, metavar="N",
+        help="stop after serving N search requests (default: run until "
+        "interrupted; used by CI and tests)",
+    )
+    add_compute_flags(serve)
+    add_observability_flags(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     mix = sub.add_parser("mixture", help="FastID mixture analysis")
     mix.add_argument("--references", required=True)

@@ -38,13 +38,17 @@ from repro.kernels.abi import (
     canonicalize_words,
     check_panel_operands,
 )
+from repro.util.cachedir import repro_cache_dir
 
 __all__ = ["KERNEL_CACHE_ENV", "DEFAULT_KERNEL_CACHE", "CNativeBackend"]
 
 #: Environment variable overriding where compiled kernels are cached.
 KERNEL_CACHE_ENV = "REPRO_KERNEL_CACHE"
 
-#: Default compiled-kernel cache directory (per-user, survives checkouts).
+#: Default compiled-kernel cache directory (per-user, survives
+#: checkouts); honours ``XDG_CACHE_HOME`` via
+#: :func:`repro.util.cachedir.repro_cache_dir` -- kept as a constant
+#: name for documentation, resolved per call in :func:`_cache_dir`.
 DEFAULT_KERNEL_CACHE = "~/.cache/repro/kernels"
 
 #: Compilers probed in order when ``$CC`` is unset.
@@ -107,9 +111,10 @@ def _find_compiler() -> str | None:
 
 
 def _cache_dir() -> Path:
-    return Path(
-        os.environ.get(KERNEL_CACHE_ENV) or DEFAULT_KERNEL_CACHE
-    ).expanduser()
+    override = os.environ.get(KERNEL_CACHE_ENV)
+    if override:
+        return Path(override).expanduser()
+    return repro_cache_dir() / "kernels"
 
 
 def _build_library(cc: str) -> Path:

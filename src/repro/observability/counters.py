@@ -52,6 +52,13 @@ __all__ = [
     "DEVICES_DROPPED",
     "VERIFY_MISMATCHES",
     "TILES_VERIFIED",
+    "SERVE_QUERIES",
+    "SERVE_BATCHES",
+    "SERVE_COALESCED_BATCHES",
+    "SERVE_BATCH_ROWS",
+    "SERVE_SOLO_FALLBACKS",
+    "SERVE_REQUEST_FAILURES",
+    "SERVE_APPENDED_PROFILES",
 ]
 
 # -- counter names (the catalogue) ---------------------------------------------
@@ -128,6 +135,24 @@ VERIFY_MISMATCHES = "resilience.verify_mismatches"
 #: Output tiles re-checked against the serial reference by the
 #: spot-verification guard (``verify_sample > 0``).
 TILES_VERIFIED = "resilience.tiles_verified"
+#: Query requests accepted by the identity service
+#: (:mod:`repro.serve`): one per submitted query set.
+SERVE_QUERIES = "serve.queries"
+#: Micro-batches executed by the serving batcher (coalesced or solo).
+SERVE_BATCHES = "serve.batches"
+#: Micro-batches that merged >= 2 requests into one bit-GEMM panel --
+#: the amortization the coalescing window exists to create.
+SERVE_COALESCED_BATCHES = "serve.coalesced_batches"
+#: Query rows admitted into micro-batches (occupancy numerator:
+#: ``serve.batch_rows / serve.batches`` is mean rows per panel).
+SERVE_BATCH_ROWS = "serve.batch_rows"
+#: Requests re-run alone after their batch failed post-retry (the
+#: isolation rung: one poisoned query cannot fail its batch peers).
+SERVE_SOLO_FALLBACKS = "serve.solo_fallbacks"
+#: Requests that ultimately failed and returned an error to the caller.
+SERVE_REQUEST_FAILURES = "serve.request_failures"
+#: Profiles appended to the resident index while serving.
+SERVE_APPENDED_PROFILES = "serve.appended_profiles"
 
 #: Every counter the instrumented layers emit, with a one-line meaning.
 COUNTER_CATALOGUE: dict[str, str] = {
@@ -159,6 +184,13 @@ COUNTER_CATALOGUE: dict[str, str] = {
     DEVICES_DROPPED: "devices dropped and re-partitioned mid multi-GPU run",
     VERIFY_MISMATCHES: "spot-verification mismatches (tiles recomputed)",
     TILES_VERIFIED: "output tiles re-checked against the serial reference",
+    SERVE_QUERIES: "query requests accepted by the identity service",
+    SERVE_BATCHES: "micro-batches executed by the serving batcher",
+    SERVE_COALESCED_BATCHES: "micro-batches that merged >= 2 requests",
+    SERVE_BATCH_ROWS: "query rows admitted into micro-batches",
+    SERVE_SOLO_FALLBACKS: "requests re-run alone after a batch failure",
+    SERVE_REQUEST_FAILURES: "requests that returned an error to the caller",
+    SERVE_APPENDED_PROFILES: "profiles appended to the resident index",
 }
 
 

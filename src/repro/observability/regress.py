@@ -81,6 +81,12 @@ DETERMINISTIC_COUNTERS = (
     "kernel.launches",
     "stream.chunks",
     "stream.bytes_read",
+    # Serving counters are deterministic under *forced* batches (the
+    # bench/smoke mode); live-window counts depend on arrival timing.
+    "serve.queries",
+    "serve.batches",
+    "serve.coalesced_batches",
+    "serve.batch_rows",
 )
 
 #: Default relative tolerance for ``timing``/``ratio`` metrics -- wide
@@ -120,6 +126,8 @@ def flatten_metrics(data: dict[str, Any], prefix: str) -> list[Metric]:
     """Flatten one benchmark JSON payload into named metrics."""
     if "benchmarks" in data:
         return _flatten_pytest_benchmark(data, prefix)
+    if "serving" in data:
+        return _flatten_serving(data, prefix)
     if "backends" in data and "problem" in data:
         return _flatten_backend_race(data, prefix)
     if "rows" in data and "problem" in data:
@@ -207,6 +215,52 @@ def _flatten_backend_race(data: dict[str, Any], prefix: str) -> list[Metric]:
                 KIND_EXACT,
             )
         )
+    for name, value in sorted(data.get("counters", {}).items()):
+        if name in DETERMINISTIC_COUNTERS:
+            metrics.append(
+                Metric(f"{prefix}:counter.{name}", float(value), KIND_EXACT)
+            )
+    return metrics
+
+
+def _flatten_serving(data: dict[str, Any], prefix: str) -> list[Metric]:
+    """Serving-bench payloads (``benchmarks/bench_serving.py``).
+
+    Work accounting (word-ops per query, occupancy, bit-exactness) is
+    exact; the amortization speedup is a higher-is-better ratio; the
+    latency percentiles and QPS ride the timing/ratio tolerances (the
+    baseline pins wider per-metric tolerances for them -- shared-runner
+    latency is the noisiest thing this gate watches; see docs/PERF.md).
+    """
+    serving = data["serving"]
+    metrics = [
+        Metric(
+            f"{prefix}:word_ops_per_query_solo",
+            float(serving["word_ops_per_query_solo"]),
+            KIND_EXACT,
+        ),
+        Metric(
+            f"{prefix}:word_ops_per_query_coalesced",
+            float(serving["word_ops_per_query_coalesced"]),
+            KIND_EXACT,
+        ),
+        Metric(
+            f"{prefix}:amortization_speedup",
+            float(serving["amortization_speedup"]),
+            KIND_RATIO,
+        ),
+        Metric(
+            f"{prefix}:batch_occupancy",
+            float(serving["batch_occupancy"]),
+            KIND_EXACT,
+        ),
+        Metric(
+            f"{prefix}:bit_exact", float(bool(serving["bit_exact"])), KIND_EXACT
+        ),
+        Metric(f"{prefix}:p50_s", float(serving["p50_s"]), KIND_TIMING),
+        Metric(f"{prefix}:p99_s", float(serving["p99_s"]), KIND_TIMING),
+        Metric(f"{prefix}:qps", float(serving["qps"]), KIND_RATIO),
+    ]
     for name, value in sorted(data.get("counters", {}).items()):
         if name in DETERMINISTIC_COUNTERS:
             metrics.append(

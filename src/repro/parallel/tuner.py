@@ -40,7 +40,8 @@ File format (``repro-host-tuning/1``)::
 
 The cache path resolves, in order: explicit argument, the
 ``REPRO_TUNING_CACHE`` environment variable, then
-``~/.cache/repro/host-tuning.json``.
+``$XDG_CACHE_HOME/repro/host-tuning.json`` when ``XDG_CACHE_HOME`` is
+set, else ``~/.cache/repro/host-tuning.json``.
 """
 
 from __future__ import annotations
@@ -62,11 +63,13 @@ from repro.kernels import (
     backend_fingerprint,
     registered_backends,
 )
+from repro.util.cachedir import repro_cache_dir
 
 __all__ = [
     "TUNING_FORMAT",
     "TUNING_CACHE_ENV",
     "DEFAULT_TUNING_PATH",
+    "default_tuning_path",
     "TuningRecord",
     "TuningCache",
     "shape_bucket",
@@ -83,8 +86,19 @@ TUNING_FORMAT = "repro-host-tuning/1"
 #: Environment variable overriding the cache file location.
 TUNING_CACHE_ENV = "REPRO_TUNING_CACHE"
 
-#: Default cache file (per-user, survives repo checkouts).
+#: Default cache file (per-user, survives repo checkouts); honours
+#: ``XDG_CACHE_HOME`` via :func:`repro.util.cachedir.repro_cache_dir`
+#: -- kept as a constant name for documentation, resolved per
+#: construction in :func:`default_tuning_path`.
 DEFAULT_TUNING_PATH = "~/.cache/repro/host-tuning.json"
+
+
+def default_tuning_path() -> Path:
+    """Resolve the cache file: ``REPRO_TUNING_CACHE``, else XDG-aware."""
+    override = os.environ.get(TUNING_CACHE_ENV)
+    if override:
+        return Path(override).expanduser()
+    return repro_cache_dir() / "host-tuning.json"
 
 #: Reference-backend strategies tune_problem races against each other.
 _STRATEGIES = ("gemm", "blocked")
@@ -199,7 +213,7 @@ class TuningCache:
 
     def __init__(self, path: str | Path | None = None) -> None:
         if path is None:
-            path = os.environ.get(TUNING_CACHE_ENV) or DEFAULT_TUNING_PATH
+            path = default_tuning_path()
         self.path = Path(path).expanduser()
         self.load_error: str | None = None
         self._records: dict[str, TuningRecord] = {}

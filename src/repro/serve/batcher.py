@@ -1,0 +1,200 @@
+"""Request coalescing: merge concurrent queries into one GEMM panel.
+
+The economics: :func:`repro.core.packing.pack_operand` pads the query
+side of every panel up to the device's register tile ``m_r``, and the
+engine's exact ``gemm.popc_word_ops`` accounting charges the padded
+rows.  A single-profile query therefore costs ``m_r * n * k_words``
+word-ops on its own panel but only ``1 * n * k_words`` when it shares a
+panel with ``m_r - 1`` (or more) concurrent peers -- plus the database
+side of the panel is packed, cached and fed once per *batch* instead of
+once per *request*.  Coalescing turns concurrent traffic into that
+shared panel, the same keep-the-units-fed motif as Beyer & Bientinesi's
+overlapped feeds (PAPERS.md).
+
+Mechanics: ``submit`` enqueues a request and returns a
+:class:`concurrent.futures.Future` immediately (the asyncio front end
+in :mod:`repro.serve.server` awaits it via ``asyncio.wrap_future``).  A
+dispatcher thread opens a **coalescing window** when the first request
+of a batch arrives: every request admitted within ``window_s`` of that
+first arrival joins the batch, which is cut early once ``max_rows``
+query rows accumulate.  Cut batches execute on a small thread-pool
+executor so the window for batch *i+1* collects while batch *i*
+computes.
+
+The executor callback receives the batched payloads and returns one
+**outcome per payload** -- a result or an exception instance -- which
+the dispatcher demultiplexes onto the individual futures.  Isolation is
+therefore the executor's contract, not the batcher's: returning an
+exception for one payload fails only that payload's future (the
+service's degrade ladder lives in
+:meth:`repro.serve.service.IdentityService._execute_batch`).  Only if
+the executor itself *raises* -- a contract violation -- does the whole
+batch fail.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+__all__ = ["Batch", "CoalescingBatcher"]
+
+
+@dataclass
+class _Pending:
+    """One queued request: payload, row weight, its caller's future."""
+
+    payload: Any
+    rows: int
+    future: "Future[Any]"
+    admitted_at: float
+
+
+@dataclass
+class Batch:
+    """The payloads cut into one executor call, in admission order."""
+
+    payloads: list[Any] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.payloads)
+
+
+class CoalescingBatcher:
+    """Window-based micro-batcher over a thread-pool executor.
+
+    Parameters
+    ----------
+    execute:
+        Callback receiving the batch's payloads (admission order) and
+        returning one outcome per payload; an outcome that is an
+        ``Exception`` instance fails that payload's future only.
+    window_s:
+        Coalescing window, measured from the first admission of the
+        batch.  ``0`` still coalesces requests that are already queued
+        when the dispatcher wakes (a burst), but never waits for more.
+    max_rows:
+        Row budget per batch; a batch is cut early when reached.
+    pipeline_depth:
+        Executor threads; ``1`` (the default) keeps batch execution
+        sequential -- deterministic counter attribution -- while the
+        next window collects concurrently.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[Sequence[Any]], Sequence[Any]],
+        window_s: float = 0.005,
+        max_rows: int = 1024,
+        pipeline_depth: int = 1,
+    ) -> None:
+        if window_s < 0:
+            raise ValueError(f"CoalescingBatcher: window_s must be >= 0, got {window_s}")
+        if max_rows <= 0:
+            raise ValueError(
+                f"CoalescingBatcher: max_rows must be positive, got {max_rows}"
+            )
+        self._execute = execute
+        self.window_s = window_s
+        self.max_rows = max_rows
+        self._cv = threading.Condition()
+        self._queue: list[_Pending] = []
+        self._closed = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, pipeline_depth),
+            thread_name_prefix="serve-exec",
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-batcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- client side -----------------------------------------------------------
+
+    def submit(self, payload: Any, rows: int = 1) -> "Future[Any]":
+        """Enqueue one request; resolves when its batch has executed."""
+        future: "Future[Any]" = Future()
+        pending = _Pending(
+            payload=payload,
+            rows=max(1, rows),
+            future=future,
+            admitted_at=time.perf_counter(),
+        )
+        with self._cv:
+            if self._closed:
+                raise RuntimeError("CoalescingBatcher: batcher is closed")
+            self._queue.append(pending)
+            self._cv.notify()
+        return future
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Stop admitting, drain queued batches, join the dispatcher."""
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            self._cv.notify_all()
+        self._dispatcher.join(timeout=timeout)
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "CoalescingBatcher":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- dispatcher side -------------------------------------------------------
+
+    def _cut_batch_locked(self) -> list[_Pending]:
+        """Pop queued requests up to the row budget (admission order)."""
+        batch: list[_Pending] = []
+        rows = 0
+        while self._queue:
+            if batch and rows + self._queue[0].rows > self.max_rows:
+                break
+            item = self._queue.pop(0)
+            batch.append(item)
+            rows += item.rows
+        return batch
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._queue and not self._closed:
+                    self._cv.wait()
+                if not self._queue and self._closed:
+                    return
+                # The window opens at the *first* admission of the
+                # batch; later arrivals do not extend it (bounded added
+                # latency for the request that opened it).
+                deadline = self._queue[0].admitted_at + self.window_s
+                while not self._closed:
+                    queued_rows = sum(p.rows for p in self._queue)
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0 or queued_rows >= self.max_rows:
+                        break
+                    self._cv.wait(timeout=remaining)
+                batch = self._cut_batch_locked()
+            if batch:
+                self._pool.submit(self._run_batch, batch)
+
+    def _run_batch(self, batch: list[_Pending]) -> None:
+        try:
+            outcomes = list(self._execute([p.payload for p in batch]))
+            if len(outcomes) != len(batch):
+                raise RuntimeError(
+                    f"CoalescingBatcher: execute returned {len(outcomes)} "
+                    f"outcomes for {len(batch)} payloads"
+                )
+        except BaseException as exc:  # contract violation: fail the batch
+            for pending in batch:
+                pending.future.set_exception(exc)
+            return
+        for pending, outcome in zip(batch, outcomes):
+            if isinstance(outcome, BaseException):
+                pending.future.set_exception(outcome)
+            else:
+                pending.future.set_result(outcome)

@@ -1,0 +1,400 @@
+"""The identity-search service: resident index + coalesced panels.
+
+:class:`IdentityService` is the in-process API (the TCP front end in
+:mod:`repro.serve.server` is a thin JSON shim over it).  Per request it
+answers the same question as :class:`repro.core.streaming.\
+StreamingIdentitySearch` -- the top-k nearest database profiles by
+Hamming distance, first-seen tie-breaking -- and it is bit-exact
+against that offline path by construction: distances come from the same
+:class:`~repro.core.framework.SNPComparisonFramework` (exact integer
+popcounts, so sharing a panel with other requests cannot change them)
+and the per-query fold reuses the streaming top-k heap, offered rows in
+the same global database order.
+
+What serving adds over the offline path:
+
+* **residency** -- each index segment is packed for the device once
+  and cached by segment id; ``.snpbin`` shards written in the device's
+  word width skip even that (their mmap'd bytes *are* the operand);
+* **coalescing** -- concurrent requests share one query panel through
+  :class:`repro.serve.batcher.CoalescingBatcher`, amortizing the
+  ``m_r`` row padding and the per-batch database feed;
+* **isolation** -- a batch that fails after the active retry policy is
+  re-run one request at a time (``serve.solo_fallbacks``), so a
+  poisoned query takes down itself, not its batch peers;
+* **accounting** -- exact ``serve.*`` counters plus per-tenant
+  p50/p99/QPS through :class:`repro.serve.metrics.TenantLedger`.
+
+Batch snapshot semantics: the index snapshot is taken when the batch
+*executes*, after the coalescing window closed over every member.  An
+:meth:`append` that returned before a request was submitted is
+therefore always visible to that request (the append barrier).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.core.config import Algorithm
+from repro.core.framework import SNPComparisonFramework
+from repro.core.packing import PackedOperand
+
+# The streaming fold is the bit-exactness oracle; reusing its heap type
+# (private by convention, stable within this codebase) keeps the
+# tie-breaking rule defined in exactly one place.
+from repro.core.streaming import Match, _check_binary_matrix, _QueryState
+from repro.errors import ConfigurationError, DatasetError
+from repro.gpu.arch import GPUArchitecture
+from repro.observability.counters import (
+    SERVE_APPENDED_PROFILES,
+    SERVE_BATCH_ROWS,
+    SERVE_BATCHES,
+    SERVE_COALESCED_BATCHES,
+    SERVE_QUERIES,
+    SERVE_REQUEST_FAILURES,
+    SERVE_SOLO_FALLBACKS,
+)
+from repro.observability.tracer import get_tracer
+from repro.resilience.retry import call_with_retry
+from repro.resilience.runtime import get_resilience
+from repro.serve.batcher import CoalescingBatcher
+from repro.serve.index import ProfileIndex, Segment
+from repro.serve.metrics import TenantLedger
+
+__all__ = ["QueryRequest", "IdentityService"]
+
+
+class QueryRequest:
+    """One validated query set waiting for (or inside) a batch."""
+
+    __slots__ = ("queries", "k", "tenant", "admitted_at")
+
+    def __init__(
+        self, queries: np.ndarray, k: int, tenant: str, admitted_at: float
+    ) -> None:
+        self.queries = queries
+        self.k = k
+        self.tenant = tenant
+        self.admitted_at = admitted_at
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.queries.shape[0])
+
+
+_T = TypeVar("_T")
+
+
+def _with_retry(fn: "Callable[[], _T]") -> _T:
+    """Run ``fn`` under the active resilience retry policy."""
+    policy = get_resilience().policy
+    if policy.max_attempts <= 1:
+        return fn()
+    return call_with_retry(fn, policy)
+
+
+class IdentityService:
+    """Long-lived top-k identity search over a :class:`ProfileIndex`.
+
+    Parameters mirror :class:`StreamingIdentitySearch` where they
+    overlap; ``window_s``/``max_batch_rows`` shape the coalescing
+    window (see :mod:`repro.serve.batcher`).
+    """
+
+    #: Upper bound on per-request ``k`` (matches the streaming bound).
+    MAX_K = 4096
+
+    def __init__(
+        self,
+        index: ProfileIndex,
+        k: int = 5,
+        device: "str | GPUArchitecture" = "Titan V",
+        workers: int | None = None,
+        strategy: str = "auto",
+        backend: str = "auto",
+        window_s: float = 0.005,
+        max_batch_rows: int = 512,
+        pipeline_depth: int = 1,
+        framework: SNPComparisonFramework | None = None,
+    ) -> None:
+        if k <= 0 or k > self.MAX_K:
+            raise DatasetError(
+                f"IdentityService: default k={k} out of range [1, {self.MAX_K}]"
+            )
+        self.index = index
+        self.default_k = k
+        self.framework = framework or SNPComparisonFramework(
+            device,
+            Algorithm.FASTID_IDENTITY,
+            workers=workers,
+            strategy=strategy,
+            backend=backend,
+        )
+        if self.framework.algorithm is not Algorithm.FASTID_IDENTITY:
+            raise ConfigurationError(
+                f"IdentityService: framework runs "
+                f"{self.framework.algorithm.value!r}; identity search "
+                f"requires 'fastid-identity'"
+            )
+        self.ledger = TenantLedger()
+        self._packed: dict[int, PackedOperand] = {}
+        self._batcher = CoalescingBatcher(
+            self._execute_batch,
+            window_s=window_s,
+            max_rows=max_batch_rows,
+            pipeline_depth=pipeline_depth,
+        )
+        self._closed = False
+
+    # -- request admission -----------------------------------------------------
+
+    def _validate(
+        self, queries: np.ndarray, k: int | None, tenant: str
+    ) -> QueryRequest:
+        q = _check_binary_matrix("IdentityService: queries", queries)
+        if q.shape[0] == 0:
+            raise DatasetError(
+                "IdentityService: queries must be a non-empty 2-D matrix"
+            )
+        if q.shape[1] != self.index.n_bits:
+            raise DatasetError(
+                f"IdentityService: queries cover {q.shape[1]} sites, "
+                f"index is {self.index.n_bits} sites wide"
+            )
+        kk = self.default_k if k is None else k
+        if kk <= 0 or kk > self.MAX_K:
+            raise DatasetError(
+                f"IdentityService: k={kk} out of range [1, {self.MAX_K}]"
+            )
+        if not tenant:
+            raise DatasetError("IdentityService: tenant must be non-empty")
+        return QueryRequest(
+            queries=np.ascontiguousarray(q, dtype=np.uint8),
+            k=kk,
+            tenant=tenant,
+            admitted_at=time.perf_counter(),
+        )
+
+    def submit(
+        self,
+        queries: np.ndarray,
+        k: int | None = None,
+        tenant: str = "default",
+    ) -> "Future[list[list[Match]]]":
+        """Admit one query set; the future resolves to per-query top-k.
+
+        Validation (shape, dtype, binary-ness, ``k`` bounds) happens
+        here, synchronously, so malformed requests fail loudly before
+        ever touching a batch.
+        """
+        if self._closed:
+            raise ConfigurationError("IdentityService: service is closed")
+        request = self._validate(queries, k, tenant)
+        get_tracer().counters.add(SERVE_QUERIES)
+        return self._batcher.submit(request, rows=request.n_queries)
+
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int | None = None,
+        tenant: str = "default",
+    ) -> list[list[Match]]:
+        """Blocking :meth:`submit` (waits through the coalescing window)."""
+        return self.submit(queries, k=k, tenant=tenant).result()
+
+    def search_many(
+        self,
+        query_sets: Sequence[np.ndarray],
+        k: int | None = None,
+        tenant: str = "default",
+    ) -> list[list[list[Match]]]:
+        """Serve several query sets as **one forced batch**.
+
+        Deterministic coalescing -- no timing window involved -- for
+        tests, the CI smoke gate, and callers that already hold a
+        burst.  Semantically identical to submitting them concurrently
+        and having the window coalesce them.
+        """
+        if self._closed:
+            raise ConfigurationError("IdentityService: service is closed")
+        requests = [self._validate(q, k, tenant) for q in query_sets]
+        if not requests:
+            return []
+        obs = get_tracer()
+        for _ in requests:
+            obs.counters.add(SERVE_QUERIES)
+        outcomes = self._execute_batch(requests)
+        results: list[list[list[Match]]] = []
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                raise outcome
+            results.append(outcome)
+        return results
+
+    def append(self, profiles: np.ndarray) -> tuple[int, int]:
+        """Append profiles to the index (see the append barrier note)."""
+        start, stop = self.index.append(profiles)
+        if stop > start:
+            get_tracer().counters.add(SERVE_APPENDED_PROFILES, stop - start)
+        return start, stop
+
+    # -- execution -------------------------------------------------------------
+
+    def _resident(self, segment: Segment) -> PackedOperand:
+        """This segment's device operand, packed at most once per sid."""
+        cached = self._packed.get(segment.sid)
+        if cached is not None:
+            return cached
+        words = segment.packed_words(self.framework.arch.word_bits)
+        if words is not None:
+            # Zero-repack residency: the shard's bytes already are
+            # pack_bits layout in the device word width; only the row
+            # padding to m_r (zero rows, cropped after the GEMM) is new.
+            m_r = self.framework.config.m_r
+            padded = -(-segment.n_rows // m_r) * m_r
+            if padded != words.shape[0]:
+                full = np.zeros((padded, words.shape[1]), dtype=words.dtype)
+                full[: words.shape[0]] = words
+                words = full
+            operand = PackedOperand(
+                words=words, n_rows=segment.n_rows, n_bits=segment.n_bits
+            )
+        else:
+            operand = self.framework.pack(segment.bits())
+        self._packed[segment.sid] = operand
+        return operand
+
+    def _run_panel(
+        self, requests: Sequence[QueryRequest], snapshot: tuple[Segment, ...]
+    ) -> list[list[list[Match]]]:
+        """One coalesced panel pass: all requests vs every segment.
+
+        State is local, so a retry of the whole call folds each row
+        exactly once.  Query rows are stacked in admission order and
+        demultiplexed by row range; database order is the snapshot's
+        global order, which fixes tie-breaking identically to the
+        streaming path.
+        """
+        stacked = (
+            np.vstack([r.queries for r in requests])
+            if len(requests) > 1
+            else requests[0].queries
+        )
+        q_op = self.framework.pack(stacked)
+        states = [
+            [_QueryState(k=r.k) for _ in range(r.n_queries)] for r in requests
+        ]
+        for segment in snapshot:
+            table, _report = self.framework.run_packed(
+                q_op, self._resident(segment)
+            )
+            row = 0
+            for ri, request in enumerate(requests):
+                for qi in range(request.n_queries):
+                    distances = table[row]
+                    state = states[ri][qi]
+                    if len(state.heap) == state.k:
+                        cutoff = -state.heap[0][0]
+                        candidates = np.nonzero(distances <= cutoff)[0]
+                    else:
+                        candidates = np.arange(distances.size)
+                    for local in candidates:
+                        state.offer(
+                            int(distances[local]), segment.base + int(local)
+                        )
+                    row += 1
+        return [
+            [state.matches() for state in per_request] for per_request in states
+        ]
+
+    def _execute_batch(
+        self, requests: Sequence[QueryRequest]
+    ) -> list[object]:
+        """Batcher callback: run one batch, degrade to solo on failure.
+
+        Returns one outcome per request (results or exception
+        instances); see the batcher's isolation contract.
+        """
+        obs = get_tracer()
+        snapshot = self.index.snapshot()
+        total_rows = sum(r.n_queries for r in requests)
+        obs.counters.add(SERVE_BATCHES)
+        if len(requests) >= 2:
+            obs.counters.add(SERVE_COALESCED_BATCHES)
+        obs.counters.add(SERVE_BATCH_ROWS, total_rows)
+        outcomes: list[object]
+        with obs.span(
+            "serve.batch", requests=len(requests), rows=total_rows,
+            segments=len(snapshot),
+        ):
+            try:
+                outcomes = list(
+                    _with_retry(lambda: self._run_panel(requests, snapshot))
+                )
+            except Exception:
+                # Isolation rung: the coalesced panel failed after the
+                # retry policy; re-run each request alone so only the
+                # poisoned one (if any) fails its caller.
+                outcomes = []
+                for request in requests:
+                    obs.counters.add(SERVE_SOLO_FALLBACKS)
+                    try:
+                        solo = _with_retry(
+                            lambda req=request: self._run_panel(
+                                [req], snapshot
+                            )[0]
+                        )
+                        outcomes.append(solo)
+                    except Exception as exc:
+                        obs.counters.add(SERVE_REQUEST_FAILURES)
+                        outcomes.append(exc)
+        finished = time.perf_counter()
+        for request, outcome in zip(requests, outcomes):
+            self.ledger.record(
+                request.tenant,
+                rows=request.n_queries,
+                seconds=finished - request.admitted_at,
+                failed=isinstance(outcome, BaseException),
+            )
+        return outcomes
+
+    # -- accounting ------------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """Service-level accounting: index shape + per-tenant SLOs.
+
+        The exact work counters (``serve.*``, ``gemm.*``) live on the
+        active tracer's registry; enable observability to collect them
+        (see docs/OBSERVABILITY.md).
+        """
+        counters = get_tracer().counters.snapshot()
+        return {
+            "index": {
+                "n_rows": self.index.n_rows,
+                "n_bits": self.index.n_bits,
+                "segments": self.index.n_segments,
+            },
+            "tenants": self.ledger.summary(),
+            "counters": {
+                name: value
+                for name, value in sorted(counters.items())
+                if name.startswith("serve.")
+            },
+        }
+
+    def close(self) -> None:
+        """Drain in-flight batches and stop the batcher."""
+        if self._closed:
+            return
+        self._closed = True
+        self._batcher.close()
+
+    def __enter__(self) -> "IdentityService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,223 @@
+"""CI service smoke: boot the server, coalesce, gate the SLOs.
+
+``python -m repro.serve.smoke`` exercises the full serving stack the
+way the CI ``service-smoke`` job needs it gated:
+
+1. **Amortization** (exact counters, deterministic): at ``--clients``
+   concurrent single-profile queries, served ``gemm.popc_word_ops`` per
+   query must be ``<= --ops-ratio`` (default 0.6) of the
+   one-query-per-panel baseline.  Measured with forced batches
+   (:meth:`IdentityService.search_many`), so no timing window is
+   involved and the numbers are exact on any runner.
+2. **Bit-exactness**: every served top-k -- coalesced, solo, and over
+   the TCP wire -- equals :class:`StreamingIdentitySearch` on the same
+   database (first-seen tie-breaking included).
+3. **Live coalescing**: N concurrent TCP clients fire through a real
+   coalescing window; ``serve.coalesced_batches`` must end up nonzero.
+   Bursts are retried a few times because window timing on a loaded
+   runner is not deterministic -- the *results* are gated every round,
+   the counter only needs one coalesced round.
+4. **Latency SLO**: the served p99 (from the tenant ledger) must stay
+   under ``--p99-ceiling`` seconds.
+
+Exit status 1 on any gate failure; ``--json`` writes the measured
+metrics (the serving benchmark in ``benchmarks/bench_serving.py``
+records the richer set for the regression gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+
+import numpy as np
+
+from repro.core.streaming import Match, StreamingIdentitySearch
+from repro.observability.counters import (
+    GEMM_WORD_OPS,
+    SERVE_COALESCED_BATCHES,
+)
+from repro.observability.tracer import Tracer, set_tracer
+from repro.serve.index import ProfileIndex
+from repro.serve.server import BackgroundServer, ServiceClient
+from repro.serve.service import IdentityService
+
+__all__ = ["main"]
+
+
+def _oracle(
+    queries: np.ndarray, db_chunks: "list[np.ndarray]", k: int
+) -> list[list[Match]]:
+    search = StreamingIdentitySearch(queries, k=k)
+    for chunk in db_chunks:
+        search.add_batch(chunk)
+    return search.all_matches()
+
+
+def _fire_concurrent_clients(
+    host: str,
+    port: int,
+    query_sets: "list[np.ndarray]",
+    k: int,
+) -> "list[list[list[Match]] | None]":
+    """One thread + connection per query set, released together."""
+    results: "list[list[list[Match]] | None]" = [None] * len(query_sets)
+    barrier = threading.Barrier(len(query_sets))
+
+    def _worker(i: int) -> None:
+        with ServiceClient(host, port) as client:
+            barrier.wait()
+            results[i] = client.search(
+                query_sets[i], k=k, tenant=f"tenant-{i % 3}"
+            )
+
+    threads = [
+        threading.Thread(target=_worker, args=(i,), daemon=True)
+        for i in range(len(query_sets))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    return results
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.smoke", description=__doc__
+    )
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent single-profile queries (>= 8 for the gate)")
+    parser.add_argument("--rows", type=int, default=96,
+                        help="database profiles")
+    parser.add_argument("--sites", type=int, default=160,
+                        help="SNP sites per profile")
+    parser.add_argument("--shard-rows", type=int, default=40,
+                        help="rows per .snpbin shard")
+    parser.add_argument("--top-k", type=int, default=5)
+    parser.add_argument("--ops-ratio", type=float, default=0.6,
+                        help="max served word-ops per query vs solo baseline")
+    parser.add_argument("--p99-ceiling", type=float, default=2.5,
+                        help="max served p99 latency, seconds")
+    parser.add_argument("--burst-attempts", type=int, default=5,
+                        help="TCP burst rounds to observe a coalesced batch")
+    parser.add_argument("--seed", type=int, default=20260808)
+    parser.add_argument("--json", type=str, default=None,
+                        help="write measured metrics to this path")
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(args.seed)
+    db = rng.integers(0, 2, size=(args.rows, args.sites), dtype=np.uint8)
+    query_sets = [
+        rng.integers(0, 2, size=(1, args.sites), dtype=np.uint8)
+        for _ in range(args.clients)
+    ]
+    oracles = [_oracle(q, [db], args.top_k) for q in query_sets]
+
+    failures: list[str] = []
+    metrics: dict[str, float] = {}
+
+    def gate(name: str, ok: bool, detail: str) -> None:
+        status = "PASS" if ok else "FAIL"
+        print(f"[service-smoke] {status} {name}: {detail}")
+        if not ok:
+            failures.append(name)
+
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+            index = ProfileIndex.build(
+                tmp, db, shard_rows=args.shard_rows, word_bits=32
+            )
+            service = IdentityService(
+                index, k=args.top_k, window_s=0.05, max_batch_rows=256
+            )
+            with service, index:
+                # -- gate 1+2a: amortization + bit-exact, forced batches
+                before = tracer.counters.get(GEMM_WORD_OPS)
+                solo = [service.search_many([q])[0] for q in query_sets]
+                mid = tracer.counters.get(GEMM_WORD_OPS)
+                coalesced = service.search_many(query_sets)
+                after = tracer.counters.get(GEMM_WORD_OPS)
+                solo_per_query = (mid - before) / args.clients
+                coal_per_query = (after - mid) / args.clients
+                ratio = (
+                    coal_per_query / solo_per_query if solo_per_query else 1.0
+                )
+                metrics["word_ops_per_query_solo"] = solo_per_query
+                metrics["word_ops_per_query_coalesced"] = coal_per_query
+                metrics["ops_ratio"] = ratio
+                gate(
+                    "amortization",
+                    ratio <= args.ops_ratio,
+                    f"word-ops/query coalesced {coal_per_query:.0f} vs solo "
+                    f"{solo_per_query:.0f} (ratio {ratio:.3f} <= {args.ops_ratio})",
+                )
+                exact = solo == oracles and coalesced == oracles
+                gate(
+                    "bit-exact-forced",
+                    exact,
+                    "solo and coalesced top-k equal StreamingIdentitySearch",
+                )
+
+                # -- gate 2b+3: live TCP burst through the window
+                with BackgroundServer(service) as (host, port):
+                    live_exact = True
+                    coalesced_seen = 0.0
+                    for attempt in range(args.burst_attempts):
+                        served = _fire_concurrent_clients(
+                            host, port, query_sets, args.top_k
+                        )
+                        live_exact = all(
+                            served[i] == oracles[i]
+                            for i in range(args.clients)
+                        )
+                        coalesced_seen = tracer.counters.get(
+                            SERVE_COALESCED_BATCHES
+                        )
+                        if not live_exact or coalesced_seen > 0:
+                            break
+                    metrics["coalesced_batches"] = coalesced_seen
+                    gate(
+                        "bit-exact-tcp",
+                        live_exact,
+                        f"{args.clients} concurrent clients match the oracle",
+                    )
+                    gate(
+                        "live-coalescing",
+                        coalesced_seen > 0,
+                        f"serve.coalesced_batches={coalesced_seen:.0f} "
+                        f"after {attempt + 1} burst round(s)",
+                    )
+
+                # -- gate 4: latency SLO
+                summaries = service.ledger.summary()
+                p99 = max(
+                    (s["p99_s"] for s in summaries.values()), default=0.0
+                )
+                metrics["p99_s"] = p99
+                gate(
+                    "p99-latency",
+                    0.0 < p99 <= args.p99_ceiling,
+                    f"served p99 {p99 * 1e3:.1f} ms <= "
+                    f"{args.p99_ceiling * 1e3:.0f} ms ceiling",
+                )
+    finally:
+        set_tracer(previous)
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"service_smoke": metrics}, fh, indent=2)
+    if failures:
+        print(f"[service-smoke] FAILED gates: {', '.join(failures)}")
+        return 1
+    print("[service-smoke] all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Per-user cache directory resolution (XDG-aware).
+
+Two subsystems persist per-machine state across runs: the host
+autotuner (:mod:`repro.parallel.tuner`) and the compiled-kernel build
+cache (:mod:`repro.kernels.cnative_backend`).  Both live under one
+``repro/`` cache root, resolved identically:
+
+1. the subsystem's own environment variable (``REPRO_TUNING_CACHE``,
+   ``REPRO_KERNEL_CACHE``) always wins -- handled by the callers;
+2. ``$XDG_CACHE_HOME/repro`` when ``XDG_CACHE_HOME`` is set and
+   non-empty (the basedir spec; CI runners set it to keep jobs
+   hermetic);
+3. ``~/.cache/repro`` otherwise.
+
+The environment is consulted on every call, not captured at import,
+so a test (or a job step) that changes ``XDG_CACHE_HOME`` changes
+where the *next* cache object lands.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["repro_cache_dir"]
+
+
+def repro_cache_dir() -> Path:
+    """The per-user ``repro`` cache root, honoring ``XDG_CACHE_HOME``."""
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path("~/.cache").expanduser()
+    return base / "repro"

@@ -1,0 +1,93 @@
+"""XDG-aware cache-path resolution (tuner + compiled-kernel cache).
+
+CI runners set ``XDG_CACHE_HOME`` to keep jobs hermetic; both
+persistent caches must land under it, and the subsystem-specific
+``REPRO_*`` environment variables must still win over XDG.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.kernels import cnative_backend
+from repro.parallel.tuner import TuningCache, default_tuning_path
+from repro.util.cachedir import repro_cache_dir
+
+
+class TestReproCacheDir:
+    def test_defaults_to_home_dot_cache(self, monkeypatch):
+        monkeypatch.delenv("XDG_CACHE_HOME", raising=False)
+        assert repro_cache_dir() == Path("~/.cache").expanduser() / "repro"
+
+    def test_honors_xdg_cache_home(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert repro_cache_dir() == tmp_path / "xdg" / "repro"
+
+    def test_empty_xdg_falls_back(self, monkeypatch):
+        # The basedir spec treats an empty value as unset.
+        monkeypatch.setenv("XDG_CACHE_HOME", "")
+        assert repro_cache_dir() == Path("~/.cache").expanduser() / "repro"
+
+    def test_consulted_per_call_not_at_import(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "a"))
+        first = repro_cache_dir()
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "b"))
+        second = repro_cache_dir()
+        assert first != second
+        assert second == tmp_path / "b" / "repro"
+
+
+class TestTuningCachePath:
+    def test_xdg_cache_home_respected(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_TUNING_CACHE", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        cache = TuningCache()
+        assert cache.path == tmp_path / "repro" / "host-tuning.json"
+
+    def test_repro_env_var_beats_xdg(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        monkeypatch.setenv("REPRO_TUNING_CACHE", str(tmp_path / "explicit.json"))
+        cache = TuningCache()
+        assert cache.path == tmp_path / "explicit.json"
+
+    def test_explicit_path_beats_everything(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        monkeypatch.setenv("REPRO_TUNING_CACHE", str(tmp_path / "env.json"))
+        cache = TuningCache(tmp_path / "arg.json")
+        assert cache.path == tmp_path / "arg.json"
+
+    def test_default_without_xdg(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TUNING_CACHE", raising=False)
+        monkeypatch.delenv("XDG_CACHE_HOME", raising=False)
+        assert (
+            default_tuning_path()
+            == Path("~/.cache/repro/host-tuning.json").expanduser()
+        )
+
+
+class TestKernelCachePath:
+    def test_xdg_cache_home_respected(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_KERNEL_CACHE", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        assert cnative_backend._cache_dir() == tmp_path / "repro" / "kernels"
+
+    def test_repro_env_var_beats_xdg(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        monkeypatch.setenv("REPRO_KERNEL_CACHE", str(tmp_path / "kern"))
+        assert cnative_backend._cache_dir() == tmp_path / "kern"
+
+    def test_default_without_xdg(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_CACHE", raising=False)
+        monkeypatch.delenv("XDG_CACHE_HOME", raising=False)
+        assert (
+            cnative_backend._cache_dir()
+            == Path("~/.cache/repro/kernels").expanduser()
+        )
+
+    def test_tuner_and_kernels_share_one_root(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_TUNING_CACHE", raising=False)
+        monkeypatch.delenv("REPRO_KERNEL_CACHE", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path))
+        root = repro_cache_dir()
+        assert TuningCache().path.parent == root
+        assert cnative_backend._cache_dir().parent == root
