@@ -18,9 +18,11 @@ sensible default for the machine; see :mod:`repro.parallel`), plus
 (``auto`` consults the persisted host tuning cache),
 ``--backend {auto,numpy,numba,...}`` to pick the kernel-ABI backend
 computing the bit-GEMM (``auto`` defers to ``REPRO_BACKEND`` and the
-tuner's per-machine winner; see ``docs/KERNELS.md``), and
-``--no-gram`` to disable the symmetric Gram fast path (see
-``docs/PERF.md``).
+tuner's per-machine winner; see ``docs/KERNELS.md``),
+``--executor {auto,thread,process}`` to pick the shard executor tier
+(``process`` runs shards in worker processes over shared-memory
+operands; see ``docs/DISTRIBUTED.md``), and ``--no-gram`` to disable
+the symmetric Gram fast path (see ``docs/PERF.md``).
 
 Resilience flags (see ``docs/RESILIENCE.md``): ``--retries N`` retries
 transient faults up to N times with backoff, ``--verify-sample RATE``
@@ -81,6 +83,7 @@ from repro.snp.io import (
     read_snptxt,
 )
 from repro.util.tables import render_kv, render_table
+from repro.util.validation import check_workers
 
 __all__ = ["main", "build_parser"]
 
@@ -155,8 +158,10 @@ def _resolve_workers(args: argparse.Namespace) -> int | None:
     workers = getattr(args, "workers", None)
     if workers is None:
         return None
-    if workers < 0:
-        raise ReproError(f"--workers must be >= 0, got {workers}")
+    try:
+        workers = check_workers("--workers", workers, zero_means_default=True)
+    except ValueError as exc:
+        raise ReproError(str(exc)) from None
     if workers == 0:
         from repro.parallel import recommended_workers
 
@@ -256,6 +261,7 @@ def _observed_framework(
         gram=not getattr(args, "no_gram", False),
         strategy=getattr(args, "strategy", "auto"),
         backend=getattr(args, "backend", "auto"),
+        executor=getattr(args, "executor", "auto"),
     )
 
 
@@ -336,6 +342,7 @@ def _cmd_ld(args: argparse.Namespace) -> int:
                 gram=not args.no_gram,
                 strategy=args.strategy,
                 backend=args.backend,
+                executor=args.executor,
                 framework=framework,
             )
             with open_source(args.input) as source:
@@ -351,6 +358,7 @@ def _cmd_ld(args: argparse.Namespace) -> int:
                 gram=not args.no_gram,
                 strategy=args.strategy,
                 backend=args.backend,
+                executor=args.executor,
             )
         stat = {
             "r2": result.r_squared, "d": result.d, "dprime": result.d_prime
@@ -388,6 +396,7 @@ def _cmd_identity_streaming(args: argparse.Namespace) -> int:
             workers=_resolve_workers(args),
             strategy=args.strategy,
             backend=args.backend,
+            executor=args.executor,
             framework=framework,
         )
         with open_source(args.database) as source:
@@ -440,6 +449,7 @@ def _cmd_identity(args: argparse.Namespace) -> int:
             gram=not args.no_gram,
             strategy=args.strategy,
             backend=args.backend,
+            executor=args.executor,
         )
         hits = result.matches(args.max_distance)
         print(render_kv([
@@ -491,6 +501,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=_resolve_workers(args),
             strategy=args.strategy,
             backend=args.backend,
+            executor=args.executor,
             window_s=args.window_ms / 1e3,
             max_batch_rows=args.max_batch_rows,
         )
@@ -547,6 +558,7 @@ def _cmd_mixture(args: argparse.Namespace) -> int:
                 workers=_resolve_workers(args),
                 strategy=args.strategy,
                 backend=args.backend,
+                executor=args.executor,
                 framework=framework,
             )
             with open_source(args.references) as source:
@@ -563,6 +575,7 @@ def _cmd_mixture(args: argparse.Namespace) -> int:
                 gram=not args.no_gram,
                 strategy=args.strategy,
                 backend=args.backend,
+                executor=args.executor,
             )
             n_references = references.shape[0]
         print(render_kv([
@@ -630,6 +643,11 @@ def build_parser() -> argparse.ArgumentParser:
         "REPRO_BACKEND, then the tuner's per-machine winner; see "
         "docs/KERNELS.md)"
     )
+    executor_help = (
+        "shard executor tier: thread pool, worker processes over "
+        "shared-memory operands, or auto (tuner-raced winner; see "
+        "docs/DISTRIBUTED.md)"
+    )
     no_gram_help = (
         "disable the symmetric Gram fast path (compute the full table "
         "even for self-comparisons)"
@@ -667,6 +685,10 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument(
             "--backend", default="auto",
             choices=["auto", *backend_names()], help=backend_help,
+        )
+        cmd.add_argument(
+            "--executor", default="auto",
+            choices=["auto", "thread", "process"], help=executor_help,
         )
         cmd.add_argument("--no-gram", action="store_true", help=no_gram_help)
         cmd.add_argument(

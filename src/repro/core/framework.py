@@ -97,6 +97,7 @@ class SNPComparisonFramework:
         gram: bool = True,
         strategy: str = "auto",
         backend: str = "auto",
+        executor: str = "auto",
     ) -> None:
         self.arch = get_gpu(device) if isinstance(device, str) else device
         self.algorithm = (
@@ -110,6 +111,7 @@ class SNPComparisonFramework:
         if backend != "auto":
             get_backend(backend)  # unknown names fail at construction
         self.backend = backend
+        self.executor = executor
         self.config = config or derive_config(
             self.arch, self.algorithm, prenegate=prenegate
         )
@@ -230,6 +232,7 @@ class SNPComparisonFramework:
                 symmetric=None if self.gram else False,
                 strategy=self.strategy,
                 backend=self.backend,
+                executor=self.executor,
             )
             end_to_end = queue.finish()
             busy = queue.busy_summary()
@@ -261,6 +264,11 @@ class SNPComparisonFramework:
                 for p in profiles
                 if p.parallel is not None and p.parallel.resilience is not None
             )
+            # Process-executor runs ship injector events fired inside
+            # worker processes (plus synthesized worker-lost records);
+            # the engine absorbs them into this process's injector log
+            # under an active context, so one slice covers thread,
+            # serial and process runs alike.
             report.resilience = ResilienceReport(
                 faults_injected=len(events),
                 retries=engine_totals.retries
@@ -268,6 +276,7 @@ class SNPComparisonFramework:
                 quarantined=engine_totals.quarantined,
                 tiles_verified=engine_totals.tiles_verified,
                 verify_mismatches=engine_totals.verify_mismatches,
+                workers_lost=engine_totals.workers_lost,
                 events=events,
             )
         return crop_result(raw, a, b), report
@@ -283,9 +292,12 @@ class SNPComparisonFramework:
         gram = "" if self.gram else ", gram=False"
         strategy = "" if self.strategy == "auto" else f", strategy={self.strategy!r}"
         backend = "" if self.backend == "auto" else f", backend={self.backend!r}"
+        executor = (
+            "" if self.executor == "auto" else f", executor={self.executor!r}"
+        )
         return (
             f"SNPComparisonFramework(device={self.arch.name!r}, "
             f"algorithm={self.algorithm.value!r}, op={self.config.op.value!r}, "
             f"grid={self.config.grid_rows}x{self.config.grid_cols}"
-            f"{workers}{gram}{strategy}{backend})"
+            f"{workers}{gram}{strategy}{backend}{executor})"
         )

@@ -67,6 +67,7 @@ def identity_search(
     gram: bool = True,
     strategy: str = "auto",
     backend: str = "auto",
+    executor: str = "auto",
 ) -> IdentityResult:
     """Search ``queries`` against ``database`` on the simulated GPU.
 
@@ -90,6 +91,9 @@ def identity_search(
     backend:
         Kernel-ABI backend (:mod:`repro.kernels`): ``"auto"`` or a
         registered name.  Ignored when ``framework`` is supplied.
+    executor:
+        Host shard executor (``"auto"``/``"thread"``/``"process"``).
+        Ignored when ``framework`` is supplied.
     """
     q = np.asarray(queries)
     db = database.profiles if isinstance(database, ForensicDatabase) else np.asarray(database)
@@ -104,6 +108,7 @@ def identity_search(
         framework = SNPComparisonFramework(
             device, Algorithm.FASTID_IDENTITY, workers=workers,
             gram=gram, strategy=strategy, backend=backend,
+            executor=executor,
         )
     distances, report = framework.run(q, db)
     return IdentityResult(distances=distances, report=report)

@@ -94,6 +94,7 @@ def linkage_disequilibrium(
     gram: bool = True,
     strategy: str = "auto",
     backend: str = "auto",
+    executor: str = "auto",
 ) -> LDResult:
     """Compute all-pairs LD on the simulated GPU framework.
 
@@ -123,6 +124,9 @@ def linkage_disequilibrium(
     backend:
         Kernel-ABI backend (:mod:`repro.kernels`): ``"auto"`` or a
         registered name.  Ignored when ``framework`` is supplied.
+    executor:
+        Host shard executor (``"auto"``/``"thread"``/``"process"``).
+        Ignored when ``framework`` is supplied.
     """
     matrix = data.matrix if isinstance(data, SNPDataset) else np.asarray(data)
     if matrix.ndim != 2:
@@ -139,7 +143,7 @@ def linkage_disequilibrium(
     if framework is None:
         framework = SNPComparisonFramework(
             device, Algorithm.LD, workers=workers, gram=gram,
-            strategy=strategy, backend=backend,
+            strategy=strategy, backend=backend, executor=executor,
         )
     counts, report = framework.run(entities)
     n_obs = entities.shape[1]

@@ -75,6 +75,7 @@ def mixture_analysis(
     gram: bool = True,
     strategy: str = "auto",
     backend: str = "auto",
+    executor: str = "auto",
 ) -> MixtureResult:
     """Score ``references`` against ``mixtures`` on the simulated GPU.
 
@@ -102,6 +103,9 @@ def mixture_analysis(
     backend:
         Kernel-ABI backend (:mod:`repro.kernels`): ``"auto"`` or a
         registered name.  Ignored when ``framework`` is supplied.
+    executor:
+        Host shard executor (``"auto"``/``"thread"``/``"process"``).
+        Ignored when ``framework`` is supplied.
     """
     r = np.asarray(references)
     m = np.asarray(mixtures)
@@ -115,6 +119,7 @@ def mixture_analysis(
         framework = SNPComparisonFramework(
             device, Algorithm.FASTID_MIXTURE, prenegate=prenegate,
             workers=workers, gram=gram, strategy=strategy, backend=backend,
+            executor=executor,
         )
     scores, report = framework.run(r, m)
     return MixtureResult(

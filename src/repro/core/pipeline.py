@@ -123,6 +123,7 @@ def run_pipeline(
     symmetric: bool | None = None,
     strategy: str = "auto",
     backend: str = "auto",
+    executor: str = "auto",
 ) -> tuple[np.ndarray, list[KernelProfile], TilePlan]:
     """Execute the tiled comparison; returns (raw table, profiles, plan).
 
@@ -137,9 +138,11 @@ def run_pipeline(
     row ranges, so per-tile outputs are not symmetric), the kernel is
     launched with the Gram hint and computes only the upper triangle.
     ``False`` disables the hint; ``True`` requires eligibility and
-    raises otherwise.  ``strategy`` selects the host shard strategy
-    and ``backend`` the kernel-ABI backend (:mod:`repro.kernels`) for
-    each tile's functional table.
+    raises otherwise.  ``strategy`` selects the host shard strategy,
+    ``backend`` the kernel-ABI backend (:mod:`repro.kernels`), and
+    ``executor`` the shard executor (thread pool or worker processes,
+    :mod:`repro.parallel.procpool`) for each tile's functional
+    table.
     """
     context = queue.context
     arch = context.device.arch
@@ -227,6 +230,7 @@ def run_pipeline(
                     symmetric=symmetric,
                     strategy=strategy,
                     backend=backend,
+                    executor=executor,
                 )
                 profiles.append(profile)
                 tile_out, read_ev = queue.enqueue_read_buffer(

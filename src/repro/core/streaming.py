@@ -210,6 +210,7 @@ class StreamingIdentitySearch:
         workers: int | None = None,
         strategy: str = "auto",
         backend: str = "auto",
+        executor: str = "auto",
         framework: SNPComparisonFramework | None = None,
     ) -> None:
         q = _check_binary_matrix("StreamingIdentitySearch: queries", queries)
@@ -229,7 +230,7 @@ class StreamingIdentitySearch:
         self.k = k
         self.framework = framework or SNPComparisonFramework(
             device, Algorithm.FASTID_IDENTITY, workers=workers,
-            strategy=strategy, backend=backend,
+            strategy=strategy, backend=backend, executor=executor,
         )
         self._states = [_QueryState(k=k) for _ in range(q.shape[0])]
         self.rows_seen = 0
@@ -363,11 +364,12 @@ class StreamingLD:
         gram: bool = True,
         strategy: str = "auto",
         backend: str = "auto",
+        executor: str = "auto",
         framework: SNPComparisonFramework | None = None,
     ) -> None:
         self.framework = framework or SNPComparisonFramework(
             device, Algorithm.LD, workers=workers, gram=gram,
-            strategy=strategy, backend=backend,
+            strategy=strategy, backend=backend, executor=executor,
         )
 
     def run(
@@ -446,6 +448,7 @@ class StreamingMixture:
         workers: int | None = None,
         strategy: str = "auto",
         backend: str = "auto",
+        executor: str = "auto",
         framework: SNPComparisonFramework | None = None,
     ) -> None:
         m = _check_binary_matrix("StreamingMixture: mixtures", mixtures)
@@ -461,6 +464,7 @@ class StreamingMixture:
             workers=workers,
             strategy=strategy,
             backend=backend,
+            executor=executor,
         )
         self._score_blocks: list[np.ndarray] = []
         self._reports: list[RunReport] = []

@@ -223,6 +223,7 @@ class CommandQueue:
         symmetric: bool | None = None,
         strategy: str = "auto",
         backend: str = "auto",
+        executor: str = "auto",
     ) -> tuple[Event, KernelProfile]:
         """Launch a comparison kernel reading ``a``/``b``, writing ``c``.
 
@@ -231,9 +232,10 @@ class CommandQueue:
         dimension); otherwise ``c`` is overwritten.  ``workers`` routes
         the functional compute through the sharded host engine (the
         simulated timing is unaffected -- it prices the device, not the
-        host).  ``symmetric``/``strategy``/``backend`` are the
-        Gram-mode hint, shard-strategy choice, and kernel-ABI backend
-        forwarded to :func:`~repro.gpu.executor.execute_kernel`.
+        host).  ``symmetric``/``strategy``/``backend``/``executor`` are
+        the Gram-mode hint, shard-strategy choice, kernel-ABI backend,
+        and shard executor forwarded to
+        :func:`~repro.gpu.executor.execute_kernel`.
         """
         if kernel.arch is not self.arch:
             raise KernelLaunchError(
@@ -247,6 +249,7 @@ class CommandQueue:
         result, profile = execute_kernel(
             kernel, a.data, b.data, args, workers=workers,
             symmetric=symmetric, strategy=strategy, backend=backend,
+            executor=executor,
         )
         if accumulate:
             existing = c._data

@@ -110,6 +110,7 @@ def execute_kernel(
     symmetric: bool | None = None,
     strategy: str = "auto",
     backend: str = "auto",
+    executor: str = "auto",
 ) -> tuple[np.ndarray, KernelProfile]:
     """Run one kernel launch; returns (C table, profile).
 
@@ -147,6 +148,11 @@ def execute_kernel(
         :func:`repro.blis.gemm.bit_gemm_backend` (bit-exact); Gram-mode
         serial runs and pinned blocked walks stay on the reference
         drivers so their counters and tile structure are unchanged.
+    executor:
+        Host-engine shard executor (``"auto"``/``"thread"``/
+        ``"process"``): where the engine path runs its shards (see
+        :mod:`repro.parallel.procpool`).  Only used when the engine
+        path runs.
     """
     a = np.asarray(a_words)
     b = np.asarray(b_words)
@@ -202,7 +208,7 @@ def execute_kernel(
                     and force_blocked_path is None
                 ):
                     c, parallel_report = get_engine(
-                        workers, strategy, backend
+                        workers, strategy, backend, executor
                     ).run(a, b, kernel.op, plan=plan, symmetric=symmetric)
                     use_blocked = False
                 else:

@@ -33,6 +33,8 @@ from repro.io_stream.format import (
     SnpbinHeader,
     PackedDatasetReader,
     PackedDatasetWriter,
+    map_packed_words,
+    packed_words_ref,
     write_snpbin,
 )
 from repro.io_stream.prefetch import ChunkStream, StreamStats
@@ -52,6 +54,8 @@ __all__ = [
     "SnpbinHeader",
     "PackedDatasetReader",
     "PackedDatasetWriter",
+    "map_packed_words",
+    "packed_words_ref",
     "write_snpbin",
     "ChunkStream",
     "StreamStats",

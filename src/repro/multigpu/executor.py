@@ -92,6 +92,7 @@ def run_multi_gpu(
     gram: bool = True,
     strategy: str = "auto",
     backend: str = "auto",
+    executor: str = "auto",
 ) -> tuple[np.ndarray, MultiGPUReport]:
     """Functional multi-GPU run: bit-exact table plus node timing.
 
@@ -104,8 +105,8 @@ def run_multi_gpu(
     (:func:`repro.parallel.get_engine`), all simulated devices share
     **one** thread pool rather than spawning one per device.
 
-    ``gram``/``strategy``/``backend`` forward to each device's
-    framework.  Note a
+    ``gram``/``strategy``/``backend``/``executor`` forward to each
+    device's framework.  Note a
     partitioned run rarely benefits from Gram mode: each device
     compares the full query against a *slice* of the database, which
     is not a self-comparison (only the degenerate single-device,
@@ -164,6 +165,7 @@ def run_multi_gpu(
                         gram=gram,
                         strategy=strategy,
                         backend=backend,
+                        executor=executor,
                     )
                     slice_table, run_report = framework.run(
                         a, b[dev_slice.row_start : dev_slice.row_stop]

@@ -29,7 +29,11 @@ Supported input formats (auto-detected per file):
   seconds as ``timing`` metrics;
 * ``bench_parallel_scaling.py --json`` sweeps: per-worker seconds
   (``timing``), speedups (``ratio``), word-ops / shard counts /
-  bit-exactness and deterministic observability counters (``exact``);
+  bit-exactness and deterministic observability counters (``exact``).
+  Per-executor rows (``--executor both``) namespace non-thread tiers
+  as ``process.workers{N}.*`` (plus ``process.counter.*`` and the
+  ``counters_match`` invariance flag), so thread-era baselines stay
+  valid;
 * ``bench_parallel_scaling.py --backends --json`` races: per-backend
   seconds (``timing``), speedup vs the reference panel (``ratio``),
   bit-exactness / counter invariance and the word-op counters
@@ -155,28 +159,53 @@ def _flatten_scaling_sweep(data: dict[str, Any], prefix: str) -> list[Metric]:
     ]
     for row in data.get("rows", []):
         w = row["workers"]
-        metrics.append(
-            Metric(f"{prefix}:workers{w}.seconds", float(row["seconds"]), KIND_TIMING)
+        # Thread rows keep the historical unprefixed names so existing
+        # baselines stay valid; other executor tiers (the process pool)
+        # namespace theirs as "<executor>.workers{N}.*".
+        executor = row.get("executor", "thread")
+        base = (
+            f"workers{w}" if executor == "thread"
+            else f"{executor}.workers{w}"
         )
         metrics.append(
-            Metric(f"{prefix}:workers{w}.speedup", float(row["speedup"]), KIND_RATIO)
+            Metric(f"{prefix}:{base}.seconds", float(row["seconds"]), KIND_TIMING)
+        )
+        metrics.append(
+            Metric(f"{prefix}:{base}.speedup", float(row["speedup"]), KIND_RATIO)
         )
         metrics.append(
             Metric(
-                f"{prefix}:workers{w}.bit_exact",
+                f"{prefix}:{base}.bit_exact",
                 float(bool(row["bit_exact"])),
                 KIND_EXACT,
             )
         )
         metrics.append(
             Metric(
-                f"{prefix}:workers{w}.n_shards", float(row["n_shards"]), KIND_EXACT
+                f"{prefix}:{base}.n_shards", float(row["n_shards"]), KIND_EXACT
+            )
+        )
+    if "counters_match" in data:
+        metrics.append(
+            Metric(
+                f"{prefix}:counters_match",
+                float(bool(data["counters_match"])),
+                KIND_EXACT,
             )
         )
     for name, value in sorted(data.get("counters", {}).items()):
         if name in DETERMINISTIC_COUNTERS:
             metrics.append(
                 Metric(f"{prefix}:counter.{name}", float(value), KIND_EXACT)
+            )
+    for name, value in sorted(data.get("process_counters", {}).items()):
+        if name in DETERMINISTIC_COUNTERS:
+            metrics.append(
+                Metric(
+                    f"{prefix}:process.counter.{name}",
+                    float(value),
+                    KIND_EXACT,
+                )
             )
     return metrics
 

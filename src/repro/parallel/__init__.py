@@ -12,9 +12,12 @@ tiles; this package shards them across a host thread pool:
 * :mod:`repro.parallel.engine` -- :class:`ParallelEngine`,
   :func:`bit_gemm_parallel`, and the process-wide :func:`get_engine`
   pool registry (one pool shared across simulated devices);
+* :mod:`repro.parallel.procpool` -- :class:`ProcessShardExecutor`,
+  the ``executor="process"`` tier: worker processes with operands
+  published through shared memory / mmap (``docs/DISTRIBUTED.md``);
 * :mod:`repro.parallel.tuner` -- the persisted host autotuner that
-  ``strategy="auto"`` consults (:func:`tune_problem`,
-  :func:`lookup_tuned`).
+  ``strategy="auto"`` (and ``executor="auto"``) consults
+  (:func:`tune_problem`, :func:`lookup_tuned`).
 
 Self-comparisons with a symmetric op take the Gram path: triangular
 shard plans (:meth:`ShardPlan.triangular`) compute only the diagonal
@@ -29,7 +32,9 @@ through this package.  See ``docs/PARALLEL.md`` and ``docs/PERF.md``.
 
 from repro.parallel.cache import CacheStats, PanelCache
 from repro.parallel.engine import (
+    EXECUTORS,
     PARALLEL_CROSSOVER_OPS,
+    REPRO_EXECUTOR_ENV,
     ParallelEngine,
     ParallelReport,
     ShardProfile,
@@ -38,6 +43,7 @@ from repro.parallel.engine import (
     recommended_workers,
 )
 from repro.parallel.plan import Shard, ShardPlan, TRIANGULAR_MIN_BANDS
+from repro.parallel.procpool import ProcessShardExecutor
 from repro.parallel.tuner import (
     TuningCache,
     TuningRecord,
@@ -48,8 +54,11 @@ from repro.parallel.tuner import (
 
 __all__ = [
     "CacheStats",
+    "EXECUTORS",
     "PanelCache",
     "PARALLEL_CROSSOVER_OPS",
+    "ProcessShardExecutor",
+    "REPRO_EXECUTOR_ENV",
     "ParallelEngine",
     "ParallelReport",
     "ShardProfile",

@@ -57,6 +57,22 @@ deduplicate panel cache entries across operand sides: the A-side and
 B-side unpacked panels of the same row range share one entry
 (:data:`~repro.observability.counters.PANEL_DEDUP_HITS`).
 
+**Executors.**  A third axis, orthogonal to strategy and backend,
+selects *where* shards run: ``executor="thread"`` (the default pool
+above), ``"process"`` (a :class:`~repro.parallel.procpool.ProcessShardExecutor`
+pool of worker processes with operands published through
+shared memory / mmap -- see :mod:`repro.parallel.procpool`), or
+``"auto"`` which honours the ``REPRO_EXECUTOR`` environment variable,
+then the tuning cache's measured winner, then threads.  All three
+paths -- serial, threaded, process -- execute shards through the same
+:meth:`ParallelEngine._execute_shard` retry/quarantine/verify ladder,
+so results are bit-exact across executors and the deterministic
+counters match (worker processes ship per-shard counter deltas that
+the parent merges).  Worker-process loss generalizes the resilience
+ladder's device-loss rung: lost workers' shards re-run on survivors
+and the run's :class:`~repro.resilience.report.ResilienceReport`
+carries ``workers_lost``.
+
 Per-shard timing and cache accounting surface as
 :class:`ShardProfile` records (the host-side analogue of
 :class:`repro.gpu.executor.KernelProfile`) inside a
@@ -113,12 +129,15 @@ from repro.observability.report import MetricsReport
 from repro.observability.tracer import get_tracer
 from repro.parallel.cache import DEFAULT_BUDGET_BYTES, CacheStats, PanelCache
 from repro.parallel.plan import TRIANGULAR_MIN_BANDS, Shard, ShardPlan
+from repro.resilience.faults import FiredFault
 from repro.resilience.report import ResilienceReport
 from repro.resilience.retry import Disposition, classify
 from repro.resilience.runtime import ResilienceContext, get_resilience
 from repro.util.bitops import popcount, unpack_bits
+from repro.util.validation import check_workers
 
 if TYPE_CHECKING:
+    from repro.parallel.procpool import ProcessShardExecutor
     from repro.parallel.tuner import TuningRecord
 
 #: Shard kernel contract: (shard, a, b, op, plan, cache, dedup) ->
@@ -126,13 +145,24 @@ if TYPE_CHECKING:
 ShardCompute = Callable[..., "tuple[np.ndarray, int, int]"]
 
 __all__ = [
+    "EXECUTORS",
     "PARALLEL_CROSSOVER_OPS",
+    "REPRO_EXECUTOR_ENV",
     "ShardProfile",
     "ParallelReport",
     "ParallelEngine",
     "bit_gemm_parallel",
     "get_engine",
 ]
+
+#: Environment variable selecting the shard executor when an engine is
+#: constructed with ``executor="auto"`` (values: ``thread``,
+#: ``process``).  CI's process leg sets ``REPRO_EXECUTOR=process`` to
+#: run the whole suite through the process pool.
+REPRO_EXECUTOR_ENV = "REPRO_EXECUTOR"
+
+#: Valid ``executor=`` arguments.
+EXECUTORS = ("auto", "thread", "process")
 
 #: Problems below this many packed-word operations run the serial
 #: fallback: pool dispatch and panel-cache bookkeeping cost more than
@@ -231,6 +261,13 @@ class ParallelReport:
     plus span aggregates) when tracing was enabled; ``None`` otherwise.
     ``resilience`` carries the fault-tolerance accounting when a
     resilience context was active during the run; ``None`` otherwise.
+    ``executor`` names the resolved shard executor (``"thread"`` or
+    ``"process"`` -- serial fallbacks report the executor the run
+    *would* have sharded on).  For process runs, ``worker_events``
+    carries injector events that fired inside worker processes plus
+    the parent-synthesized ``worker-lost`` events, and
+    ``workers_lost`` counts worker processes that died mid-run (their
+    shards were re-executed on the survivors).
     """
 
     workers: int
@@ -244,6 +281,9 @@ class ParallelReport:
     metrics: MetricsReport | None = None
     symmetric: bool = False
     resilience: ResilienceReport | None = None
+    executor: str = "thread"
+    worker_events: tuple[FiredFault, ...] = ()
+    workers_lost: int = 0
 
     @property
     def n_shards(self) -> int:
@@ -346,6 +386,12 @@ class ParallelEngine:
         its :meth:`~repro.kernels.KernelBackend.bit_gemm_panel`
         (word-op accounting unchanged -- shards record the same counts
         whichever backend computes them).
+    executor:
+        Where shards run: ``"thread"`` (in-process pool),
+        ``"process"`` (worker processes with shared-memory operands,
+        :mod:`repro.parallel.procpool`), or ``"auto"`` which resolves,
+        in order: the ``REPRO_EXECUTOR`` environment variable, the
+        tuning record's measured winner, then ``"thread"``.
 
     One engine owns one lazily created pool; it is reused across runs
     and across callers -- :func:`get_engine` hands the same engine to
@@ -362,17 +408,25 @@ class ParallelEngine:
         oversubscribe: int = 2,
         crossover_ops: int = PARALLEL_CROSSOVER_OPS,
         backend: str = "auto",
+        executor: str = "auto",
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
-        if workers <= 0:
-            raise ConfigurationError(
-                f"ParallelEngine: workers must be positive, got {workers}"
-            )
+        try:
+            check_workers("ParallelEngine: workers", workers)
+        except ValueError as exc:
+            # ConfigurationError subclasses ValueError, so callers
+            # catching either see the shared validator's message.
+            raise ConfigurationError(str(exc)) from None
         if strategy not in self.STRATEGIES:
             raise ConfigurationError(
                 f"ParallelEngine: unknown strategy {strategy!r} "
                 f"(valid: {', '.join(self.STRATEGIES)})"
+            )
+        if executor not in EXECUTORS:
+            raise ConfigurationError(
+                f"ParallelEngine: unknown executor {executor!r} "
+                f"(valid: {', '.join(EXECUTORS)})"
             )
         if backend != "auto":
             get_backend(backend)  # unknown names fail at construction
@@ -382,7 +436,9 @@ class ParallelEngine:
         self.oversubscribe = oversubscribe
         self.crossover_ops = crossover_ops
         self.backend = backend
+        self.executor = executor
         self._pool: ThreadPoolExecutor | None = None
+        self._procpool: "ProcessShardExecutor | None" = None
         self._pool_lock = threading.Lock()
 
     # -- pool management -------------------------------------------------------
@@ -396,12 +452,25 @@ class ParallelEngine:
                 )
             return self._pool
 
+    def _get_procpool(self) -> "ProcessShardExecutor":
+        with self._pool_lock:
+            if self._procpool is None:
+                # Imported lazily: the process tier pulls in
+                # multiprocessing machinery most runs never need.
+                from repro.parallel.procpool import ProcessShardExecutor
+
+                self._procpool = ProcessShardExecutor(self.workers)
+            return self._procpool
+
     def shutdown(self) -> None:
-        """Release the pool (a later run recreates it)."""
+        """Release the pools (a later run recreates them)."""
         with self._pool_lock:
             if self._pool is not None:
                 self._pool.shutdown(wait=True)
                 self._pool = None
+            if self._procpool is not None:
+                self._procpool.shutdown()
+                self._procpool = None
 
     # -- entry point -----------------------------------------------------------
 
@@ -448,9 +517,21 @@ class ParallelEngine:
             env_name = env_backend_name()
             if env_name is not None:
                 backend_name = env_name
+        executor = self.executor
+        if executor == "auto":
+            env_executor = os.environ.get(REPRO_EXECUTOR_ENV, "").strip()
+            if env_executor:
+                if env_executor not in ("thread", "process"):
+                    raise ConfigurationError(
+                        f"{REPRO_EXECUTOR_ENV}: unknown executor "
+                        f"{env_executor!r} (valid: thread, process)"
+                    )
+                executor = env_executor
         tuned: TuningRecord | None = None
-        if strategy == "auto" or backend_name == "auto":
-            tuned = self._consult_tuner(op, m, n, k, a.dtype.itemsize * 8)
+        if strategy == "auto" or backend_name == "auto" or executor == "auto":
+            tuned, executor = self._consult_tuner(
+                op, m, n, k, a.dtype.itemsize * 8, executor
+            )
         if strategy == "auto":
             if tuned is not None:
                 # "panel" records belong to a backend run; the numpy
@@ -491,15 +572,29 @@ class ParallelEngine:
                 )
             else:
                 c, report = self._run_sharded(
-                    a, b, op, plan, strategy, symmetric, backend_name
+                    a, b, op, plan, strategy, symmetric, backend_name,
+                    executor,
                 )
         obs.counters.add(HOST_ENGINE_SECONDS, report.seconds)
         if obs.enabled:
             report.metrics = MetricsReport.from_delta(
                 obs, counters_before, spans_before
             )
-        if res.active:
-            events = tuple(res.injector.fired()[events_before:])
+        if res.active or report.workers_lost:
+            # Worker-process events (injector firings shipped from
+            # workers plus parent-synthesized worker-lost records) join
+            # the parent injector's log, keeping `fired_count` exact
+            # across executors; thread/serial runs ship none.  Without
+            # an active context the null injector drops absorbed
+            # events, so fold them into the report directly instead.
+            if res.active and report.worker_events:
+                res.injector.absorb(report.worker_events)
+                events = tuple(res.injector.fired()[events_before:])
+            else:
+                events = (
+                    tuple(res.injector.fired()[events_before:])
+                    + report.worker_events
+                )
             report.resilience = ResilienceReport(
                 faults_injected=len(events),
                 retries=report.n_retries,
@@ -510,26 +605,54 @@ class ParallelEngine:
                 verify_mismatches=sum(
                     1 for p in report.shard_profiles if p.mismatched
                 ),
+                workers_lost=report.workers_lost,
                 events=events,
             )
         return c, report
 
     def _consult_tuner(
-        self, op: ComparisonOp, m: int, n: int, k: int, word_bits: int
-    ) -> "TuningRecord | None":
+        self,
+        op: ComparisonOp,
+        m: int,
+        n: int,
+        k: int,
+        word_bits: int,
+        executor: str,
+    ) -> "tuple[TuningRecord | None, str]":
         """Best-effort lookup in the persisted host tuning cache.
 
-        Any failure (missing, corrupt, or stale cache; import problems)
-        degrades to ``None`` -- ``"auto"`` then falls back to its
-        built-in default.  Imported lazily to avoid an import cycle
-        (the tuner benchmarks through this engine).
+        Returns ``(record, executor)``.  With ``executor="auto"`` the
+        thread and process records for the size class are compared and
+        the measured winner picked (``"thread"`` when neither exists
+        -- untuned hosts stay on the in-process pool).  Any failure
+        (missing, corrupt, or stale cache; import problems) degrades to
+        ``(None, ...)`` -- ``"auto"`` then falls back to its built-in
+        default.  Imported lazily to avoid an import cycle (the tuner
+        benchmarks through this engine).
         """
+        fallback = "thread" if executor == "auto" else executor
         try:
             from repro.parallel.tuner import lookup_tuned
 
-            return lookup_tuned(op, m, n, k, word_bits, self.workers)
+            if executor != "auto":
+                record = lookup_tuned(
+                    op, m, n, k, word_bits, self.workers, executor=executor
+                )
+                return record, executor
+            thread_record = lookup_tuned(
+                op, m, n, k, word_bits, self.workers, executor="thread"
+            )
+            process_record = lookup_tuned(
+                op, m, n, k, word_bits, self.workers, executor="process"
+            )
+            if process_record is not None and (
+                thread_record is None
+                or process_record.best_seconds < thread_record.best_seconds
+            ):
+                return process_record, "process"
+            return thread_record, "thread"
         except Exception:  # pragma: no cover - defensive degradation
-            return None
+            return None, fallback
 
     # -- serial fallback ---------------------------------------------------------
 
@@ -610,6 +733,24 @@ class ParallelEngine:
 
     # -- sharded execution ---------------------------------------------------------
 
+    def _resolve_shard_compute(
+        self, strategy: str, backend_name: str
+    ) -> tuple[ShardCompute, str]:
+        """Pick the shard kernel for a (strategy, backend) pair.
+
+        Shared by the threaded path and by worker processes (each
+        worker resolves its *own* backend -- see
+        :mod:`repro.parallel.procpool`), so every executor runs the
+        identical compute for identical inputs.  Returns the kernel and
+        the effective strategy label (non-reference backends report
+        ``"panel"``).
+        """
+        if backend_name != DEFAULT_BACKEND_NAME:
+            return _make_backend_compute(get_backend(backend_name)), "panel"
+        if strategy == "gemm":
+            return self._compute_shard_gemm, strategy
+        return self._compute_shard_blocked, strategy
+
     def _run_sharded(
         self,
         a: np.ndarray,
@@ -619,6 +760,7 @@ class ParallelEngine:
         strategy: str,
         symmetric: bool = False,
         backend_name: str = DEFAULT_BACKEND_NAME,
+        executor: str = "thread",
     ) -> tuple[np.ndarray, ParallelReport]:
         shard_plan = ShardPlan.from_blocking(
             plan, self.workers, oversubscribe=self.oversubscribe,
@@ -628,22 +770,37 @@ class ParallelEngine:
         # word-ops sum to plan.total_ops() because shards partition C
         # (Gram plans: to the computed triangle's share of it).
         get_tracer().counters.add(GEMM_CALLS)
-        cache = PanelCache(self.cache_bytes)
-        c = np.zeros((plan.m, plan.n), dtype=np.int64)
-        compute: ShardCompute
-        if backend_name != DEFAULT_BACKEND_NAME:
-            compute = _make_backend_compute(get_backend(backend_name))
-            strategy = "panel"
-        elif strategy == "gemm":
-            compute = self._compute_shard_gemm
-        else:
-            compute = self._compute_shard_blocked
+        compute, strategy = self._resolve_shard_compute(strategy, backend_name)
         # Cross-side panel dedup is valid whenever both operands hold
         # the same matrix -- even for asymmetric ops (full plans).
         # symmetric=True implies equal content (validated upstream).
         dedup = symmetric or same_operand(a, b)
         res = get_resilience()
 
+        if executor == "process" and shard_plan.n_shards > 1:
+            start = time.perf_counter()
+            result = self._get_procpool().execute(
+                a, b, op, plan, shard_plan, strategy, backend_name, dedup,
+                res, self.cache_bytes,
+            )
+            elapsed = time.perf_counter() - start
+            report = ParallelReport(
+                workers=self.workers,
+                strategy=strategy,
+                used_parallel=True,
+                seconds=elapsed,
+                backend=backend_name,
+                shard_plan=shard_plan,
+                shard_profiles=result.profiles,
+                symmetric=symmetric,
+                executor="process",
+                worker_events=result.worker_events,
+                workers_lost=result.workers_lost,
+            )
+            return result.c, report
+
+        cache = PanelCache(self.cache_bytes)
+        c = np.zeros((plan.m, plan.n), dtype=np.int64)
         start = time.perf_counter()
         if shard_plan.n_shards <= 1:
             profiles = [
@@ -677,6 +834,9 @@ class ParallelEngine:
             shard_profiles=profiles,
             cache_stats=cache.stats(),
             symmetric=symmetric,
+            # A single-shard "process" request degrades to in-thread
+            # execution above; report the tier that actually ran.
+            executor="thread" if executor == "process" else executor,
         )
         return c, report
 
@@ -1014,7 +1174,7 @@ def _make_backend_compute(backend: KernelBackend) -> ShardCompute:
 
 # -- module-level conveniences ---------------------------------------------------
 
-_ENGINES: dict[tuple[int, str, str], ParallelEngine] = {}
+_ENGINES: dict[tuple[int, str, str, str], ParallelEngine] = {}
 _ENGINES_LOCK = threading.Lock()
 
 
@@ -1022,21 +1182,24 @@ def get_engine(
     workers: int | None = None,
     strategy: str = "auto",
     backend: str = "auto",
+    executor: str = "auto",
 ) -> ParallelEngine:
-    """Process-wide engine per (workers, strategy, backend) triple.
+    """Process-wide engine per (workers, strategy, backend, executor).
 
     Every caller asking for the same worker count shares one pool --
     this is how the multi-GPU executor runs all simulated devices on a
-    single pool instead of one per device.
+    single pool instead of one per device, and how repeated process
+    runs reuse one set of spawned workers.
     """
     if workers is None:
         workers = os.cpu_count() or 1
-    key = (workers, strategy, backend)
+    key = (workers, strategy, backend, executor)
     with _ENGINES_LOCK:
         engine = _ENGINES.get(key)
         if engine is None:
             engine = ParallelEngine(
-                workers=workers, strategy=strategy, backend=backend
+                workers=workers, strategy=strategy, backend=backend,
+                executor=executor,
             )
             _ENGINES[key] = engine
         return engine
@@ -1052,9 +1215,10 @@ def bit_gemm_parallel(
     symmetric: bool | None = None,
     strategy: str = "auto",
     backend: str = "auto",
+    executor: str = "auto",
 ) -> np.ndarray:
     """One-shot parallel bit-GEMM (drop-in for the serial drivers)."""
-    c, _ = get_engine(workers, strategy, backend).run(
+    c, _ = get_engine(workers, strategy, backend, executor).run(
         a, b, op, plan=plan, force_parallel=force_parallel, symmetric=symmetric
     )
     return c

@@ -14,6 +14,16 @@ a small JSON cache.  A backend winner is recorded with strategy
 ``"panel"`` and its backend name, which ``backend="auto"`` then
 applies per-machine.
 
+The tuner also races the engine's *executor* axis: on problems large
+enough for the process tier to plausibly pay off, the whole candidate
+grid is re-timed on the process executor
+(:mod:`repro.parallel.procpool`) and the per-executor winners are
+stored as separate records, distinguished by an ``|ex<executor>`` key
+suffix (thread records keep the legacy unsuffixed key, so records
+persisted before the executor axis existed keep matching -- and keep
+meaning "thread").  ``executor="auto"`` then compares the two records'
+``best_seconds`` per size class.
+
 The cache is keyed by ``(op, shape bucket, workers, word_bits, numpy
 version, backend fingerprint)`` -- shapes are bucketed to the next
 power of two so one measurement serves its whole size class, the NumPy
@@ -107,6 +117,9 @@ _STRATEGIES = ("gemm", "blocked")
 #: ``"panel"``, which marks a non-reference kernel-backend winner.
 _RECORD_STRATEGIES = ("gemm", "blocked", "panel")
 
+#: Executors a record (and a tuning key) may name.
+_RECORD_EXECUTORS = ("thread", "process")
+
 
 def shape_bucket(m: int, n: int, k_words: int) -> str:
     """Bucket a problem shape to its next-power-of-two size class."""
@@ -124,6 +137,7 @@ def tuning_key(
     k_words: int,
     word_bits: int,
     workers: int,
+    executor: str = "thread",
 ) -> str:
     """The cache key one measurement is stored (and looked up) under.
 
@@ -131,10 +145,22 @@ def tuning_key(
     versions of the tunable backend set): a record measured before
     Numba was installed -- or against a different backend version --
     stops matching instead of silently pinning the old winner.
+
+    Non-thread executors append an ``|ex<executor>`` suffix; thread
+    records keep the unsuffixed legacy form so caches written before
+    the executor axis existed still resolve -- and resolve as thread
+    records, which is what they measured.
     """
+    if executor not in _RECORD_EXECUTORS:
+        raise ConfigurationError(
+            f"tuning_key: unknown executor {executor!r} "
+            f"(valid: {', '.join(_RECORD_EXECUTORS)})"
+        )
+    suffix = "" if executor == "thread" else f"|ex{executor}"
     return (
         f"{op.value}|{shape_bucket(m, n, k_words)}|w{workers}"
         f"|b{word_bits}|np{np.__version__}|be[{backend_fingerprint()}]"
+        f"{suffix}"
     )
 
 
@@ -147,6 +173,9 @@ class TuningRecord:
     baseline beat every parallel candidate).  ``triangular`` is the
     measured preference for Gram plans; the engine only honours it
     when the run is actually a symmetric self-comparison.
+    ``executor`` names the shard executor the record was measured on;
+    records persisted before the executor axis existed lack the field
+    and degrade to ``"thread"`` (which is what they measured).
     """
 
     strategy: str
@@ -155,6 +184,7 @@ class TuningRecord:
     best_seconds: float
     candidates: int
     backend: str = DEFAULT_BACKEND_NAME
+    executor: str = "thread"
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -164,6 +194,7 @@ class TuningRecord:
             "best_seconds": self.best_seconds,
             "candidates": self.candidates,
             "backend": self.backend,
+            "executor": self.executor,
         }
 
     @classmethod
@@ -191,6 +222,11 @@ class TuningRecord:
         candidates = data.get("candidates")
         if not isinstance(candidates, int) or isinstance(candidates, bool):
             raise ValueError("tuning record: candidates must be an int")
+        executor = data.get("executor", "thread")
+        if executor not in _RECORD_EXECUTORS:
+            raise ValueError(
+                f"tuning record has unknown executor {executor!r}"
+            )
         return cls(
             strategy=strategy,
             triangular=triangular,
@@ -198,6 +234,7 @@ class TuningRecord:
             best_seconds=float(best_seconds),
             candidates=candidates,
             backend=backend,
+            executor=executor,
         )
 
 
@@ -365,10 +402,17 @@ def lookup_tuned(
     k_words: int,
     word_bits: int,
     workers: int,
+    executor: str = "thread",
 ) -> TuningRecord | None:
-    """Cheap cache consultation used by ``strategy="auto"``."""
+    """Cheap cache consultation used by ``strategy="auto"``.
+
+    Thread lookups hit the legacy unsuffixed key, so records persisted
+    before the executor axis existed still apply (as thread records).
+    """
     cache = get_tuning_cache()
-    return cache.lookup(tuning_key(op, m, n, k_words, word_bits, workers))
+    return cache.lookup(
+        tuning_key(op, m, n, k_words, word_bits, workers, executor=executor)
+    )
 
 
 # -- measurement -----------------------------------------------------------------
@@ -384,6 +428,7 @@ def tune_problem(
     seed: int = 0,
     cache: TuningCache | None = None,
     persist: bool = True,
+    executors: tuple[str, ...] | None = None,
 ) -> TuningRecord:
     """Benchmark the candidate grid for one shape and persist the winner.
 
@@ -396,8 +441,16 @@ def tune_problem(
     backend name); if the serial baseline beat it, ``crossover_ops``
     is raised above this size class so ``"auto"`` keeps such problems
     serial.
+
+    ``executors`` selects which shard executors race (default:
+    ``("thread",)``, widened to ``("thread", "process")`` when the
+    problem is at least the parallel crossover size -- the process
+    tier's spawn/shared-memory overheads can't pay off below it).  One
+    record per executor is stored under its executor-qualified key;
+    the overall fastest is returned, so ``executor="auto"`` can later
+    compare records where :func:`lookup_tuned` finds both.
     """
-    from repro.parallel.engine import get_engine
+    from repro.parallel.engine import PARALLEL_CROSSOVER_OPS, get_engine
 
     if m <= 0 or n <= 0 or k_words <= 0:
         raise ConfigurationError(
@@ -418,11 +471,24 @@ def tune_problem(
     gram_eligible = m == n and op.is_symmetric
     word_bits = 64
     total_ops = m * n * k_words
+    if executors is None:
+        executors = ("thread",)
+        if total_ops >= PARALLEL_CROSSOVER_OPS:
+            executors = ("thread", "process")
+    for ex in executors:
+        if ex not in _RECORD_EXECUTORS:
+            raise ConfigurationError(
+                f"tune_problem: unknown executor {ex!r} "
+                f"(valid: {', '.join(_RECORD_EXECUTORS)})"
+            )
 
     def best_of(
-        strategy: str, triangular: bool, backend: str = DEFAULT_BACKEND_NAME
+        strategy: str,
+        triangular: bool,
+        backend: str = DEFAULT_BACKEND_NAME,
+        executor: str = "thread",
     ) -> float:
-        engine = get_engine(workers, strategy, backend)
+        engine = get_engine(workers, strategy, backend, executor)
         best = float("inf")
         for _ in range(repeats):
             start = time.perf_counter()
@@ -430,31 +496,49 @@ def tune_problem(
             best = min(best, time.perf_counter() - start)
         return best
 
-    # The candidate grid: reference strategies, then every available
-    # tunable kernel backend raced the same way (full and, where
-    # eligible, triangular Gram plans).
-    candidates: list[tuple[str, str, bool, float]] = []
-    for strategy in _STRATEGIES:
-        candidates.append(
-            (DEFAULT_BACKEND_NAME, strategy, False, best_of(strategy, False))
-        )
-        if gram_eligible:
+    def race_executor(executor: str) -> TuningRecord:
+        # The candidate grid: reference strategies, then every
+        # available tunable kernel backend raced the same way (full
+        # and, where eligible, triangular Gram plans).
+        candidates: list[tuple[str, str, bool, float]] = []
+        for strategy in _STRATEGIES:
             candidates.append(
-                (DEFAULT_BACKEND_NAME, strategy, True, best_of(strategy, True))
+                (DEFAULT_BACKEND_NAME, strategy, False,
+                 best_of(strategy, False, executor=executor))
             )
-    for be in registered_backends():
-        info = be.info
-        if not info.tunable or not info.available:
-            continue
-        if info.name == DEFAULT_BACKEND_NAME:
-            continue
-        candidates.append(
-            (info.name, "panel", False, best_of("gemm", False, info.name))
-        )
-        if gram_eligible:
+            if gram_eligible:
+                candidates.append(
+                    (DEFAULT_BACKEND_NAME, strategy, True,
+                     best_of(strategy, True, executor=executor))
+                )
+        for be in registered_backends():
+            info = be.info
+            if not info.tunable or not info.available:
+                continue
+            if info.name == DEFAULT_BACKEND_NAME:
+                continue
             candidates.append(
-                (info.name, "panel", True, best_of("gemm", True, info.name))
+                (info.name, "panel", False,
+                 best_of("gemm", False, info.name, executor=executor))
             )
+            if gram_eligible:
+                candidates.append(
+                    (info.name, "panel", True,
+                     best_of("gemm", True, info.name, executor=executor))
+                )
+        backend, strategy, triangular, best_seconds = min(
+            candidates, key=lambda c: c[3]
+        )
+        crossover_ops = 2 * total_ops if serial_best < best_seconds else None
+        return TuningRecord(
+            strategy=strategy,
+            triangular=triangular,
+            crossover_ops=crossover_ops,
+            best_seconds=best_seconds,
+            candidates=len(candidates),
+            backend=backend,
+            executor=executor,
+        )
 
     serial_engine = get_engine(1, "gemm")
     serial_best = float("inf")
@@ -463,21 +547,18 @@ def tune_problem(
         serial_engine.run(a, b, op, force_parallel=False)
         serial_best = min(serial_best, time.perf_counter() - start)
 
-    backend, strategy, triangular, best_seconds = min(
-        candidates, key=lambda c: c[3]
-    )
-    crossover_ops = 2 * total_ops if serial_best < best_seconds else None
-    record = TuningRecord(
-        strategy=strategy,
-        triangular=triangular,
-        crossover_ops=crossover_ops,
-        best_seconds=best_seconds,
-        candidates=len(candidates),
-        backend=backend,
-    )
     if cache is None:
         cache = get_tuning_cache()
-    cache.store(tuning_key(op, m, n, k_words, word_bits, workers), record)
+    best_record: TuningRecord | None = None
+    for ex in executors:
+        record = race_executor(ex)
+        cache.store(
+            tuning_key(op, m, n, k_words, word_bits, workers, executor=ex),
+            record,
+        )
+        if best_record is None or record.best_seconds < best_record.best_seconds:
+            best_record = record
     if persist:
         cache.save()
-    return record
+    assert best_record is not None
+    return best_record

@@ -64,6 +64,7 @@ from repro.resilience.runtime import get_resilience
 from repro.serve.batcher import CoalescingBatcher
 from repro.serve.index import ProfileIndex, Segment
 from repro.serve.metrics import TenantLedger
+from repro.util.validation import check_workers
 
 __all__ = ["QueryRequest", "IdentityService"]
 
@@ -116,6 +117,7 @@ class IdentityService:
         workers: int | None = None,
         strategy: str = "auto",
         backend: str = "auto",
+        executor: str = "auto",
         window_s: float = 0.005,
         max_batch_rows: int = 512,
         pipeline_depth: int = 1,
@@ -125,6 +127,14 @@ class IdentityService:
             raise DatasetError(
                 f"IdentityService: default k={k} out of range [1, {self.MAX_K}]"
             )
+        if workers is not None:
+            # Fail at service construction, not at the first query's
+            # engine dispatch (shared validator, ConfigurationError
+            # subclasses ValueError).
+            try:
+                check_workers("IdentityService: workers", workers)
+            except ValueError as exc:
+                raise ConfigurationError(str(exc)) from None
         self.index = index
         self.default_k = k
         self.framework = framework or SNPComparisonFramework(
@@ -133,6 +143,7 @@ class IdentityService:
             workers=workers,
             strategy=strategy,
             backend=backend,
+            executor=executor,
         )
         if self.framework.algorithm is not Algorithm.FASTID_IDENTITY:
             raise ConfigurationError(

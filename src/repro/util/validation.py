@@ -20,6 +20,7 @@ __all__ = [
     "check_in_range",
     "check_dtype",
     "check_choice",
+    "check_workers",
 ]
 
 
@@ -75,3 +76,28 @@ def check_choice(name: str, value: object, choices: Iterable[object]) -> None:
     options = tuple(choices)
     if value not in options:
         raise ValueError(f"{name} must be one of {options!r}, got {value!r}")
+
+
+def check_workers(
+    name: str, value: object, zero_means_default: bool = False
+) -> int:
+    """Validate a worker-count parameter at an API entry point.
+
+    Every layer that accepts a worker count (engine constructor, CLI
+    ``--workers``, serve config, multi-GPU executor) shares this check
+    so ``workers<=0`` fails with one clear :class:`ValueError` naming
+    the parameter instead of surfacing as a pool-construction error
+    deep in the stack.  With ``zero_means_default=True`` (the CLI
+    convention) ``0`` is accepted as "pick the machine default" and
+    only negative counts are rejected.  Returns the validated count.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(
+            f"{name} must be an integer worker count, got {value!r}"
+        )
+    floor = 0 if zero_means_default else 1
+    if value < floor:
+        expect = "non-negative (0 = machine default)" if zero_means_default \
+            else "a positive integer"
+        raise ValueError(f"{name} must be {expect}, got {value}")
+    return value

@@ -290,6 +290,12 @@ class TestEngineDispatch:
         finally:
             engine.shutdown()
         assert report.shard_plan.grid_rows > 1
+        if report.executor == "process":
+            # Panel caches live inside the worker processes under the
+            # process executor (e.g. the REPRO_EXECUTOR=process CI
+            # leg); no aggregated parent-side stats are reported.
+            assert report.cache_stats is None
+            return
         assert report.cache_stats is not None
         assert report.cache_stats.hits > 0
         per_shard = sum(p.cache_hits + p.cache_misses
