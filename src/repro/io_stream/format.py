@@ -344,7 +344,13 @@ def packed_words_ref(
     while isinstance(root.base, np.memmap):
         root = root.base
     filename = getattr(root, "filename", None)
-    if filename is None or getattr(root, "mode", "r") not in ("r", "c"):
+    # Only true read-only mappings are file-backed from every process's
+    # point of view.  A copy-on-write mapping (mode="c") can hold parent
+    # modifications that never reach the file, so a worker re-mapping
+    # the file would silently compute against different data; writable
+    # modes can race the re-map.  All of those fall back to the
+    # shared-memory copy path, which publishes the bytes as seen.
+    if filename is None or getattr(root, "mode", None) != "r":
         return None
     try:
         delta = words.ctypes.data - root.ctypes.data

@@ -30,6 +30,8 @@ multi-GPU executor, and the CLI's ``--workers`` flag -- all route
 through this package.  See ``docs/PARALLEL.md`` and ``docs/PERF.md``.
 """
 
+from typing import TYPE_CHECKING, Any
+
 from repro.parallel.cache import CacheStats, PanelCache
 from repro.parallel.engine import (
     EXECUTORS,
@@ -43,7 +45,6 @@ from repro.parallel.engine import (
     recommended_workers,
 )
 from repro.parallel.plan import Shard, ShardPlan, TRIANGULAR_MIN_BANDS
-from repro.parallel.procpool import ProcessShardExecutor
 from repro.parallel.tuner import (
     TuningCache,
     TuningRecord,
@@ -74,3 +75,21 @@ __all__ = [
     "recommended_workers",
     "tune_problem",
 ]
+
+
+if TYPE_CHECKING:  # the lazy re-export below, visible to type checkers
+    from repro.parallel.procpool import (
+        ProcessShardExecutor as ProcessShardExecutor,
+    )
+
+
+def __getattr__(name: str) -> Any:
+    # ProcessShardExecutor is re-exported lazily: the process tier
+    # pulls in multiprocessing machinery (shared_memory, spawn context)
+    # most runs never need, and ParallelEngine imports it on first
+    # ``executor="process"`` use for the same reason.
+    if name == "ProcessShardExecutor":
+        from repro.parallel.procpool import ProcessShardExecutor
+
+        return ProcessShardExecutor
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

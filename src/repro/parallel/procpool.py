@@ -38,10 +38,20 @@ deterministic counters the regression gate compares are identical to a
 threaded run's.  When a worker process dies, the parent re-enqueues
 its claimed-but-unfinished shards onto the survivors (block writes are
 idempotent: a re-executed shard overwrites the same disjoint slots),
-counts :data:`~repro.observability.counters.WORKERS_LOST`, and
-surfaces a ``worker-lost`` event in the run's
-:class:`~repro.resilience.report.ResilienceReport`.  Only a completed
-``done`` message merges counters, so re-execution never double-counts.
+counts :data:`~repro.observability.counters.WORKERS_LOST` (plus
+:data:`~repro.observability.counters.FAULTS_INJECTED` only when the
+death was scheduled by the fault plan), and surfaces a ``worker-lost``
+event in the run's
+:class:`~repro.resilience.report.ResilienceReport`.  A genuine crash
+can additionally swallow a task the worker dequeued before its claim
+reached the parent; after a death, a stall of the result queue
+triggers a redispatch of every shard neither finished nor claimed by a
+live worker, so the run recovers instead of hanging.  Only a completed
+``done`` message merges counters -- and only the first per shard -- so
+re-execution and redispatch never double-count.  Runs on one executor
+are serialized behind a run lock: the pool's single result queue
+admits one consumer at a time, and concurrent ``engine.run`` calls on
+a shared engine queue up rather than stealing each other's messages.
 
 **Start method.**  Workers use the ``spawn`` start method by default
 (portable to macOS/Windows semantics, safe with compiled backends and
@@ -61,6 +71,7 @@ import os
 import pickle
 import queue as queue_mod
 import threading
+import time
 from dataclasses import dataclass, field
 from multiprocessing import get_context, resource_tracker, shared_memory
 from typing import TYPE_CHECKING, Any
@@ -121,8 +132,18 @@ _DEFAULT_START_METHOD = "spawn"
 _POLL_SECONDS = 0.05
 
 #: Exit code a worker uses when an injected ``worker-lost`` fault kills
-#: it (tests can distinguish the injected death from a genuine crash).
+#: it (the parent and tests distinguish the injected death -- which
+#: flushes its claim before exiting -- from a genuine crash).
 _KILLED_EXIT_CODE = 86
+
+#: Seconds of result-queue silence after a worker death before the
+#: parent re-enqueues every shard that is neither completed nor claimed
+#: by a live worker.  A genuine crash between ``task_q.get()`` and the
+#: claim reaching the parent swallows a shard without a trace; once the
+#: survivors drain the queue and go quiet, this redispatch recovers it
+#: (duplicate executions are safe: block writes are idempotent and only
+#: the first ``done`` per shard merges counters).
+_STALL_TIMEOUT = 1.0
 
 #: Run states one worker keeps attached at a time.  Each state holds
 #: shared-memory attachments, so the cache is small; an evicted state
@@ -456,24 +477,32 @@ class ProcessShardExecutor:
         res: ResilienceContext,
         cache_bytes: int,
     ) -> ProcessRunResult:
-        """Run every shard of ``shard_plan`` across the worker pool."""
+        """Run every shard of ``shard_plan`` across the worker pool.
+
+        Runs are serialized: the pool has one shared result queue, and
+        a second concurrent consumer would steal (and discard as stale)
+        the first run's claim/done messages, hanging both.  Concurrent
+        callers -- :func:`~repro.parallel.engine.get_engine` shares
+        engines process-wide, and pipelined serving dispatches batches
+        concurrently -- queue up on the run lock instead.
+        """
         with self._lock:
             self._ensure_workers()
             self._run_counter += 1
             run_id = self._run_counter
-        handles: list[shared_memory.SharedMemory] = []
-        try:
-            return self._execute_locked(
-                run_id, handles, a, b, op, plan, shard_plan, strategy,
-                backend_name, dedup, res, cache_bytes,
-            )
-        finally:
-            for shm in handles:
-                try:
-                    shm.close()
-                    shm.unlink()
-                except FileNotFoundError:  # pragma: no cover
-                    pass
+            handles: list[shared_memory.SharedMemory] = []
+            try:
+                return self._execute_locked(
+                    run_id, handles, a, b, op, plan, shard_plan, strategy,
+                    backend_name, dedup, res, cache_bytes,
+                )
+            finally:
+                for shm in handles:
+                    try:
+                        shm.close()
+                        shm.unlink()
+                    except FileNotFoundError:  # pragma: no cover
+                        pass
 
     def _build_spec(
         self,
@@ -569,9 +598,14 @@ class ProcessShardExecutor:
         dead: set[int] = set()
         events: list[FiredFault] = []
         workers_lost = 0
+        # Armed by reap() on each death: if the result queue then stays
+        # silent past the deadline, shards a dying worker swallowed
+        # before its claim reached the parent are redispatched.
+        stall_deadline: float | None = None
 
         def reap() -> int:
             """Detect dead workers; fail their claimed shards over."""
+            nonlocal stall_deadline
             lost = 0
             for worker_id, proc in self._procs.items():
                 if worker_id in dead or proc.is_alive():
@@ -585,7 +619,12 @@ class ProcessShardExecutor:
                     )
                 )
                 obs.counters.add(WORKERS_LOST)
-                obs.counters.add(FAULTS_INJECTED)
+                if proc.exitcode == _KILLED_EXIT_CODE:
+                    # Only a scheduled (injected) death counts as an
+                    # injected fault; a genuine crash is a loss, not an
+                    # injection, and must not skew the deterministic
+                    # fired/injected accounting CI compares.
+                    obs.counters.add(FAULTS_INJECTED)
             for shard_id, worker_id in list(claims.items()):
                 if shard_id in profiles or worker_id not in dead:
                     continue
@@ -597,6 +636,8 @@ class ProcessShardExecutor:
                     f"processes were lost",
                     shard_id=-1,
                 )
+            if lost:
+                stall_deadline = time.monotonic() + _STALL_TIMEOUT
             return lost
 
         while len(profiles) < len(shards):
@@ -604,6 +645,22 @@ class ProcessShardExecutor:
                 msg = self._result_q.get(timeout=_POLL_SECONDS)
             except queue_mod.Empty:
                 workers_lost += reap()
+                if (
+                    stall_deadline is not None
+                    and time.monotonic() >= stall_deadline
+                ):
+                    # A worker died and the queue has gone quiet, yet
+                    # shards are still outstanding: any shard neither
+                    # finished nor claimed by a live worker may have
+                    # been swallowed by the dying worker before its
+                    # claim got out.  Redispatch them all -- a shard
+                    # that was merely still queued runs twice, which is
+                    # harmless (idempotent writes, first ``done`` wins).
+                    stall_deadline = None
+                    for shard_id, shard in shards.items():
+                        if shard_id in profiles or shard_id in claims:
+                            continue
+                        self._task_q.put(("shard", run_id, shard, spec))
                 continue
             kind = msg[0]
             if msg[2] != run_id:

@@ -137,6 +137,27 @@ class TestProcessExecutor:
         assert process_counters == thread_counters
         assert process_counters["shards.executed"] > 1
 
+    def test_concurrent_runs_on_shared_engine(self, operands, proc_engine):
+        # Engines are shared process-wide (get_engine), and pipelined
+        # serving dispatches batches concurrently: runs must serialize
+        # on the executor's run lock instead of stealing each other's
+        # claim/done messages off the single result queue.
+        from concurrent.futures import ThreadPoolExecutor as TPE
+
+        pa, pb = operands
+        ops = [ComparisonOp.AND, ComparisonOp.XOR, ComparisonOp.ANDNOT]
+
+        def one(op):
+            table, report = proc_engine.run(pa, pb, op, force_parallel=True)
+            return op, table, report
+
+        with TPE(max_workers=len(ops)) as pool:
+            futures = [pool.submit(one, op) for op in ops]
+            results = [f.result(timeout=120) for f in futures]
+        for op, table, report in results:
+            assert report.executor == "process"
+            assert (table == bit_gemm_reference(pa, pb, op)).all()
+
     def test_mmap_operand_publishes_zero_copy(self, tmp_path, proc_engine):
         rng = np.random.default_rng(5)
         bits = (rng.random((192, 1024)) < 0.5).astype(np.uint8)
@@ -152,6 +173,34 @@ class TestProcessExecutor:
             table, report = proc_engine.run(
                 words, words, OP, force_parallel=True
             )
+        assert report.executor == "process"
+        assert (table == expected).all()
+
+    def test_cow_memmap_falls_back_to_shared_memory(self, tmp_path):
+        # mode="c" (copy-on-write) mappings can hold parent-side edits
+        # that never reach the file; a worker re-mapping the file would
+        # silently compute against different data.  They must publish
+        # through the shared-memory copy path, not the mmap ref.
+        rng = np.random.default_rng(7)
+        shape = (128, 32)
+        words = rng.integers(0, 2**32, size=shape, dtype=np.uint64)
+        path = tmp_path / "raw.bin"
+        words.tofile(path)
+        ro = np.memmap(path, dtype=np.uint64, mode="r", shape=shape)
+        assert packed_words_ref(ro) is not None
+        cow = np.memmap(path, dtype=np.uint64, mode="c", shape=shape)
+        assert packed_words_ref(cow) is None
+        # End to end: a COW-modified operand must give the same result
+        # under the process executor as the serial reference sees.
+        cow[0, :] ^= np.uint64(0xFFFF)
+        expected = bit_gemm_reference(
+            np.array(cow, copy=True), np.array(cow, copy=True), OP
+        )
+        engine = ParallelEngine(workers=2, executor="process")
+        try:
+            table, report = engine.run(cow, cow, OP, force_parallel=True)
+        finally:
+            engine.shutdown()
         assert report.executor == "process"
         assert (table == expected).all()
 
@@ -387,6 +436,24 @@ class TestWorkersValidation:
             "--workers", "2", "--executor", "process",
         ])
         assert code == 0
+
+
+class TestLazyProcpoolImport:
+    def test_package_import_stays_lazy(self):
+        # The process tier pulls in multiprocessing machinery most runs
+        # never need; importing repro.parallel must not pay for it.
+        import subprocess
+        import sys
+
+        code = (
+            "import sys\n"
+            "import repro.parallel\n"
+            "assert 'repro.parallel.procpool' not in sys.modules, "
+            "'procpool imported eagerly'\n"
+            "from repro.parallel import ProcessShardExecutor\n"
+            "assert 'repro.parallel.procpool' in sys.modules\n"
+        )
+        subprocess.run([sys.executable, "-c", code], check=True)
 
 
 class TestTunerExecutorAxis:
