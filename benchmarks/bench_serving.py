@@ -40,6 +40,7 @@ import time
 import numpy as np
 
 from repro.core.streaming import StreamingIdentitySearch
+from repro.errors import DeadlineExceededError, OverloadedError
 from repro.observability.counters import (
     GEMM_WORD_OPS,
     SERVE_BATCH_ROWS,
@@ -64,6 +65,28 @@ SMOKE_PROBLEM = dict(
 #: Coalescing gate: served word-ops per query at ``clients`` concurrent
 #: single-profile queries, as a fraction of the solo baseline.
 OPS_RATIO_CEILING = 0.6
+
+#: Overload flood: submissions per admission slot.  The flood submits
+#: ``FLOOD_FACTOR * clients`` requests against ``max_queue=clients``
+#: inside one coalescing window, so exactly ``clients`` are admitted and
+#: the rest shed -- deterministic counts the baseline gates exactly.
+FLOOD_FACTOR = 4
+
+#: Coalescing window for the flood.  Wide enough that every submission
+#: of the burst lands inside it on any runner (they are in-process
+#: enqueues, microseconds each), which is what makes the admitted/shed
+#: split exact rather than timing-dependent.
+OVERLOAD_WINDOW_S = 1.0
+
+#: Budget of the flood's deadline-carrying request: expires inside the
+#: window, so it is rejected at the batch cut -- at most one batch
+#: window past its budget (the propagation guarantee under load).
+DOOMED_BUDGET_S = 0.2
+
+#: CI slack on the overrun bound: the cut can run late on a loaded
+#: shared runner, but an overrun beyond window + slack means the
+#: dispatcher sat on an expired request.
+OVERRUN_SLACK_S = 2.0
 
 
 def make_inputs(problem, rng=0):
@@ -122,6 +145,66 @@ def measure_latency(service, query_sets, rounds, tenant="bench"):
     }
 
 
+def measure_overload(index, problem, query_sets, oracles):
+    """Flood a bounded service at ``FLOOD_FACTOR``x admission capacity.
+
+    A dedicated service over the same index, with ``max_queue`` set to
+    the client count and a wide coalescing window: the whole burst is
+    submitted while the first batch is still collecting, so the
+    admitted/shed split is exact.  Returns deterministic gate booleans
+    plus the deadline-overrun measurement.
+    """
+    clients = len(query_sets)
+    submitted = FLOOD_FACTOR * clients
+    service = IdentityService(
+        index,
+        k=problem["k"],
+        window_s=OVERLOAD_WINDOW_S,
+        max_batch_rows=1024,
+        max_queue=clients,
+    )
+    admitted = []  # (query index, future) in admission order
+    shed = []
+    with service:
+        # The first request carries a budget that lapses inside the
+        # window: it must be rejected at the cut, never computed.
+        doomed = service.submit(
+            query_sets[0], tenant="flood", deadline=DOOMED_BUDGET_S
+        )
+        for i in range(1, submitted):
+            try:
+                future = service.submit(query_sets[i % clients], tenant="flood")
+            except OverloadedError as exc:
+                shed.append(exc)
+            else:
+                admitted.append((i % clients, future))
+        overrun_s = -1.0  # "never expired" -- fails the bounded gate
+        try:
+            doomed.result(timeout=120)
+        except DeadlineExceededError as exc:
+            overrun_s = exc.overrun_s
+        accepted = [(qi, f.result(timeout=120)) for qi, f in admitted]
+
+    n_admitted = 1 + len(admitted)
+    bit_exact = all(matches == oracles[qi] for qi, matches in accepted)
+    return {
+        "flood_factor": FLOOD_FACTOR,
+        "submitted": submitted,
+        "admitted": n_admitted,
+        "shed": len(shed),
+        "shed_all_have_retry_hint": bool(
+            shed and all(exc.retry_after_ms >= 1 for exc in shed)
+        ),
+        "conservation_ok": n_admitted + len(shed) == submitted,
+        "accepted_bit_exact": bool(accepted) and bit_exact,
+        "deadline_rejections": 1 if overrun_s >= 0 else 0,
+        "deadline_overrun_s": overrun_s,
+        "deadline_overrun_bounded": bool(
+            0 <= overrun_s <= OVERLOAD_WINDOW_S + OVERRUN_SLACK_S
+        ),
+    }
+
+
 def run_bench(problem, workdir):
     """Build a sharded index, serve it, return a JSON-ready dict."""
     database, query_sets = make_inputs(problem)
@@ -143,6 +226,7 @@ def run_bench(problem, workdir):
             solo, coalesced, solo_pq, coal_pq, occupancy = measure_forced(
                 service, query_sets, tracer
             )
+            overload = measure_overload(index, problem, query_sets, oracles)
             counters = {
                 name: value
                 for name, value in sorted(tracer.counters.snapshot().items())
@@ -169,6 +253,7 @@ def run_bench(problem, workdir):
             "p99_s": latency["p99_s"],
             "qps": latency["qps"],
         },
+        "overload": overload,
         "counters": counters,
     }
 
@@ -176,6 +261,7 @@ def run_bench(problem, workdir):
 def render(result):
     p = result["problem"]
     s = result["serving"]
+    o = result["overload"]
     ratio = (
         s["word_ops_per_query_coalesced"] / s["word_ops_per_query_solo"]
         if s["word_ops_per_query_solo"]
@@ -194,6 +280,14 @@ def render(result):
         f"{s['p99_s'] * 1e3:.2f} ms",
         f"  throughput               {s['qps']:>12.1f} qps",
         f"  bit-exact                {'yes' if s['bit_exact'] else 'NO':>12}",
+        f"overload ({o['flood_factor']}x capacity flood: {o['submitted']} "
+        f"submitted -> {o['admitted']} admitted, {o['shed']} shed)",
+        f"  shed carry retry hint    "
+        f"{'yes' if o['shed_all_have_retry_hint'] else 'NO':>12}",
+        f"  accepted bit-exact       "
+        f"{'yes' if o['accepted_bit_exact'] else 'NO':>12}",
+        f"  deadline overrun         {o['deadline_overrun_s'] * 1e3:>9.1f} ms  "
+        f"(bounded: {'yes' if o['deadline_overrun_bounded'] else 'NO'})",
     ])
 
 
@@ -219,6 +313,12 @@ if pytest is not None:
             serving["word_ops_per_query_coalesced"]
             <= OPS_RATIO_CEILING * serving["word_ops_per_query_solo"]
         )
+        overload = result["overload"]
+        assert overload["shed"] > 0
+        assert overload["shed_all_have_retry_hint"]
+        assert overload["conservation_ok"]
+        assert overload["accepted_bit_exact"]
+        assert overload["deadline_overrun_bounded"]
 
     @pytest.mark.artifact("serving")
     def bench_serving_coalesced_panel(benchmark, tmp_path):
@@ -273,6 +373,25 @@ def main(argv=None):
             f"{serving['word_ops_per_query_coalesced']:.0f} above "
             f"{OPS_RATIO_CEILING} x solo "
             f"({serving['word_ops_per_query_solo']:.0f})",
+            file=sys.stderr,
+        )
+        return 1
+    overload = result["overload"]
+    overload_gates = (
+        "shed_all_have_retry_hint",
+        "conservation_ok",
+        "accepted_bit_exact",
+        "deadline_overrun_bounded",
+    )
+    failed = [gate for gate in overload_gates if not overload[gate]]
+    if overload["shed"] == 0:
+        failed.append("shed_nonzero")
+    if failed:
+        print(
+            f"FAIL: overload gates not met: {', '.join(failed)} "
+            f"({overload['submitted']} submitted, "
+            f"{overload['admitted']} admitted, {overload['shed']} shed, "
+            f"overrun {overload['deadline_overrun_s']:.3f}s)",
             file=sys.stderr,
         )
         return 1

@@ -135,6 +135,23 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if all(r.passed for r in results) else 1
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.io_stream.fsck import FsckReport, fsck_directory, fsck_file
+
+    target = Path(args.path)
+    if target.is_dir():
+        report = fsck_directory(target, quarantine=args.quarantine)
+    else:
+        report = FsckReport(files=[fsck_file(target)])
+    for file_report in report.files:
+        print(file_report.describe())
+    print(
+        f"fsck: {len(report.files)} file(s), {report.n_ok} ok, "
+        f"{report.n_corrupt} corrupt"
+    )
+    return 0 if report.clean else 1
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     arch = get_gpu(args.device)
     config = derive_config(arch, Algorithm(args.algorithm))
@@ -617,6 +634,18 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "verify", help="run the installation self-check battery"
     ).set_defaults(func=_cmd_verify)
+
+    fsck = sub.add_parser(
+        "fsck", help="verify .snpbin shard checksums, quarantine corruption"
+    )
+    fsck.add_argument("path", help="a .snpbin file or a shard directory")
+    fsck.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="rename corrupt shards to *.snpbin.quarantined so a "
+        "reopened index skips them (bytes are preserved)",
+    )
+    fsck.set_defaults(func=_cmd_fsck)
 
     tune = sub.add_parser("tune", help="derive a device configuration")
     tune.add_argument("--device", required=True)

@@ -44,7 +44,10 @@ __all__ = [
     "ShardExecutionError",
     "PackingError",
     "DatasetError",
+    "IntegrityError",
     "ModelError",
+    "DeadlineExceededError",
+    "OverloadedError",
 ]
 
 
@@ -132,5 +135,68 @@ class DatasetError(ReproError, ValueError):
     """A genetics dataset is malformed or inconsistent."""
 
 
+class IntegrityError(DatasetError):
+    """On-disk data failed a checksum or structural integrity check.
+
+    Raised by the ``.snpbin`` reader when a per-chunk CRC or the header
+    CRC does not match the stored value -- the serving stack's
+    guarantee is that a flipped bit on disk becomes a loud error, never
+    a confidently wrong top-k answer.  Classified FATAL by the retry
+    layer (a bit flip does not heal on retry); the fsck path
+    quarantines the shard instead.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: str | None = None,
+        chunk: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.chunk = chunk
+
+
 class ModelError(ReproError, ValueError):
     """The analytical performance model was queried inconsistently."""
+
+
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A request's deadline expired before (or while) it was served.
+
+    Carries how far past the deadline the check happened
+    (``overrun_s``; ``0.0`` when rejected exactly at expiry) so
+    callers and tests can assert bounded overrun.  Classified FATAL by
+    the retry layer: the budget belongs to the client, retrying on the
+    server only wastes more of it.
+    """
+
+    def __init__(self, message: str, overrun_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.overrun_s = overrun_s
+
+
+class OverloadedError(ReproError, RuntimeError):
+    """The service shed this request instead of queuing it unboundedly.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description.
+    retry_after_ms:
+        Hint for when the client should retry (milliseconds); derived
+        from the batcher window and current queue depth.
+    reason:
+        Machine-readable shed reason: ``"queue_full"``,
+        ``"breaker_open"`` or ``"shutting_down"``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        retry_after_ms: int = 0,
+        reason: str = "queue_full",
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+        self.reason = reason

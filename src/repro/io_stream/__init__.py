@@ -29,6 +29,8 @@ specification and guidance on chunk sizing.
 """
 
 from repro.io_stream.format import (
+    DEFAULT_CRC_CHUNK_ROWS,
+    SNPBIN2_MAGIC,
     SNPBIN_MAGIC,
     SnpbinHeader,
     PackedDatasetReader,
@@ -36,6 +38,12 @@ from repro.io_stream.format import (
     map_packed_words,
     packed_words_ref,
     write_snpbin,
+)
+from repro.io_stream.fsck import (
+    FsckFileReport,
+    FsckReport,
+    fsck_directory,
+    fsck_file,
 )
 from repro.io_stream.prefetch import ChunkStream, StreamStats
 from repro.io_stream.sources import (
@@ -51,7 +59,13 @@ from repro.io_stream.sources import (
 
 __all__ = [
     "SNPBIN_MAGIC",
+    "SNPBIN2_MAGIC",
+    "DEFAULT_CRC_CHUNK_ROWS",
     "SnpbinHeader",
+    "FsckFileReport",
+    "FsckReport",
+    "fsck_file",
+    "fsck_directory",
     "PackedDatasetReader",
     "PackedDatasetWriter",
     "map_packed_words",

@@ -1,0 +1,129 @@
+"""Offline integrity check for ``.snpbin`` shards: scan and quarantine.
+
+``repro.cli fsck`` drives this module: it walks a shard file or a
+directory of shards, forces full CRC verification on every SNPBIN02
+file (:meth:`PackedDatasetReader.verify_all`), and reports per file.
+SNPBIN01 files carry no checksums -- they are reported ``ok`` with
+``verified=False`` so operators can see which shards predate the
+checksummed format.
+
+With ``quarantine=True`` a corrupt shard is renamed to
+``<name>.snpbin.quarantined``, which removes it from the ``*.snpbin``
+glob that :class:`repro.serve.index.ProfileIndex` scans on open: the
+service comes back up serving every healthy shard instead of refusing
+to start (or worse, serving flipped bits).  The bytes are preserved for
+forensics; nothing is deleted.
+
+Detection here is *exact*, not statistical: every chunk's CRC32 is
+checked, so any truncation, torn write, or bit flip in header, data,
+or CRC table surfaces as a :class:`~repro.errors.IntegrityError` and a
+non-ok report line (see ``tests/test_integrity.py`` for the property
+tests flipping arbitrary bytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import DatasetError
+from repro.io_stream.format import PackedDatasetReader
+
+__all__ = ["FsckFileReport", "FsckReport", "fsck_file", "fsck_directory"]
+
+#: Suffix appended to corrupt shards when quarantining.
+QUARANTINE_SUFFIX = ".quarantined"
+
+
+@dataclass
+class FsckFileReport:
+    """Outcome of checking one ``.snpbin`` file."""
+
+    path: str
+    ok: bool
+    version: int = 0
+    verified: bool = False
+    n_rows: int = 0
+    chunks_verified: int = 0
+    error: str | None = None
+    quarantined_to: str | None = None
+
+    def describe(self) -> str:
+        if not self.ok:
+            tail = f" -> quarantined as {self.quarantined_to}" if (
+                self.quarantined_to
+            ) else ""
+            return f"CORRUPT  {self.path}: {self.error}{tail}"
+        if not self.verified:
+            return (
+                f"ok       {self.path}: SNPBIN01, {self.n_rows} rows "
+                f"(no checksums -- rewrite to verify)"
+            )
+        return (
+            f"ok       {self.path}: SNPBIN0{self.version}, "
+            f"{self.n_rows} rows, {self.chunks_verified} chunks verified"
+        )
+
+
+@dataclass
+class FsckReport:
+    """Aggregate outcome of an fsck pass."""
+
+    files: list[FsckFileReport] = field(default_factory=list)
+
+    @property
+    def n_ok(self) -> int:
+        return sum(1 for f in self.files if f.ok)
+
+    @property
+    def n_corrupt(self) -> int:
+        return sum(1 for f in self.files if not f.ok)
+
+    @property
+    def clean(self) -> bool:
+        return self.n_corrupt == 0
+
+
+def fsck_file(path: "str | Path") -> FsckFileReport:
+    """Fully verify one shard file; never raises on corruption."""
+    path = Path(path)
+    try:
+        with PackedDatasetReader(path) as reader:
+            chunks = reader.verify_all()
+            return FsckFileReport(
+                path=str(path),
+                ok=True,
+                version=reader.version,
+                verified=reader.verified,
+                n_rows=reader.n_rows,
+                chunks_verified=chunks,
+            )
+    except DatasetError as exc:  # IntegrityError is a DatasetError
+        return FsckFileReport(path=str(path), ok=False, error=str(exc))
+    except OSError as exc:
+        return FsckFileReport(path=str(path), ok=False, error=str(exc))
+
+
+def fsck_directory(
+    directory: "str | Path", quarantine: bool = False
+) -> FsckReport:
+    """Check every ``*.snpbin`` under ``directory`` (sorted, like the index).
+
+    ``quarantine=True`` renames corrupt shards out of the index's glob;
+    the report records the destination path per quarantined file.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise DatasetError(
+            f"fsck: {directory} is not a directory "
+            f"(pass a shard file to fsck_file instead)"
+        )
+    report = FsckReport()
+    for path in sorted(directory.glob("*.snpbin")):
+        file_report = fsck_file(path)
+        if not file_report.ok and quarantine:
+            target = path.with_name(path.name + QUARANTINE_SUFFIX)
+            path.rename(target)
+            file_report.quarantined_to = str(target)
+        report.files.append(file_report)
+    return report

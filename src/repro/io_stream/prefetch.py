@@ -38,6 +38,7 @@ from repro.observability.counters import (
     STREAM_BYTES_READ,
     STREAM_CHUNKS,
     STREAM_PREFETCH_STALL_SECONDS,
+    STREAM_PRODUCER_LEAKED,
     STREAM_READ_SECONDS,
 )
 from repro.observability.tracer import get_tracer
@@ -125,6 +126,22 @@ class ChunkStream:
         obs.counters.add(STREAM_BYTES_READ, raw_bytes)
         return ("chunk", payload)
 
+    def _put(self, out: "queue.Queue[_Item]", item: _Item) -> bool:
+        """Hand an item to the consumer, yielding to the stop flag.
+
+        A plain blocking ``put`` deadlocks if the consumer abandons the
+        iterator without draining (the hand-off queue stays full
+        forever); polling with a short timeout keeps the producer
+        responsive to :meth:`close`.  Returns ``False`` when stopped.
+        """
+        while not self._stop.is_set():
+            try:
+                out.put(item, timeout=0.05)
+                return True
+            except queue.Full:
+                continue
+        return False
+
     def _producer(self, out: "queue.Queue[_Item]") -> None:
         chunk_iter = iter(self.source.chunks(self.chunk_rows))
         try:
@@ -132,10 +149,11 @@ class ChunkStream:
                 item = self._produce_one(chunk_iter)
                 if item is None:
                     break
-                out.put(item)
-            out.put(("done", None))
+                if not self._put(out, item):
+                    return
+            self._put(out, ("done", None))
         except BaseException as exc:  # propagate to the consumer
-            out.put(("error", exc))
+            self._put(out, ("error", exc))
 
     # -- consumer side ---------------------------------------------------------
 
@@ -187,18 +205,34 @@ class ChunkStream:
         self._started = True
         return self._iter_prefetched() if self.prefetch else self._iter_sync()
 
-    def close(self) -> None:
-        """Stop the producer thread (idempotent; called on exhaustion)."""
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the producer thread, deterministically (idempotent).
+
+        Sets the stop flag, drains the hand-off queue (unblocking a
+        producer stuck on a full queue) and joins with a *bounded*
+        wait.  A producer that outlives the bound -- wedged inside a
+        source read it cannot abandon -- is counted under
+        ``stream.producer_leaked`` and raised, instead of the old
+        unbounded spin that could hang teardown forever.
+        """
         self._stop.set()
         thread = self._thread
         out = self._queue
-        while thread is not None and thread.is_alive():
+        self._thread = None
+        self._queue = None
+        if thread is None:
+            return
+        deadline = time.perf_counter() + max(timeout, 0.0)
+        while thread.is_alive() and time.perf_counter() < deadline:
             if out is not None:
-                # Unblock a producer waiting on the full hand-off queue.
                 try:
                     out.get_nowait()
                 except queue.Empty:
                     pass
             thread.join(timeout=0.05)
-        self._thread = None
-        self._queue = None
+        if thread.is_alive():
+            get_tracer().counters.add(STREAM_PRODUCER_LEAKED)
+            raise RuntimeError(
+                f"ChunkStream.close: producer thread failed to join within "
+                f"{timeout}s -- thread leaked"
+            )

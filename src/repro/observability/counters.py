@@ -60,6 +60,12 @@ __all__ = [
     "SERVE_SOLO_FALLBACKS",
     "SERVE_REQUEST_FAILURES",
     "SERVE_APPENDED_PROFILES",
+    "SERVE_SHED",
+    "SERVE_DEADLINE_EXCEEDED",
+    "SERVE_BREAKER_TRIPS",
+    "IO_CRC_FAILURES",
+    "IO_CHUNKS_VERIFIED",
+    "STREAM_PRODUCER_LEAKED",
 ]
 
 # -- counter names (the catalogue) ---------------------------------------------
@@ -157,6 +163,26 @@ SERVE_SOLO_FALLBACKS = "serve.solo_fallbacks"
 SERVE_REQUEST_FAILURES = "serve.request_failures"
 #: Profiles appended to the resident index while serving.
 SERVE_APPENDED_PROFILES = "serve.appended_profiles"
+#: Requests shed by admission control (bounded queue, open breaker, or
+#: graceful drain) instead of being queued unboundedly; each shed reply
+#: carries a ``retry_after_ms`` hint.
+SERVE_SHED = "serve.shed"
+#: Requests rejected (or abandoned mid-fold) because their deadline
+#: expired before a result could be produced.
+SERVE_DEADLINE_EXCEEDED = "serve.deadline_exceeded"
+#: Circuit-breaker trips: the backend failed repeatedly and the breaker
+#: opened (half-open probes that fail re-trip and re-count).
+SERVE_BREAKER_TRIPS = "serve.breaker_trips"
+#: ``.snpbin`` CRC verification failures: a header or data chunk did
+#: not match its stored checksum (each failing verification attempt
+#: counts once; 0 in healthy runs).
+IO_CRC_FAILURES = "io.crc_failures"
+#: ``.snpbin`` data chunks whose CRC32 was verified on first read
+#: (lazy verify-on-read; each chunk counts once per reader).
+IO_CHUNKS_VERIFIED = "io.chunks_verified"
+#: Prefetch producer threads that failed to join within the close
+#: deadline (a leak guard; 0 in healthy runs).
+STREAM_PRODUCER_LEAKED = "stream.producer_leaked"
 
 #: Every counter the instrumented layers emit, with a one-line meaning.
 COUNTER_CATALOGUE: dict[str, str] = {
@@ -196,6 +222,12 @@ COUNTER_CATALOGUE: dict[str, str] = {
     SERVE_SOLO_FALLBACKS: "requests re-run alone after a batch failure",
     SERVE_REQUEST_FAILURES: "requests that returned an error to the caller",
     SERVE_APPENDED_PROFILES: "profiles appended to the resident index",
+    SERVE_SHED: "requests shed by admission control (with retry_after_ms)",
+    SERVE_DEADLINE_EXCEEDED: "requests rejected/abandoned on an expired deadline",
+    SERVE_BREAKER_TRIPS: "circuit-breaker trips after repeated backend failures",
+    IO_CRC_FAILURES: "snpbin header/chunk CRC verification failures",
+    IO_CHUNKS_VERIFIED: "snpbin data chunks CRC-verified on first read",
+    STREAM_PRODUCER_LEAKED: "prefetch producers that outlived their close deadline",
 }
 
 

@@ -91,6 +91,14 @@ DETERMINISTIC_COUNTERS = (
     "serve.batches",
     "serve.coalesced_batches",
     "serve.batch_rows",
+    # Robustness counters: exact by construction in the chaos-serve and
+    # overload scenarios (fault plans are seeded, admission bounds are
+    # forced), so any drift is a real behaviour change.
+    "serve.shed",
+    "serve.deadline_exceeded",
+    "serve.breaker_trips",
+    "io.crc_failures",
+    "io.chunks_verified",
 )
 
 #: Default relative tolerance for ``timing``/``ratio`` metrics -- wide
@@ -290,6 +298,37 @@ def _flatten_serving(data: dict[str, Any], prefix: str) -> list[Metric]:
         Metric(f"{prefix}:p99_s", float(serving["p99_s"]), KIND_TIMING),
         Metric(f"{prefix}:qps", float(serving["qps"]), KIND_RATIO),
     ]
+    # Overload-flood gates (added with the hardening work): the
+    # admitted/shed split is forced by the admission bounds, so every
+    # one of these is exact.  Absent in pre-hardening JSONs.
+    overload = data.get("overload")
+    if overload is not None:
+        for name in (
+            "submitted",
+            "admitted",
+            "shed",
+            "deadline_rejections",
+        ):
+            metrics.append(
+                Metric(
+                    f"{prefix}:overload.{name}",
+                    float(overload[name]),
+                    KIND_EXACT,
+                )
+            )
+        for name in (
+            "shed_all_have_retry_hint",
+            "conservation_ok",
+            "accepted_bit_exact",
+            "deadline_overrun_bounded",
+        ):
+            metrics.append(
+                Metric(
+                    f"{prefix}:overload.{name}",
+                    float(bool(overload[name])),
+                    KIND_EXACT,
+                )
+            )
     for name, value in sorted(data.get("counters", {}).items()):
         if name in DETERMINISTIC_COUNTERS:
             metrics.append(

@@ -35,6 +35,7 @@ never returned silently; the optional spot-verification guard
 re-checks sampled output tiles against the serial popcount reference.
 """
 
+from repro.resilience.deadline import Deadline, DeadlineExceededError
 from repro.resilience.faults import (
     FAULT_KINDS,
     FaultInjector,
@@ -61,6 +62,8 @@ from repro.resilience.runtime import (
 )
 
 __all__ = [
+    "Deadline",
+    "DeadlineExceededError",
     "FAULT_KINDS",
     "FaultInjector",
     "FaultPlan",

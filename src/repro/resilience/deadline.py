@@ -1,0 +1,85 @@
+"""Monotonic request deadlines for the serving stack.
+
+A :class:`Deadline` is an absolute point on a monotonic clock; every
+layer of the serving path (protocol decode, batcher admission, batch
+cut, per-segment fold) can cheaply ask ``remaining()`` or ``check()``
+without re-deriving the budget.  The clock is injectable so tests can
+step time deterministically instead of sleeping.
+
+Deadlines travel over the JSON-lines protocol as ``deadline_ms`` --
+*relative* budgets, converted to an absolute monotonic instant the
+moment the server decodes the request, so client and server clocks
+never need to agree.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.errors import DeadlineExceededError
+
+__all__ = ["Deadline", "DeadlineExceededError"]
+
+
+class Deadline:
+    """An absolute expiry instant on a monotonic clock.
+
+    Use :meth:`after` to create one from a relative budget::
+
+        deadline = Deadline.after(0.250)       # 250 ms from now
+        ...
+        deadline.check("pack")                 # raises when expired
+        budget = deadline.remaining()          # seconds left (>= 0)
+    """
+
+    __slots__ = ("expires_at", "_clock")
+
+    def __init__(
+        self,
+        expires_at: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.expires_at = float(expires_at)
+        self._clock = clock
+
+    @classmethod
+    def after(
+        cls,
+        seconds: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        """Deadline ``seconds`` from now on ``clock``."""
+        return cls(clock() + float(seconds), clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds until expiry, clamped at 0."""
+        return max(0.0, self.expires_at - self._clock())
+
+    def overrun(self) -> float:
+        """Seconds *past* expiry (0 while the deadline still holds)."""
+        return max(0.0, self._clock() - self.expires_at)
+
+    @property
+    def expired(self) -> bool:
+        return self._clock() >= self.expires_at
+
+    def check(self, label: str = "request") -> None:
+        """Raise :class:`DeadlineExceededError` when expired."""
+        over = self._clock() - self.expires_at
+        if over >= 0.0:
+            raise DeadlineExceededError(
+                f"deadline exceeded at {label} "
+                f"(overran by {over * 1e3:.1f} ms)",
+                overrun_s=over,
+            )
+
+    def remaining_ms(self) -> int:
+        """Whole milliseconds until expiry (floor, clamped at 0)."""
+        return int(self.remaining() * 1e3)
+
+    def __repr__(self) -> str:
+        return (
+            f"Deadline(expires_at={self.expires_at:.6f}, "
+            f"remaining={self.remaining():.6f}s)"
+        )

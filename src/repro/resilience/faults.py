@@ -49,6 +49,25 @@ Fault kinds and their addressing:
     dead process, because a dying worker cannot ship its own event
     log.  Threaded and serial runs have no worker processes, so the
     kind never fires there.
+``latency``
+    Ordinal-indexed service-tier delay: each serving micro-batch
+    consults :meth:`FaultInjector.service_delay` before executing, and
+    a scheduled firing sleeps :attr:`FaultPlan.slow_delay_s` *without
+    raising* -- modeling a slow backend that deadline propagation and
+    admission control must absorb (the serve-tier chaos harness's
+    ``latency@service`` plans).
+``disk-corrupt``
+    Shard-file corruption: ``disk-corrupt@S`` schedules sealed shard
+    file ``S`` of a serving index to have one bit flipped *on disk*
+    (the serve chaos harness flips the bit; the injector only decides
+    and records via :meth:`FaultInjector.should_corrupt_disk`).  The
+    SNPBIN02 per-chunk CRCs must turn this into a loud
+    :class:`~repro.errors.IntegrityError`, never a wrong answer.
+``client-disconnect``
+    Ordinal-indexed client death: the Nth client connection of a chaos
+    run hangs up right after sending its request
+    (:meth:`FaultInjector.should_disconnect`); the server must absorb
+    the broken pipe without failing unrelated requests.
 
 Spec strings (CLI ``--inject-faults``) are comma-separated tokens
 ``kind[@target][:count]`` plus an optional ``seed=N``::
@@ -82,7 +101,8 @@ __all__ = [
 
 #: Every fault kind the injector understands.
 FAULT_KINDS = (
-    "kernel", "alloc", "device", "shard", "slow", "bitflip", "worker-lost"
+    "kernel", "alloc", "device", "shard", "slow", "bitflip", "worker-lost",
+    "latency", "disk-corrupt", "client-disconnect",
 )
 
 #: Kinds addressed by invocation ordinal (sequential hook sites).
@@ -371,6 +391,59 @@ class FaultInjector:
             self._consumed[key] = used + 1
         return True
 
+    def service_delay(self, site: str = "serve.batch") -> float:
+        """Service-tier latency hook: sleep when the plan schedules it.
+
+        Each call consumes one ``latency`` invocation ordinal (serving
+        micro-batches execute sequentially per dispatcher, so ordinals
+        are deterministic).  A scheduled firing sleeps
+        :attr:`FaultPlan.slow_delay_s` and returns the delay -- it does
+        *not* raise, modeling a slow backend rather than a broken one.
+        Returns 0.0 when nothing fired.
+        """
+        ordinal = self._next_ordinal("latency")
+        if not self._ordinal_spec_hit("latency", ordinal):
+            return 0.0
+        self._record("latency", ordinal, 0, site=site)
+        if self.plan.slow_delay_s > 0:
+            self._sleep(self.plan.slow_delay_s)
+        return self.plan.slow_delay_s
+
+    def should_corrupt_disk(self, shard_seq: int) -> bool:
+        """Disk-corruption hook: ``True`` when shard file ``shard_seq``
+        is scheduled for an on-disk bit flip.
+
+        Consumes one firing of the ``disk-corrupt`` budget for the
+        target per call and records the fired event; the caller (the
+        serve chaos harness) performs the actual on-disk flip.
+        """
+        with self._lock:
+            key = ("disk-corrupt", shard_seq)
+            used = self._consumed.get(key, 0)
+            budget = sum(
+                s.count
+                for s in self.plan.specs
+                if s.kind == "disk-corrupt" and s.target == shard_seq
+            )
+            if used >= budget:
+                return False
+            self._consumed[key] = used + 1
+        self._record("disk-corrupt", shard_seq, used, site="disk")
+        return True
+
+    def should_disconnect(self) -> bool:
+        """Client-disconnect hook: ``True`` when this connection ordinal
+        is scheduled to hang up after sending its request.
+
+        Each call consumes one ``client-disconnect`` invocation ordinal
+        (the chaos harness opens connections sequentially).
+        """
+        ordinal = self._next_ordinal("client-disconnect")
+        if not self._ordinal_spec_hit("client-disconnect", ordinal):
+            return False
+        self._record("client-disconnect", ordinal, 0, site="client")
+        return True
+
     def corrupt_block(self, block: np.ndarray, shard_id: int) -> np.ndarray:
         """Bit-flip hook: silently corrupt one element of an output tile.
 
@@ -438,6 +511,15 @@ class NullInjector:
         pass
 
     def check_worker(self, worker_id: int) -> bool:
+        return False
+
+    def service_delay(self, site: str = "serve.batch") -> float:
+        return 0.0
+
+    def should_corrupt_disk(self, shard_seq: int) -> bool:
+        return False
+
+    def should_disconnect(self) -> bool:
         return False
 
     def corrupt_block(self, block: np.ndarray, shard_id: int) -> np.ndarray:

@@ -15,6 +15,7 @@ over the wire.  See docs/SERVING.md.
 from repro.serve.batcher import Batch, CoalescingBatcher
 from repro.serve.index import ProfileIndex, Segment
 from repro.serve.metrics import LatencyWindow, TenantAccount, TenantLedger
+from repro.serve.overload import CircuitBreaker
 from repro.serve.server import (
     BackgroundServer,
     IdentityServer,
@@ -26,6 +27,7 @@ from repro.serve.service import IdentityService, QueryRequest
 __all__ = [
     "Batch",
     "CoalescingBatcher",
+    "CircuitBreaker",
     "ProfileIndex",
     "Segment",
     "LatencyWindow",

@@ -21,6 +21,16 @@ query rows accumulate.  Cut batches execute on a small thread-pool
 executor so the window for batch *i+1* collects while batch *i*
 computes.
 
+Overload protection: admission is *bounded*.  ``max_queue`` caps queued
+requests and ``max_inflight_rows`` caps query rows that are queued or
+executing; past either bound :meth:`submit` sheds with
+:class:`~repro.errors.OverloadedError` carrying a ``retry_after_ms``
+hint (counted in ``serve.shed``) instead of queueing unboundedly.
+Requests may carry a :class:`~repro.resilience.deadline.Deadline`;
+expired requests are rejected at admission and again when their batch
+is cut -- *before* packing or compute -- so a request never occupies a
+panel its caller has already abandoned (``serve.deadline_exceeded``).
+
 The executor callback receives the batched payloads and returns one
 **outcome per payload** -- a result or an exception instance -- which
 the dispatcher demultiplexes onto the individual futures.  Isolation is
@@ -40,6 +50,11 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from repro.errors import DeadlineExceededError, OverloadedError
+from repro.observability.counters import SERVE_DEADLINE_EXCEEDED, SERVE_SHED
+from repro.observability.tracer import get_tracer
+from repro.resilience.deadline import Deadline
+
 __all__ = ["Batch", "CoalescingBatcher"]
 
 
@@ -51,6 +66,7 @@ class _Pending:
     rows: int
     future: "Future[Any]"
     admitted_at: float
+    deadline: Deadline | None = None
 
 
 @dataclass
@@ -82,6 +98,12 @@ class CoalescingBatcher:
         Executor threads; ``1`` (the default) keeps batch execution
         sequential -- deterministic counter attribution -- while the
         next window collects concurrently.
+    max_queue:
+        Admission bound: maximum *queued* requests.  ``None`` (default)
+        keeps the pre-overload unbounded behavior.
+    max_inflight_rows:
+        Admission bound: maximum query rows queued + executing.
+        ``None`` disables the bound.
     """
 
     def __init__(
@@ -90,6 +112,8 @@ class CoalescingBatcher:
         window_s: float = 0.005,
         max_rows: int = 1024,
         pipeline_depth: int = 1,
+        max_queue: int | None = None,
+        max_inflight_rows: int | None = None,
     ) -> None:
         if window_s < 0:
             raise ValueError(f"CoalescingBatcher: window_s must be >= 0, got {window_s}")
@@ -97,11 +121,23 @@ class CoalescingBatcher:
             raise ValueError(
                 f"CoalescingBatcher: max_rows must be positive, got {max_rows}"
             )
+        if max_queue is not None and max_queue <= 0:
+            raise ValueError(
+                f"CoalescingBatcher: max_queue must be positive, got {max_queue}"
+            )
+        if max_inflight_rows is not None and max_inflight_rows <= 0:
+            raise ValueError(
+                f"CoalescingBatcher: max_inflight_rows must be positive, "
+                f"got {max_inflight_rows}"
+            )
         self._execute = execute
         self.window_s = window_s
         self.max_rows = max_rows
+        self.max_queue = max_queue
+        self.max_inflight_rows = max_inflight_rows
         self._cv = threading.Condition()
         self._queue: list[_Pending] = []
+        self._inflight_rows = 0
         self._closed = False
         self._pool = ThreadPoolExecutor(
             max_workers=max(1, pipeline_depth),
@@ -114,30 +150,127 @@ class CoalescingBatcher:
 
     # -- client side -----------------------------------------------------------
 
-    def submit(self, payload: Any, rows: int = 1) -> "Future[Any]":
-        """Enqueue one request; resolves when its batch has executed."""
+    def _retry_after_ms_locked(self, rows: int) -> int:
+        """Shed hint: when the backlog ahead should have drained."""
+        backlog = sum(p.rows for p in self._queue) + self._inflight_rows + rows
+        batches_ahead = max(1, -(-backlog // self.max_rows))
+        return max(1, int(1e3 * max(self.window_s, 1e-3) * batches_ahead))
+
+    def submit(
+        self,
+        payload: Any,
+        rows: int = 1,
+        deadline: Deadline | None = None,
+    ) -> "Future[Any]":
+        """Enqueue one request; resolves when its batch has executed.
+
+        Raises :class:`~repro.errors.OverloadedError` when an admission
+        bound is exceeded and :class:`~repro.errors.DeadlineExceededError`
+        when ``deadline`` has already expired.
+        """
         future: "Future[Any]" = Future()
         pending = _Pending(
             payload=payload,
             rows=max(1, rows),
             future=future,
             admitted_at=time.perf_counter(),
+            deadline=deadline,
         )
         with self._cv:
             if self._closed:
                 raise RuntimeError("CoalescingBatcher: batcher is closed")
+            if deadline is not None and deadline.expired:
+                get_tracer().counters.add(SERVE_DEADLINE_EXCEEDED)
+                raise DeadlineExceededError(
+                    "CoalescingBatcher: deadline expired before admission "
+                    f"(overran by {deadline.overrun() * 1e3:.1f} ms)",
+                    overrun_s=deadline.overrun(),
+                )
+            if (
+                self.max_queue is not None
+                and len(self._queue) >= self.max_queue
+            ):
+                hint = self._retry_after_ms_locked(pending.rows)
+                get_tracer().counters.add(SERVE_SHED)
+                raise OverloadedError(
+                    f"CoalescingBatcher: admission queue full "
+                    f"({len(self._queue)} >= {self.max_queue} requests); "
+                    f"retry after {hint} ms",
+                    retry_after_ms=hint,
+                    reason="queue_full",
+                )
+            if self.max_inflight_rows is not None:
+                backlog = (
+                    sum(p.rows for p in self._queue) + self._inflight_rows
+                )
+                if backlog + pending.rows > self.max_inflight_rows:
+                    hint = self._retry_after_ms_locked(pending.rows)
+                    get_tracer().counters.add(SERVE_SHED)
+                    raise OverloadedError(
+                        f"CoalescingBatcher: in-flight row budget exceeded "
+                        f"({backlog} + {pending.rows} > "
+                        f"{self.max_inflight_rows} rows); "
+                        f"retry after {hint} ms",
+                        retry_after_ms=hint,
+                        reason="queue_full",
+                    )
             self._queue.append(pending)
             self._cv.notify()
         return future
 
-    def close(self, timeout: float | None = 10.0) -> None:
-        """Stop admitting, drain queued batches, join the dispatcher."""
+    @property
+    def queued_requests(self) -> int:
+        """Requests waiting for a batch cut right now."""
         with self._cv:
-            if self._closed:
-                return
+            return len(self._queue)
+
+    @property
+    def inflight_rows(self) -> int:
+        """Query rows inside cut batches that have not finished."""
+        with self._cv:
+            return self._inflight_rows
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until nothing is queued or executing (graceful drain).
+
+        Returns ``False`` when ``timeout`` elapses first.
+        """
+        deadline = (
+            None if timeout is None else time.perf_counter() + timeout
+        )
+        with self._cv:
+            while self._queue or self._inflight_rows:
+                remaining = (
+                    None
+                    if deadline is None
+                    else deadline - time.perf_counter()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cv.wait(timeout=remaining)
+            return True
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Stop admitting, drain queued batches, join the dispatcher.
+
+        Raises ``RuntimeError`` when the dispatcher thread fails to
+        join within ``timeout`` -- a leaked dispatcher means batches
+        may still execute after "shutdown", which callers must not be
+        allowed to mistake for a clean stop.
+        """
+        with self._cv:
+            already_closed = self._closed
             self._closed = True
             self._cv.notify_all()
+        if already_closed and not self._dispatcher.is_alive():
+            return
         self._dispatcher.join(timeout=timeout)
+        if self._dispatcher.is_alive():
+            self._pool.shutdown(wait=False)
+            raise RuntimeError(
+                f"CoalescingBatcher.close: dispatcher thread failed to "
+                f"join within {timeout}s -- thread leaked"
+            )
         self._pool.shutdown(wait=True)
 
     def __enter__(self) -> "CoalescingBatcher":
@@ -158,6 +291,7 @@ class CoalescingBatcher:
             item = self._queue.pop(0)
             batch.append(item)
             rows += item.rows
+        self._inflight_rows += rows
         return batch
 
     def _dispatch_loop(self) -> None:
@@ -183,18 +317,44 @@ class CoalescingBatcher:
 
     def _run_batch(self, batch: list[_Pending]) -> None:
         try:
-            outcomes = list(self._execute([p.payload for p in batch]))
-            if len(outcomes) != len(batch):
-                raise RuntimeError(
-                    f"CoalescingBatcher: execute returned {len(outcomes)} "
-                    f"outcomes for {len(batch)} payloads"
-                )
-        except BaseException as exc:  # contract violation: fail the batch
+            # Expired deadlines are rejected here, before the executor
+            # ever packs or computes: the window has closed, so this is
+            # at most one batch window past the client's budget.
+            live: list[_Pending] = []
             for pending in batch:
-                pending.future.set_exception(exc)
-            return
-        for pending, outcome in zip(batch, outcomes):
-            if isinstance(outcome, BaseException):
-                pending.future.set_exception(outcome)
-            else:
-                pending.future.set_result(outcome)
+                if pending.deadline is not None and pending.deadline.expired:
+                    get_tracer().counters.add(SERVE_DEADLINE_EXCEEDED)
+                    pending.future.set_exception(
+                        DeadlineExceededError(
+                            "CoalescingBatcher: deadline expired before "
+                            "batch execution (overran by "
+                            f"{pending.deadline.overrun() * 1e3:.1f} ms)",
+                            overrun_s=pending.deadline.overrun(),
+                        )
+                    )
+                else:
+                    live.append(pending)
+            if live:
+                try:
+                    outcomes = list(
+                        self._execute([p.payload for p in live])
+                    )
+                    if len(outcomes) != len(live):
+                        raise RuntimeError(
+                            f"CoalescingBatcher: execute returned "
+                            f"{len(outcomes)} outcomes for {len(live)} "
+                            f"payloads"
+                        )
+                except BaseException as exc:  # contract violation
+                    for pending in live:
+                        pending.future.set_exception(exc)
+                    return
+                for pending, outcome in zip(live, outcomes):
+                    if isinstance(outcome, BaseException):
+                        pending.future.set_exception(outcome)
+                    else:
+                        pending.future.set_result(outcome)
+        finally:
+            with self._cv:
+                self._inflight_rows -= sum(p.rows for p in batch)
+                self._cv.notify_all()

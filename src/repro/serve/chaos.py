@@ -1,0 +1,506 @@
+"""Service-tier chaos: latency, client disconnects, disk corruption.
+
+The serving counterpart of :mod:`repro.resilience.chaos` (and CI's
+``chaos-serve`` leg): drive :class:`~repro.serve.service.IdentityService`
+under seeded service-tier fault plans and hold it to the same two
+standards as the engine harness --
+
+1. **Zero wrong answers** -- a request either gets the bit-exact top-k
+   (verified against a fault-free reference) or a typed error
+   (:class:`~repro.errors.DeadlineExceededError`,
+   :class:`~repro.errors.OverloadedError`,
+   :class:`~repro.errors.IntegrityError`).  Corrupt bytes, injected
+   delays and vanishing clients must never surface as silently wrong
+   matches.
+2. **Exact counter gates** -- the ``serve.*`` / ``io.*`` robustness
+   counters match what the seeded plan implies, firing for firing.
+
+Three scenarios:
+
+``latency``
+    The first *K* micro-batches sleep ``slow_delay_s`` before packing
+    (:meth:`FaultInjector.service_delay`).  Requests riding those
+    batches carry deadlines shorter than the injected delay, so each
+    must be rejected -- ``serve.deadline_exceeded == K`` exactly --
+    while undelayed requests return bit-exact results.
+
+``disconnect``
+    *K* of the harness's TCP clients hang up right after sending their
+    search (:meth:`FaultInjector.should_disconnect`).  The server must
+    absorb the dead connections: every request is still admitted and
+    computed (``serve.queries`` exact), surviving clients get bit-exact
+    answers, and the server stays ``ready`` for new connections.
+
+``disk-corrupt``
+    One seeded bit is flipped inside the *last* ``.snpbin`` shard of a
+    directory-backed index (:meth:`FaultInjector.should_corrupt_disk`
+    picks the shard, the harness flips the byte).  Every search touching
+    the shard must fail with an :class:`~repro.errors.IntegrityError`
+    (CRC detection is exact: ``io.crc_failures`` counts one per verify
+    attempt), repeated failures trip the circuit breaker, ``fsck``
+    quarantines the shard, and the reopened index serves the healthy
+    rows bit-exactly.  Targeting the last shard keeps the surviving
+    rows' global indices stable, so the post-quarantine oracle is just
+    the same database truncated.
+
+Usage::
+
+    python -m repro.serve.chaos --scenarios latency,disconnect,disk-corrupt \
+        --seeds 1,2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.streaming import Match
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    IntegrityError,
+    OverloadedError,
+)
+from repro.gpu.arch import get_gpu
+from repro.io_stream.format import SNPBIN2_HEADER_BYTES
+from repro.io_stream.fsck import fsck_directory
+from repro.observability.counters import (
+    IO_CHUNKS_VERIFIED,
+    IO_CRC_FAILURES,
+    SERVE_BREAKER_TRIPS,
+    SERVE_DEADLINE_EXCEEDED,
+    SERVE_QUERIES,
+    SERVE_SHED,
+)
+from repro.observability.tracer import Tracer, set_tracer
+from repro.resilience.faults import FaultPlan
+from repro.resilience.runtime import resilient
+from repro.serve.index import ProfileIndex
+from repro.serve.overload import CircuitBreaker
+from repro.serve.server import BackgroundServer, ServiceClient
+from repro.serve.service import IdentityService
+
+__all__ = ["ServeChaosResult", "run_serve_chaos_case", "run_serve_chaos", "main"]
+
+#: Scenario names the harness accepts.
+SERVE_SCENARIOS = ("latency", "disconnect", "disk-corrupt")
+
+#: Database / query geometry (small: the faults are the point).
+DEFAULT_ROWS = 256
+DEFAULT_SITES = 512
+SHARD_ROWS = 64
+N_REQUESTS = 4
+QUERY_ROWS = 4
+DATA_SEED = 424242
+
+#: Injected service delay and the (shorter) deadline riding it.  The
+#: sleep *guarantees* the budget expires, so the gate is exact on any
+#: machine: expiry needs only ``delay > budget``, never a fast host.
+LATENCY_DELAY_S = 0.25
+LATENCY_BUDGET_S = 0.1
+
+_DEVICE = "GTX 980"
+
+
+@dataclass
+class ServeChaosResult:
+    """Outcome of one (scenario, seed) chaos-serve case."""
+
+    scenario: str
+    seed: int
+    plan_spec: str
+    bit_exact: bool
+    zero_wrong_answers: bool
+    expected: dict[str, int] = field(default_factory=dict)
+    observed: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def counters_match(self) -> bool:
+        return self.expected == self.observed
+
+    @property
+    def passed(self) -> bool:
+        return self.bit_exact and self.zero_wrong_answers and self.counters_match
+
+    def summary(self) -> str:
+        status = "ok" if self.passed else "FAIL"
+        line = (
+            f"[{status}] scenario={self.scenario} seed={self.seed} "
+            f"plan={self.plan_spec!r}"
+        )
+        if not self.bit_exact:
+            line += " BIT-MISMATCH"
+        if not self.zero_wrong_answers:
+            line += " WRONG-ANSWER"
+        if not self.counters_match:
+            line += f" expected={self.expected} observed={self.observed}"
+        return line
+
+
+def _dataset(rows: int, sites: int) -> tuple[np.ndarray, list[np.ndarray]]:
+    rng = np.random.default_rng(DATA_SEED)
+    profiles = rng.integers(0, 2, size=(rows, sites), dtype=np.uint8)
+    queries = [
+        rng.integers(0, 2, size=(QUERY_ROWS, sites), dtype=np.uint8)
+        for _ in range(N_REQUESTS)
+    ]
+    return profiles, queries
+
+
+def _service(index: ProfileIndex, **kwargs: object) -> IdentityService:
+    return IdentityService(
+        index,
+        k=3,
+        device=_DEVICE,
+        window_s=0.001,
+        max_batch_rows=1024,
+        **kwargs,  # type: ignore[arg-type]
+    )
+
+
+def _reference(
+    profiles: np.ndarray, queries: list[np.ndarray]
+) -> list[list[list[Match]]]:
+    """Fault-free per-request results over an in-memory index."""
+    index = ProfileIndex(n_bits=profiles.shape[1])
+    index.append(profiles)
+    with _service(index) as service:
+        return [service.search(q) for q in queries]
+
+
+def _counters(tracer: Tracer, *names: str) -> dict[str, int]:
+    snapshot = tracer.counters.snapshot()
+    return {name: int(snapshot.get(name, 0)) for name in names}
+
+
+# -- scenario: latency ---------------------------------------------------------
+
+
+def _case_latency(seed: int) -> ServeChaosResult:
+    profiles, queries = _dataset(DEFAULT_ROWS, DEFAULT_SITES)
+    reference = _reference(profiles, queries)
+    n_delayed = 1 + seed % 2
+    plan = FaultPlan.from_spec(
+        f"latency:{n_delayed},seed={seed}", slow_delay_s=LATENCY_DELAY_S
+    )
+
+    index = ProfileIndex(n_bits=profiles.shape[1])
+    index.append(profiles)
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    deadline_errors = 0
+    overruns_positive = True
+    wrong = False
+    exact = True
+    try:
+        with resilient(plan=plan) as ctx, _service(index) as service:
+            # Sequential submits (each awaited) make batch i carry
+            # request i, so the first ``n_delayed`` latency ordinals hit
+            # exactly the deadline-carrying requests.
+            for i, q in enumerate(queries):
+                budget = LATENCY_BUDGET_S if i < n_delayed else None
+                try:
+                    matches = service.search(q, deadline=budget)
+                except DeadlineExceededError as exc:
+                    deadline_errors += 1
+                    if exc.overrun_s <= 0:
+                        overruns_positive = False
+                    continue
+                if i < n_delayed:
+                    wrong = True  # a delayed request must not answer
+                if matches != reference[i]:
+                    exact = False
+            fired = ctx.injector.fired_count("latency")
+    finally:
+        set_tracer(previous)
+
+    observed = _counters(tracer, SERVE_DEADLINE_EXCEEDED, SERVE_SHED)
+    observed["fired_latency"] = fired
+    observed["deadline_errors"] = deadline_errors
+    expected = {
+        SERVE_DEADLINE_EXCEEDED: n_delayed,
+        SERVE_SHED: 0,
+        "fired_latency": n_delayed,
+        "deadline_errors": n_delayed,
+    }
+    return ServeChaosResult(
+        scenario="latency",
+        seed=seed,
+        plan_spec=plan.to_spec(),
+        bit_exact=exact,
+        zero_wrong_answers=not wrong and overruns_positive,
+        expected=expected,
+        observed=observed,
+    )
+
+
+# -- scenario: disconnect ------------------------------------------------------
+
+
+def _send_and_vanish(host: str, port: int, queries: np.ndarray) -> None:
+    """Send a search request, then hang up without reading the reply."""
+    with socket.create_connection((host, port), timeout=10.0) as sock:
+        message = {"op": "search", "queries": queries.tolist(), "id": 0}
+        sock.sendall(json.dumps(message).encode() + b"\n")
+        # Graceful FIN right after the request: the line is delivered,
+        # the server computes, and its reply write lands on a dead
+        # connection -- which must cost exactly nothing.
+
+
+def _wait_for(predicate: "object", timeout_s: float = 10.0) -> bool:
+    deadline = time.perf_counter() + timeout_s
+    while time.perf_counter() < deadline:
+        if predicate():  # type: ignore[operator]
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def _case_disconnect(seed: int) -> ServeChaosResult:
+    profiles, queries = _dataset(DEFAULT_ROWS, DEFAULT_SITES)
+    reference = _reference(profiles, queries)
+    n_disconnect = 1 + seed % 2
+    plan = FaultPlan.from_spec(f"client-disconnect:{n_disconnect},seed={seed}")
+
+    index = ProfileIndex(n_bits=profiles.shape[1])
+    index.append(profiles)
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    exact = True
+    wrong = False
+    healthy_after = False
+    try:
+        with resilient(plan=plan) as ctx, _service(index) as service:
+            with BackgroundServer(service) as (host, port):
+                for i, q in enumerate(queries):
+                    if ctx.injector.should_disconnect():
+                        _send_and_vanish(host, port, q)
+                        continue
+                    with ServiceClient(host, port) as client:
+                        if client.search(q) != reference[i]:
+                            exact = False
+                # Every request -- including the abandoned ones -- must
+                # have been admitted and executed; the dead connections
+                # must not wedge the server.
+                _wait_for(
+                    lambda: int(
+                        tracer.counters.get(SERVE_QUERIES)
+                    ) >= N_REQUESTS
+                )
+                with ServiceClient(host, port) as probe:
+                    healthy_after = (
+                        probe.ping()
+                        and probe.health().get("state") == "ready"
+                    )
+            fired = ctx.injector.fired_count("client-disconnect")
+    finally:
+        set_tracer(previous)
+
+    observed = _counters(tracer, SERVE_QUERIES, SERVE_SHED)
+    observed["fired_disconnect"] = fired
+    observed["healthy_after"] = int(healthy_after)
+    expected = {
+        SERVE_QUERIES: N_REQUESTS,
+        SERVE_SHED: 0,
+        "fired_disconnect": n_disconnect,
+        "healthy_after": 1,
+    }
+    return ServeChaosResult(
+        scenario="disconnect",
+        seed=seed,
+        plan_spec=plan.to_spec(),
+        bit_exact=exact,
+        zero_wrong_answers=not wrong,
+        expected=expected,
+        observed=observed,
+    )
+
+
+# -- scenario: disk-corrupt ----------------------------------------------------
+
+
+def _flip_bit_in_shard(path: Path, seed: int) -> None:
+    """Flip one seeded bit inside the shard's packed data region."""
+    rng = np.random.default_rng(seed)
+    size = path.stat().st_size
+    data_start = SNPBIN2_HEADER_BYTES
+    data_stop = size - 4  # keep the CRC table intact: corrupt the data
+    offset = int(rng.integers(data_start, data_stop))
+    bit = int(rng.integers(0, 8))
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        byte = fh.read(1)[0]
+        fh.seek(offset)
+        fh.write(bytes([byte ^ (1 << bit)]))
+
+
+def _case_disk_corrupt(seed: int) -> ServeChaosResult:
+    profiles, queries = _dataset(DEFAULT_ROWS, DEFAULT_SITES)
+    n_shards = DEFAULT_ROWS // SHARD_ROWS
+    last_seq = n_shards - 1
+    healthy_rows = SHARD_ROWS * last_seq
+    reference_healthy = _reference(profiles[:healthy_rows], queries)
+    plan = FaultPlan.from_spec(f"disk-corrupt@{last_seq}:1,seed={seed}")
+    word_bits = get_gpu(_DEVICE).word_bits
+
+    exact = True
+    wrong = False
+    failed = 0
+    shed = 0
+    fsck_corrupt = 0
+    quarantined = 0
+    tracer = Tracer()
+    with tempfile.TemporaryDirectory(prefix="chaos-serve-") as tmp:
+        directory = Path(tmp) / "shards"
+        index = ProfileIndex.build(
+            directory, profiles, shard_rows=SHARD_ROWS, word_bits=word_bits
+        )
+        index.close()
+        previous = set_tracer(tracer)
+        try:
+            with resilient(plan=plan) as ctx:
+                for seq in range(n_shards):
+                    if ctx.injector.should_corrupt_disk(seq):
+                        _flip_bit_in_shard(
+                            directory / f"shard-{seq:06d}.snpbin", seed
+                        )
+                fired = ctx.injector.fired_count("disk-corrupt")
+                # Three requests fail on the corrupt shard (tripping the
+                # breaker at threshold 3); the fourth is shed by the
+                # open breaker before touching the index.
+                breaker = CircuitBreaker(failure_threshold=3, cooldown_s=60.0)
+                with ProfileIndex(directory) as corrupt_index:
+                    with _service(corrupt_index, breaker=breaker) as service:
+                        for q in queries:
+                            try:
+                                service.search(q)
+                                wrong = True  # corruption must never answer
+                            except IntegrityError:
+                                failed += 1
+                            except OverloadedError as exc:
+                                if exc.reason == "breaker_open":
+                                    shed += 1
+        finally:
+            set_tracer(previous)
+
+        report = fsck_directory(directory, quarantine=True)
+        fsck_corrupt = report.n_corrupt
+        quarantined = sum(
+            1 for f in report.files if f.quarantined_to is not None
+        )
+
+        with ProfileIndex(directory) as reopened:
+            if reopened.n_rows != healthy_rows:
+                exact = False
+            else:
+                with _service(reopened) as service:
+                    for i, q in enumerate(queries):
+                        if service.search(q) != reference_healthy[i]:
+                            exact = False
+
+    observed = _counters(
+        tracer,
+        IO_CRC_FAILURES,
+        IO_CHUNKS_VERIFIED,
+        SERVE_BREAKER_TRIPS,
+        SERVE_SHED,
+    )
+    observed["fired_disk_corrupt"] = fired
+    observed["failed_requests"] = failed
+    observed["shed_requests"] = shed
+    observed["fsck_corrupt"] = fsck_corrupt
+    observed["quarantined"] = quarantined
+    expected = {
+        # Each failing request verifies the corrupt shard twice (panel
+        # attempt + solo fallback); healthy shards verify once, then
+        # stay cached for the reader's lifetime.
+        IO_CRC_FAILURES: 2 * 3,
+        IO_CHUNKS_VERIFIED: last_seq,
+        SERVE_BREAKER_TRIPS: 1,
+        SERVE_SHED: 1,
+        "fired_disk_corrupt": 1,
+        "failed_requests": 3,
+        "shed_requests": 1,
+        "fsck_corrupt": 1,
+        "quarantined": 1,
+    }
+    return ServeChaosResult(
+        scenario="disk-corrupt",
+        seed=seed,
+        plan_spec=plan.to_spec(),
+        bit_exact=exact,
+        zero_wrong_answers=not wrong,
+        expected=expected,
+        observed=observed,
+    )
+
+
+_CASES = {
+    "latency": _case_latency,
+    "disconnect": _case_disconnect,
+    "disk-corrupt": _case_disk_corrupt,
+}
+
+
+def run_serve_chaos_case(scenario: str, seed: int) -> ServeChaosResult:
+    """Run one scenario under one seed."""
+    if scenario not in _CASES:
+        raise ConfigurationError(
+            f"run_serve_chaos_case: unknown scenario {scenario!r} "
+            f"(valid: {', '.join(SERVE_SCENARIOS)})"
+        )
+    return _CASES[scenario](seed)
+
+
+def run_serve_chaos(
+    scenarios: tuple[str, ...] = SERVE_SCENARIOS,
+    seeds: tuple[int, ...] = (1, 2),
+) -> list[ServeChaosResult]:
+    """The full matrix: every scenario under every seed."""
+    return [
+        run_serve_chaos_case(scenario, seed)
+        for scenario in scenarios
+        for seed in seeds
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Service-tier chaos: latency, disconnects, disk corruption"
+    )
+    parser.add_argument(
+        "--scenarios",
+        default=",".join(SERVE_SCENARIOS),
+        help="comma-separated scenarios (default: all)",
+    )
+    parser.add_argument(
+        "--seeds",
+        default="1,2",
+        help="comma-separated schedule seeds (default: 1,2)",
+    )
+    args = parser.parse_args(argv)
+
+    scenarios = tuple(
+        t.strip() for t in args.scenarios.split(",") if t.strip()
+    )
+    seeds = tuple(int(t) for t in args.seeds.split(",") if t.strip())
+    results = run_serve_chaos(scenarios=scenarios, seeds=seeds)
+    for result in results:
+        print(result.summary())
+    n_failed = sum(1 for r in results if not r.passed)
+    print(
+        f"chaos-serve: {len(results) - n_failed}/{len(results)} cases passed"
+    )
+    return 1 if n_failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

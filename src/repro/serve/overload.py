@@ -1,0 +1,148 @@
+"""Overload protection primitives: the serving circuit breaker.
+
+Admission bounds live on :class:`repro.serve.batcher.CoalescingBatcher`
+(queue and in-flight row budgets); this module holds the failure-driven
+half of load shedding.  A :class:`CircuitBreaker` watches consecutive
+backend failures: after ``failure_threshold`` in a row it *trips* open
+and the service sheds everything with a ``retry_after_ms`` hint instead
+of queueing requests a broken backend will fail anyway.  After
+``cooldown_s`` it half-opens: exactly one probe request is admitted; a
+probe success closes the breaker, a probe failure re-trips it (and
+re-counts ``serve.breaker_trips``).
+
+Deadline rejections do **not** count as backend failures -- an expired
+budget is the client's signal, not backend health.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.observability.counters import SERVE_BREAKER_TRIPS
+from repro.observability.tracer import get_tracer
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker (closed / open / half-open).
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive batch failures that trip the breaker open.
+    cooldown_s:
+        Seconds the breaker stays open before half-opening for a probe.
+    clock:
+        Injectable monotonic clock for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold <= 0:
+            raise ConfigurationError(
+                f"CircuitBreaker: failure_threshold must be positive, "
+                f"got {failure_threshold}"
+            )
+        if cooldown_s <= 0:
+            raise ConfigurationError(
+                f"CircuitBreaker: cooldown_s must be positive, got {cooldown_s}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half-open"`` (cooldown-aware)."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    def _maybe_half_open_locked(self) -> None:
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._state = "half-open"
+            self._probe_inflight = False
+
+    def _trip_locked(self) -> None:
+        self._state = "open"
+        self._opened_at = self._clock()
+        self._probe_inflight = False
+        self.trips += 1
+        get_tracer().counters.add(SERVE_BREAKER_TRIPS)
+
+    def allow(self) -> bool:
+        """Whether to admit one request now.
+
+        Open: rejects until the cooldown elapses.  Half-open: admits
+        exactly one probe at a time; further requests are rejected
+        until the probe's outcome is recorded.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return True
+            self._maybe_half_open_locked()
+            if self._state == "open":
+                return False
+            if self._probe_inflight:
+                return False
+            self._probe_inflight = True
+            return True
+
+    def retry_after_ms(self) -> int:
+        """Milliseconds until the next probe slot (shed-reply hint)."""
+        with self._lock:
+            if self._state != "open":
+                return max(1, int(self.cooldown_s * 250))
+            remaining = self.cooldown_s - (self._clock() - self._opened_at)
+            return max(1, int(remaining * 1e3))
+
+    def record_success(self) -> None:
+        """A backend batch succeeded: close the breaker, reset the run."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+            self._state = "closed"
+
+    def record_failure(self) -> None:
+        """A backend batch failed: extend the run, maybe trip.
+
+        A half-open probe failure re-trips immediately (the backend is
+        still broken); a closed-state failure trips once the
+        consecutive run reaches the threshold.
+        """
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state == "half-open":
+                self._consecutive_failures = self.failure_threshold
+                self._trip_locked()
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == "closed"
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip_locked()
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self.state!r}, trips={self.trips}, "
+            f"threshold={self.failure_threshold}, "
+            f"cooldown_s={self.cooldown_s})"
+        )

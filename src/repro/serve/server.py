@@ -3,15 +3,30 @@
 One JSON object per line, both directions.  Requests carry an ``op``::
 
     {"op": "search", "queries": [[0,1,...], ...], "k": 5,
-     "tenant": "lab-a", "id": 17}
+     "tenant": "lab-a", "deadline_ms": 250, "id": 17}
     {"op": "append", "profiles": [[0,1,...], ...]}
     {"op": "stats"}
+    {"op": "health"}
     {"op": "ping"}
 
 Responses echo the request's ``id`` (when given) and carry ``ok``::
 
     {"ok": true, "id": 17, "matches": [[[distance, index], ...], ...]}
     {"ok": false, "error": "...", "kind": "DatasetError"}
+
+``deadline_ms`` starts the request's :class:`~repro.resilience.deadline.
+Deadline` at decode time, so the budget covers queueing *and* compute;
+an expired request answers ``kind: "DeadlineExceededError"`` with
+``overrun_ms``.  Shed requests (bounded queue, open breaker, draining
+server) answer ``kind: "OverloadedError"`` with ``retry_after_ms`` and
+a ``reason`` of ``queue_full``, ``breaker_open`` or ``shutting_down``
+-- clients back off instead of piling onto a saturated backend.
+``health`` reports :meth:`IdentityService.health` for probes.
+
+**Drain**: :meth:`IdentityServer.request_stop` first stops admitting
+new searches (they shed with ``shutting_down``), then waits up to
+``drain_grace_s`` for in-flight searches to answer before closing
+connections -- accepted work is completed, not dropped.
 
 The server is a thin asyncio shim: each ``search`` awaits the future
 returned by :meth:`IdentityService.submit` via ``asyncio.wrap_future``,
@@ -33,13 +48,21 @@ import asyncio
 import json
 import socket
 import threading
-from queue import Queue
+from queue import Empty, Queue
 from typing import Any
 
 import numpy as np
 
 from repro.core.streaming import Match
-from repro.errors import DatasetError, ReproError
+from repro.errors import (
+    DatasetError,
+    DeadlineExceededError,
+    OverloadedError,
+    ReproError,
+)
+from repro.observability.counters import SERVE_SHED
+from repro.observability.tracer import get_tracer
+from repro.resilience.deadline import Deadline
 from repro.serve.service import IdentityService
 
 __all__ = [
@@ -66,6 +89,28 @@ def _matrix_from_json(name: str, payload: Any) -> np.ndarray:
     return arr
 
 
+def _deadline_from_json(payload: Any) -> "Deadline | None":
+    """Decode an optional ``deadline_ms`` field into a started deadline.
+
+    The clock starts *here*, at decode time, so the budget covers the
+    request's whole server-side life: coalescing-queue wait included.
+    """
+    if payload is None:
+        return None
+    try:
+        budget_ms = float(payload)
+    except (TypeError, ValueError) as exc:
+        raise DatasetError(
+            f"search.deadline_ms: expected a number of milliseconds, "
+            f"got {payload!r}"
+        ) from exc
+    if budget_ms <= 0:
+        raise DatasetError(
+            f"search.deadline_ms: must be positive, got {budget_ms}"
+        )
+    return Deadline.after(budget_ms / 1e3)
+
+
 def _matches_to_json(matches: list[list[Match]]) -> list[list[list[int]]]:
     return [
         [[m.distance, m.database_index] for m in per_query]
@@ -82,6 +127,7 @@ class IdentityServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_requests: int | None = None,
+        drain_grace_s: float = 5.0,
     ) -> None:
         self.service = service
         self.host = host
@@ -90,7 +136,11 @@ class IdentityServer:
         #: lets tests and the CLI self-check run the real wire path
         #: without needing an external kill.
         self.max_requests = max_requests
+        #: Seconds to wait for in-flight searches when stopping.
+        self.drain_grace_s = drain_grace_s
         self._served = 0
+        self._inflight = 0
+        self._draining = False
         self._server: "asyncio.AbstractServer | None" = None
         self._stop = asyncio.Event()
 
@@ -118,6 +168,13 @@ class IdentityServer:
         await self._shutdown()
 
     async def _shutdown(self) -> None:
+        # Graceful drain: new searches were already shedding with
+        # ``shutting_down`` (request_stop set the flag); give in-flight
+        # searches a bounded grace window to answer before tearing the
+        # connections down.
+        deadline = Deadline.after(max(self.drain_grace_s, 0.0))
+        while self._inflight > 0 and not deadline.expired:
+            await asyncio.sleep(0.01)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -134,6 +191,7 @@ class IdentityServer:
             await asyncio.gather(*handlers, return_exceptions=True)
 
     def request_stop(self) -> None:
+        self._draining = True
         self._stop.set()
 
     # -- per-connection loop ---------------------------------------------------
@@ -148,6 +206,11 @@ class IdentityServer:
             # (instead of staying "cancelled") keeps the stream
             # protocol's done-callback from logging a traceback per
             # still-open connection.
+            pass
+        except (ConnectionError, OSError):
+            # The client vanished mid-exchange (reset, abrupt close).
+            # One connection's demise must never take the server down;
+            # any answer it was owed is simply undeliverable.
             pass
         finally:
             writer.close()
@@ -197,6 +260,12 @@ class IdentityServer:
                 reply: dict[str, Any] = {"ok": True, "pong": True}
             elif op == "stats":
                 reply = {"ok": True, "stats": self.service.stats()}
+            elif op == "health":
+                health = self.service.health()
+                if self._draining:
+                    health["state"] = "draining"
+                    health["draining"] = True
+                reply = {"ok": True, "health": health}
             elif op == "append":
                 profiles = _matrix_from_json(
                     "append.profiles", message.get("profiles")
@@ -204,21 +273,49 @@ class IdentityServer:
                 start, stop = self.service.append(profiles)
                 reply = {"ok": True, "start": start, "stop": stop}
             elif op == "search":
+                if self._draining:
+                    get_tracer().counters.add(SERVE_SHED)
+                    raise OverloadedError(
+                        "server is draining; not admitting new searches",
+                        retry_after_ms=0,
+                        reason="shutting_down",
+                    )
                 queries = _matrix_from_json(
                     "search.queries", message.get("queries")
                 )
+                deadline = _deadline_from_json(message.get("deadline_ms"))
                 future = self.service.submit(
                     queries,
                     k=message.get("k"),
                     tenant=str(message.get("tenant", "default")),
+                    deadline=deadline,
                 )
-                matches = await asyncio.wrap_future(future)
+                self._inflight += 1
+                try:
+                    matches = await asyncio.wrap_future(future)
+                finally:
+                    self._inflight -= 1
                 self._served += 1
                 reply = {"ok": True, "matches": _matches_to_json(matches)}
             else:
                 raise DatasetError(f"unknown op {op!r}")
         except json.JSONDecodeError as exc:
             reply = {"ok": False, "error": f"bad JSON: {exc}", "kind": "protocol"}
+        except OverloadedError as exc:
+            reply = {
+                "ok": False,
+                "error": str(exc),
+                "kind": "OverloadedError",
+                "retry_after_ms": exc.retry_after_ms,
+                "reason": exc.reason,
+            }
+        except DeadlineExceededError as exc:
+            reply = {
+                "ok": False,
+                "error": str(exc),
+                "kind": "DeadlineExceededError",
+                "overrun_ms": int(exc.overrun_s * 1e3),
+            }
         except ReproError as exc:
             reply = {"ok": False, "error": str(exc), "kind": type(exc).__name__}
         except Exception as exc:  # pragma: no cover - defensive
@@ -272,10 +369,12 @@ class BackgroundServer:
         service: IdentityService,
         host: str = "127.0.0.1",
         port: int = 0,
+        start_timeout_s: float = 30.0,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        self.start_timeout_s = start_timeout_s
         self._loop: "asyncio.AbstractEventLoop | None" = None
         self._server: "IdentityServer | None" = None
         self._thread: "threading.Thread | None" = None
@@ -305,8 +404,25 @@ class BackgroundServer:
             target=_run, name="serve-tcp", daemon=True
         )
         self._thread.start()
-        outcome = started.get(timeout=30)
+        try:
+            outcome = started.get(timeout=self.start_timeout_s)
+        except Empty:
+            # Startup wedged (bind hang, loop never came up).  Returning
+            # the timeout as-is would leak the server thread: it might
+            # still bind later and serve a socket nobody tracks.  Signal
+            # the loop to stop, reap the thread, then fail loudly.
+            leaked = ""
+            try:
+                self.stop(timeout=5.0)
+            except RuntimeError:
+                leaked = "; the thread resisted joining and is leaked"
+            raise ReproError(
+                f"BackgroundServer.start: server thread did not report an "
+                f"address within {self.start_timeout_s}s; stop was "
+                f"signalled{leaked}"
+            ) from None
         if isinstance(outcome, BaseException):
+            self._thread.join(timeout=5.0)
             raise outcome
         self.host, self.port = outcome
         return outcome
@@ -319,6 +435,13 @@ class BackgroundServer:
                 pass  # loop already closed
         if self._thread is not None:
             self._thread.join(timeout=timeout)
+            if self._thread.is_alive():
+                raise RuntimeError(
+                    f"BackgroundServer.stop: server thread failed to join "
+                    f"within {timeout}s -- thread leaked (in-flight work "
+                    f"may still hold the socket)"
+                )
+            self._thread = None
 
     def __enter__(self) -> tuple[str, int]:
         return self.start()
@@ -347,10 +470,20 @@ class ServiceClient:
             raise ConnectionError("server closed the connection")
         reply: dict[str, Any] = json.loads(line)
         if not reply.get("ok"):
-            raise ReproError(
-                f"server error ({reply.get('kind', 'unknown')}): "
-                f"{reply.get('error', 'no detail')}"
-            )
+            kind = reply.get("kind", "unknown")
+            detail = reply.get("error", "no detail")
+            if kind == "OverloadedError":
+                raise OverloadedError(
+                    f"server shed the request: {detail}",
+                    retry_after_ms=int(reply.get("retry_after_ms", 0)),
+                    reason=str(reply.get("reason", "queue_full")),
+                )
+            if kind == "DeadlineExceededError":
+                raise DeadlineExceededError(
+                    f"server reported deadline exceeded: {detail}",
+                    overrun_s=float(reply.get("overrun_ms", 0)) / 1e3,
+                )
+            raise ReproError(f"server error ({kind}): {detail}")
         return reply
 
     def ping(self) -> bool:
@@ -359,6 +492,10 @@ class ServiceClient:
     def stats(self) -> dict[str, Any]:
         stats: dict[str, Any] = self._call({"op": "stats"})["stats"]
         return stats
+
+    def health(self) -> dict[str, Any]:
+        health: dict[str, Any] = self._call({"op": "health"})["health"]
+        return health
 
     def append(self, profiles: np.ndarray) -> tuple[int, int]:
         reply = self._call(
@@ -371,6 +508,7 @@ class ServiceClient:
         queries: np.ndarray,
         k: int | None = None,
         tenant: str = "default",
+        deadline_ms: "int | float | None" = None,
     ) -> list[list[Match]]:
         message: dict[str, Any] = {
             "op": "search",
@@ -379,6 +517,8 @@ class ServiceClient:
         }
         if k is not None:
             message["k"] = k
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
         reply = self._call(message)
         return [
             [Match(distance=int(d), database_index=int(i)) for d, i in per_query]

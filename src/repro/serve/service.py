@@ -47,23 +47,32 @@ from repro.core.packing import PackedOperand
 # (private by convention, stable within this codebase) keeps the
 # tie-breaking rule defined in exactly one place.
 from repro.core.streaming import Match, _check_binary_matrix, _QueryState
-from repro.errors import ConfigurationError, DatasetError
+from repro.errors import (
+    ConfigurationError,
+    DatasetError,
+    DeadlineExceededError,
+    OverloadedError,
+)
 from repro.gpu.arch import GPUArchitecture
 from repro.observability.counters import (
     SERVE_APPENDED_PROFILES,
     SERVE_BATCH_ROWS,
     SERVE_BATCHES,
     SERVE_COALESCED_BATCHES,
+    SERVE_DEADLINE_EXCEEDED,
     SERVE_QUERIES,
     SERVE_REQUEST_FAILURES,
+    SERVE_SHED,
     SERVE_SOLO_FALLBACKS,
 )
 from repro.observability.tracer import get_tracer
+from repro.resilience.deadline import Deadline
 from repro.resilience.retry import call_with_retry
 from repro.resilience.runtime import get_resilience
 from repro.serve.batcher import CoalescingBatcher
 from repro.serve.index import ProfileIndex, Segment
 from repro.serve.metrics import TenantLedger
+from repro.serve.overload import CircuitBreaker
 from repro.util.validation import check_workers
 
 __all__ = ["QueryRequest", "IdentityService"]
@@ -72,15 +81,21 @@ __all__ = ["QueryRequest", "IdentityService"]
 class QueryRequest:
     """One validated query set waiting for (or inside) a batch."""
 
-    __slots__ = ("queries", "k", "tenant", "admitted_at")
+    __slots__ = ("queries", "k", "tenant", "admitted_at", "deadline")
 
     def __init__(
-        self, queries: np.ndarray, k: int, tenant: str, admitted_at: float
+        self,
+        queries: np.ndarray,
+        k: int,
+        tenant: str,
+        admitted_at: float,
+        deadline: Deadline | None = None,
     ) -> None:
         self.queries = queries
         self.k = k
         self.tenant = tenant
         self.admitted_at = admitted_at
+        self.deadline = deadline
 
     @property
     def n_queries(self) -> int:
@@ -122,6 +137,9 @@ class IdentityService:
         max_batch_rows: int = 512,
         pipeline_depth: int = 1,
         framework: SNPComparisonFramework | None = None,
+        max_queue: int | None = None,
+        max_inflight_rows: int | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         if k <= 0 or k > self.MAX_K:
             raise DatasetError(
@@ -153,18 +171,58 @@ class IdentityService:
             )
         self.ledger = TenantLedger()
         self._packed: dict[int, PackedOperand] = {}
+        self.breaker = breaker or CircuitBreaker(
+            failure_threshold=5, cooldown_s=1.0
+        )
         self._batcher = CoalescingBatcher(
             self._execute_batch,
             window_s=window_s,
             max_rows=max_batch_rows,
             pipeline_depth=pipeline_depth,
+            max_queue=max_queue,
+            max_inflight_rows=max_inflight_rows,
         )
         self._closed = False
+        self._draining = False
 
     # -- request admission -----------------------------------------------------
 
+    @staticmethod
+    def _as_deadline(
+        deadline: "Deadline | float | None",
+    ) -> Deadline | None:
+        """Normalize a deadline argument (seconds budget or instance)."""
+        if deadline is None or isinstance(deadline, Deadline):
+            return deadline
+        return Deadline.after(float(deadline))
+
+    def _check_admission(self) -> None:
+        """Drain and breaker gates, shared by submit/search_many."""
+        if self._closed:
+            raise ConfigurationError("IdentityService: service is closed")
+        if self._draining:
+            get_tracer().counters.add(SERVE_SHED)
+            raise OverloadedError(
+                "IdentityService: service is draining (shutting down)",
+                retry_after_ms=0,
+                reason="shutting_down",
+            )
+        if not self.breaker.allow():
+            hint = self.breaker.retry_after_ms()
+            get_tracer().counters.add(SERVE_SHED)
+            raise OverloadedError(
+                f"IdentityService: circuit breaker is "
+                f"{self.breaker.state}; retry after {hint} ms",
+                retry_after_ms=hint,
+                reason="breaker_open",
+            )
+
     def _validate(
-        self, queries: np.ndarray, k: int | None, tenant: str
+        self,
+        queries: np.ndarray,
+        k: int | None,
+        tenant: str,
+        deadline: Deadline | None = None,
     ) -> QueryRequest:
         q = _check_binary_matrix("IdentityService: queries", queries)
         if q.shape[0] == 0:
@@ -188,6 +246,7 @@ class IdentityService:
             k=kk,
             tenant=tenant,
             admitted_at=time.perf_counter(),
+            deadline=deadline,
         )
 
     def submit(
@@ -195,27 +254,38 @@ class IdentityService:
         queries: np.ndarray,
         k: int | None = None,
         tenant: str = "default",
+        deadline: "Deadline | float | None" = None,
     ) -> "Future[list[list[Match]]]":
         """Admit one query set; the future resolves to per-query top-k.
 
         Validation (shape, dtype, binary-ness, ``k`` bounds) happens
         here, synchronously, so malformed requests fail loudly before
-        ever touching a batch.
+        ever touching a batch.  ``deadline`` is either a
+        :class:`~repro.resilience.deadline.Deadline` or a relative
+        budget in seconds; admission control may shed the request with
+        :class:`~repro.errors.OverloadedError` (draining service, open
+        breaker, or a full batcher queue).
         """
-        if self._closed:
-            raise ConfigurationError("IdentityService: service is closed")
-        request = self._validate(queries, k, tenant)
+        self._check_admission()
+        request = self._validate(
+            queries, k, tenant, deadline=self._as_deadline(deadline)
+        )
         get_tracer().counters.add(SERVE_QUERIES)
-        return self._batcher.submit(request, rows=request.n_queries)
+        return self._batcher.submit(
+            request, rows=request.n_queries, deadline=request.deadline
+        )
 
     def search(
         self,
         queries: np.ndarray,
         k: int | None = None,
         tenant: str = "default",
+        deadline: "Deadline | float | None" = None,
     ) -> list[list[Match]]:
         """Blocking :meth:`submit` (waits through the coalescing window)."""
-        return self.submit(queries, k=k, tenant=tenant).result()
+        return self.submit(
+            queries, k=k, tenant=tenant, deadline=deadline
+        ).result()
 
     def search_many(
         self,
@@ -230,8 +300,7 @@ class IdentityService:
         burst.  Semantically identical to submitting them concurrently
         and having the window coalesce them.
         """
-        if self._closed:
-            raise ConfigurationError("IdentityService: service is closed")
+        self._check_admission()
         requests = [self._validate(q, k, tenant) for q in query_sets]
         if not requests:
             return []
@@ -281,7 +350,7 @@ class IdentityService:
 
     def _run_panel(
         self, requests: Sequence[QueryRequest], snapshot: tuple[Segment, ...]
-    ) -> list[list[list[Match]]]:
+    ) -> list[object]:
         """One coalesced panel pass: all requests vs every segment.
 
         State is local, so a retry of the whole call folds each row
@@ -289,6 +358,12 @@ class IdentityService:
         demultiplexed by row range; database order is the snapshot's
         global order, which fixes tie-breaking identically to the
         streaming path.
+
+        Deadlines are re-checked between segment folds: a request whose
+        budget expires mid-panel gets a
+        :class:`~repro.errors.DeadlineExceededError` *outcome* (not a
+        raise, so batch peers are unaffected), and once every request
+        has expired the remaining segments are skipped entirely.
         """
         stacked = (
             np.vstack([r.queries for r in requests])
@@ -299,12 +374,29 @@ class IdentityService:
         states = [
             [_QueryState(k=r.k) for _ in range(r.n_queries)] for r in requests
         ]
+        expired: dict[int, DeadlineExceededError] = {}
         for segment in snapshot:
+            for ri, request in enumerate(requests):
+                if ri in expired:
+                    continue
+                dl = request.deadline
+                if dl is not None and dl.expired:
+                    expired[ri] = DeadlineExceededError(
+                        "IdentityService: deadline expired mid-fold "
+                        f"(overran by {dl.overrun() * 1e3:.1f} ms, "
+                        f"{len(snapshot)} segments)",
+                        overrun_s=dl.overrun(),
+                    )
+            if len(expired) == len(requests):
+                break
             table, _report = self.framework.run_packed(
                 q_op, self._resident(segment)
             )
             row = 0
             for ri, request in enumerate(requests):
+                if ri in expired:
+                    row += request.n_queries
+                    continue
                 for qi in range(request.n_queries):
                     distances = table[row]
                     state = states[ri][qi]
@@ -319,7 +411,10 @@ class IdentityService:
                         )
                     row += 1
         return [
-            [state.matches() for state in per_request] for per_request in states
+            expired[ri]
+            if ri in expired
+            else [state.matches() for state in per_request]
+            for ri, per_request in enumerate(states)
         ]
 
     def _execute_batch(
@@ -331,38 +426,76 @@ class IdentityService:
         instances); see the batcher's isolation contract.
         """
         obs = get_tracer()
-        snapshot = self.index.snapshot()
-        total_rows = sum(r.n_queries for r in requests)
-        obs.counters.add(SERVE_BATCHES)
-        if len(requests) >= 2:
-            obs.counters.add(SERVE_COALESCED_BATCHES)
-        obs.counters.add(SERVE_BATCH_ROWS, total_rows)
-        outcomes: list[object]
-        with obs.span(
-            "serve.batch", requests=len(requests), rows=total_rows,
-            segments=len(snapshot),
-        ):
-            try:
-                outcomes = list(
-                    _with_retry(lambda: self._run_panel(requests, snapshot))
+        # Service-tier latency fault hook (chaos: ``latency`` plans): a
+        # scheduled firing sleeps here, before packing, modeling a slow
+        # backend that deadline checks must then absorb.
+        get_resilience().injector.service_delay()
+        # Reject already-expired requests before packing/compute.
+        live: list[QueryRequest] = []
+        by_request: dict[int, object] = {}
+        for i, request in enumerate(requests):
+            dl = request.deadline
+            if dl is not None and dl.expired:
+                obs.counters.add(SERVE_DEADLINE_EXCEEDED)
+                by_request[i] = DeadlineExceededError(
+                    "IdentityService: deadline expired before batch "
+                    f"execution (overran by {dl.overrun() * 1e3:.1f} ms)",
+                    overrun_s=dl.overrun(),
                 )
-            except Exception:
-                # Isolation rung: the coalesced panel failed after the
-                # retry policy; re-run each request alone so only the
-                # poisoned one (if any) fails its caller.
-                outcomes = []
-                for request in requests:
-                    obs.counters.add(SERVE_SOLO_FALLBACKS)
-                    try:
-                        solo = _with_retry(
-                            lambda req=request: self._run_panel(
-                                [req], snapshot
-                            )[0]
-                        )
-                        outcomes.append(solo)
-                    except Exception as exc:
-                        obs.counters.add(SERVE_REQUEST_FAILURES)
-                        outcomes.append(exc)
+            else:
+                live.append(request)
+        snapshot = self.index.snapshot()
+        total_rows = sum(r.n_queries for r in live)
+        live_outcomes: list[object] = []
+        if live:
+            obs.counters.add(SERVE_BATCHES)
+            if len(live) >= 2:
+                obs.counters.add(SERVE_COALESCED_BATCHES)
+            obs.counters.add(SERVE_BATCH_ROWS, total_rows)
+            with obs.span(
+                "serve.batch", requests=len(live), rows=total_rows,
+                segments=len(snapshot),
+            ):
+                try:
+                    live_outcomes = list(
+                        _with_retry(lambda: self._run_panel(live, snapshot))
+                    )
+                except Exception:
+                    # Isolation rung: the coalesced panel failed after
+                    # the retry policy; re-run each request alone so
+                    # only the poisoned one (if any) fails its caller.
+                    live_outcomes = []
+                    for request in live:
+                        obs.counters.add(SERVE_SOLO_FALLBACKS)
+                        try:
+                            solo = _with_retry(
+                                lambda req=request: self._run_panel(
+                                    [req], snapshot
+                                )[0]
+                            )
+                            live_outcomes.append(solo)
+                        except Exception as exc:
+                            obs.counters.add(SERVE_REQUEST_FAILURES)
+                            live_outcomes.append(exc)
+            for outcome in live_outcomes:
+                if isinstance(outcome, DeadlineExceededError):
+                    obs.counters.add(SERVE_DEADLINE_EXCEEDED)
+        live_iter = iter(live_outcomes)
+        outcomes: list[object] = [
+            by_request[i] if i in by_request else next(live_iter)
+            for i in range(len(requests))
+        ]
+        # Breaker bookkeeping: deadline rejections are the client's
+        # budget, not backend health -- only real failures count.
+        backend_failed = any(
+            isinstance(o, BaseException)
+            and not isinstance(o, DeadlineExceededError)
+            for o in outcomes
+        )
+        if backend_failed:
+            self.breaker.record_failure()
+        elif live:
+            self.breaker.record_success()
         finished = time.perf_counter()
         for request, outcome in zip(requests, outcomes):
             self.ledger.record(
@@ -397,10 +530,41 @@ class IdentityService:
             },
         }
 
+    def state(self) -> str:
+        """One-word health state: ``ready``, ``draining`` or ``tripped``."""
+        if self._closed or self._draining:
+            return "draining"
+        if self.breaker.state != "closed":
+            return "tripped"
+        return "ready"
+
+    def health(self) -> dict[str, object]:
+        """Health snapshot for the ``health`` protocol verb."""
+        return {
+            "state": self.state(),
+            "draining": self._draining or self._closed,
+            "breaker": self.breaker.state,
+            "breaker_trips": self.breaker.trips,
+            "queued_requests": self._batcher.queued_requests,
+            "inflight_rows": self._batcher.inflight_rows,
+            "index_rows": self.index.n_rows,
+        }
+
+    def drain(self, timeout: float | None = 10.0) -> bool:
+        """Graceful drain: stop admitting, finish what is in flight.
+
+        New submissions are shed with ``reason="shutting_down"`` from
+        the moment this is called.  Returns ``True`` once nothing is
+        queued or executing, ``False`` on timeout.
+        """
+        self._draining = True
+        return self._batcher.wait_idle(timeout=timeout)
+
     def close(self) -> None:
         """Drain in-flight batches and stop the batcher."""
         if self._closed:
             return
+        self._draining = True
         self._closed = True
         self._batcher.close()
 

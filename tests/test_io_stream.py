@@ -38,7 +38,7 @@ from repro.io_stream import (
     open_source,
     write_snpbin,
 )
-from repro.io_stream.format import SNPBIN_HEADER_BYTES
+from repro.io_stream.format import SNPBIN2_HEADER_BYTES, SNPBIN_HEADER_BYTES
 from repro.observability.tracer import Tracer, set_tracer
 from repro.resilience import RetryPolicy, resilient
 from repro.snp.dataset import SNPDataset
@@ -125,9 +125,9 @@ class TestSnpbinFormat:
 
     def test_reserved_flags_rejected(self, tmp_path):
         path = tmp_path / "flags.snpbin"
-        write_snpbin(path, _random_bits(3, 8))
+        write_snpbin(path, _random_bits(3, 8), version=1)
         raw = bytearray(path.read_bytes())
-        raw[12] = 1  # reserved field must be zero
+        raw[12] = 1  # v1 reserved field must be zero
         path.write_bytes(bytes(raw))
         with pytest.raises(DatasetError, match="flags"):
             PackedDatasetReader(path)
@@ -173,12 +173,28 @@ class TestSnpbinFormat:
 
     def test_file_size_matches_header_math(self, tmp_path):
         path = tmp_path / "sz.snpbin"
-        write_snpbin(path, _random_bits(11, 100), word_bits=64)
+        write_snpbin(path, _random_bits(11, 100), word_bits=64, version=1)
         with PackedDatasetReader(path) as reader:
             k_words = (100 + 63) // 64
             assert reader.header.row_bytes == k_words * 8
             assert reader.bytes_for_rows(11) == 11 * k_words * 8
             expected = SNPBIN_HEADER_BYTES + reader.bytes_for_rows(11)
+            assert path.stat().st_size == expected
+
+    def test_v2_file_size_matches_header_math(self, tmp_path):
+        path = tmp_path / "sz2.snpbin"
+        write_snpbin(
+            path, _random_bits(11, 100), word_bits=64, crc_chunk_rows=4
+        )
+        with PackedDatasetReader(path) as reader:
+            assert reader.version == 2
+            assert reader.header.n_chunks == 3  # ceil(11 / 4)
+            expected = (
+                SNPBIN2_HEADER_BYTES
+                + reader.bytes_for_rows(11)
+                + 3 * 4  # trailing CRC table
+            )
+            assert reader.header.file_bytes == expected
             assert path.stat().st_size == expected
 
 
