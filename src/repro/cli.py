@@ -6,6 +6,8 @@ GPUs"; this CLI is the GPU-framework counterpart for the three
 workloads::
 
     repro-snp ld        --input pop.snptxt --device "Titan V" [--stat r2]
+    repro-snp ld-prune  --input sites.snpbin --window 50 --r2 0.2
+    repro-snp clump     --input sites.snpbin --scores assoc.npy --r2 0.5
     repro-snp identity  --queries q.npz --database db.npz --device "GTX 980"
     repro-snp mixture   --references db.npz --mixture m.snptxt
     repro-snp devices
@@ -63,6 +65,7 @@ from repro.core.mixture import mixture_analysis
 from repro.core.planner import derive_config
 from repro.core.config import render_header
 from repro.core.profiles import RunReport
+from repro.core.ldops import ld_clump, ld_prune
 from repro.core.streaming import (
     StreamingIdentitySearch,
     StreamingLD,
@@ -398,6 +401,135 @@ def _cmd_ld(args: argparse.Namespace) -> int:
             _emit_observability(args, tracer, framework, result.report)
         _emit_resilience(result.report)
     _save_table(args.output, counts=result.counts, stat=stat)
+    return 0
+
+
+def _load_scores(path: str) -> np.ndarray:
+    """Load the per-site clump scores: .npy, .npz (``scores`` key) or text."""
+    p = Path(path)
+    if p.suffix == ".npy":
+        return np.asarray(np.load(p), dtype=np.float64)
+    if p.suffix == ".npz":
+        with np.load(p) as payload:
+            key = "scores" if "scores" in payload else payload.files[0]
+            return np.asarray(payload[key], dtype=np.float64)
+    try:
+        return np.asarray(np.loadtxt(p, dtype=np.float64), dtype=np.float64)
+    except ValueError as exc:
+        raise ReproError(f"--scores: cannot parse {path}: {exc}") from None
+
+
+def _ldops_source(args: argparse.Namespace) -> np.ndarray | str:
+    """The site-major input feed for ld-prune/clump.
+
+    ``--transpose`` loads the whole matrix and flips a sample-major
+    file into site rows (in-memory only); otherwise the path streams
+    through :func:`repro.io_stream.open_source` as-is.
+    """
+    if args.transpose:
+        return np.ascontiguousarray(_load_matrix(args.input).T)
+    return args.input
+
+
+def _emit_ldops_footer(
+    args: argparse.Namespace,
+    tracer: Tracer | None,
+    framework: SNPComparisonFramework | None,
+    stats: StreamStats | None,
+) -> None:
+    if stats is not None:
+        _emit_stream_stats(stats)
+    _emit_streaming_observability(args, tracer, framework)
+
+
+def _cmd_ld_prune(args: argparse.Namespace) -> int:
+    """Windowed greedy LD pruning over a streamed site-major input."""
+    with _observability(args) as tracer, _resilience_scope(args):
+        framework = _observed_framework(args, tracer, Algorithm.LD)
+        result = ld_prune(
+            _ldops_source(args),
+            window=args.window,
+            r2=args.r2,
+            chunk_rows=args.chunk_rows or 4096,
+            device=args.device,
+            workers=_resolve_workers(args),
+            gram=not args.no_gram,
+            strategy=args.strategy,
+            backend=args.backend,
+            executor=args.executor,
+            framework=framework,
+        )
+        print(render_kv([
+            ("sites scanned", result.n_sites),
+            ("window (sites)", result.window),
+            ("r2 threshold", f"{result.r2:g}"),
+            ("kept", len(result.kept)),
+            ("pruned", len(result.pruned)),
+            ("pairs tested", result.pairs_tested),
+            ("peak window sites", result.peak_window_sites),
+            ("simulated end-to-end",
+             f"{result.simulated_seconds * 1e3:.1f} ms"),
+        ], title=f"LD pruning on {args.device}"))
+        _emit_ldops_footer(args, tracer, framework, result.stream_stats)
+    _save_table(
+        args.output,
+        kept=result.kept, pruned=result.pruned, blocker=result.blocker,
+    )
+    return 0
+
+
+def _cmd_clump(args: argparse.Namespace) -> int:
+    """Index-variant clumping over a streamed site-major input."""
+    scores = _load_scores(args.scores)
+    with _observability(args) as tracer, _resilience_scope(args):
+        framework = _observed_framework(args, tracer, Algorithm.LD)
+        result = ld_clump(
+            _ldops_source(args),
+            scores,
+            window=args.window,
+            r2=args.r2,
+            chunk_rows=args.chunk_rows or 4096,
+            device=args.device,
+            workers=_resolve_workers(args),
+            gram=not args.no_gram,
+            strategy=args.strategy,
+            backend=args.backend,
+            executor=args.executor,
+            framework=framework,
+        )
+        n_absorbed = int((result.assignment != np.arange(result.n_sites)).sum())
+        print(render_kv([
+            ("sites scanned", result.n_sites),
+            ("window (sites)", result.window),
+            ("r2 threshold", f"{result.r2:g}"),
+            ("clumps formed", len(result.clumps)),
+            ("sites absorbed", n_absorbed),
+            ("pairs tested", result.pairs_tested),
+            ("peak window sites", result.peak_window_sites),
+            ("simulated end-to-end",
+             f"{result.simulated_seconds * 1e3:.1f} ms"),
+        ], title=f"LD clumping on {args.device}"))
+        top = result.clumps[:10]
+        if top:
+            print()
+            print(render_table(
+                ["index site", "score", "members"],
+                [
+                    [c.index_site, f"{scores[c.index_site]:g}",
+                     ", ".join(map(str, c.members[:12])) or "(none)"]
+                    for c in top
+                ],
+                title="top clumps (rank order)",
+            ))
+            if len(result.clumps) > 10:
+                print(f"... and {len(result.clumps) - 10} more")
+        _emit_ldops_footer(args, tracer, framework, result.stream_stats)
+    _save_table(
+        args.output,
+        index_sites=result.index_sites,
+        assignment=result.assignment,
+        scores=scores,
+    )
     return 0
 
 
@@ -747,6 +879,70 @@ def build_parser() -> argparse.ArgumentParser:
     ld.add_argument("--output", help="write tables to this .npz")
     add_observability_flags(ld)
     ld.set_defaults(func=_cmd_ld)
+
+    transpose_help = (
+        "load the input whole and transpose it first (turns a "
+        "sample-major matrix into the site rows these commands scan; "
+        "in-memory only, so best for .snptxt/.npz inputs)"
+    )
+    ldops_input_help = (
+        "site-major .snptxt, .npz or .snpbin (rows are the sites "
+        "being scanned, columns the samples; see docs/LDOPS.md)"
+    )
+
+    prune = sub.add_parser(
+        "ld-prune",
+        help="windowed greedy r2 pruning (PLINK --indep-pairwise style, "
+        "streamed; see docs/LDOPS.md)",
+    )
+    prune.add_argument("--input", required=True, help=ldops_input_help)
+    prune.add_argument("--device", default="Titan V")
+    prune.add_argument(
+        "--window", type=int, default=50, metavar="N",
+        help="sliding window length in sites (pairs further apart are "
+        "never tested)",
+    )
+    prune.add_argument(
+        "--r2", type=float, default=0.2, metavar="R2",
+        help="prune a site when r2 with a kept window site exceeds this",
+    )
+    prune.add_argument("--transpose", action="store_true", help=transpose_help)
+    add_compute_flags(prune)
+    prune.add_argument(
+        "--output", help="write kept/pruned/blocker tables to this .npz"
+    )
+    add_observability_flags(prune)
+    prune.set_defaults(func=_cmd_ld_prune)
+
+    clump = sub.add_parser(
+        "clump",
+        help="index-variant clumping by score rank (PLINK --clump style, "
+        "streamed; see docs/LDOPS.md)",
+    )
+    clump.add_argument("--input", required=True, help=ldops_input_help)
+    clump.add_argument(
+        "--scores", required=True,
+        help="per-site scores, higher is better (e.g. -log10 p): "
+        ".npy, .npz ('scores' key) or whitespace text",
+    )
+    clump.add_argument("--device", default="Titan V")
+    clump.add_argument(
+        "--window", type=int, default=250, metavar="N",
+        help="sliding window length in sites (absorption never reaches "
+        "further)",
+    )
+    clump.add_argument(
+        "--r2", type=float, default=0.5, metavar="R2",
+        help="absorb a site into an index variant when r2 is at or "
+        "above this",
+    )
+    clump.add_argument("--transpose", action="store_true", help=transpose_help)
+    add_compute_flags(clump)
+    clump.add_argument(
+        "--output", help="write index_sites/assignment tables to this .npz"
+    )
+    add_observability_flags(clump)
+    clump.set_defaults(func=_cmd_clump)
 
     ident = sub.add_parser("identity", help="FastID identity search")
     ident.add_argument("--queries", required=True)

@@ -51,6 +51,23 @@ class LDResult:
     n_observations: int
     report: RunReport
 
+    def __post_init__(self) -> None:
+        # The statistics divide by n_observations; a zero-column input
+        # would otherwise surface as NaN tables plus a RuntimeWarning
+        # the first time p_ab/d/d_prime/r_squared is read.  Entity-free
+        # results (0 x 0 tables) stay constructible: every statistic is
+        # an empty array and nothing divides.
+        if self.n_observations < 0:
+            raise DatasetError(
+                f"LDResult: n_observations must be >= 0, "
+                f"got {self.n_observations}"
+            )
+        if self.n_observations == 0 and np.asarray(self.counts).size:
+            raise DatasetError(
+                "LDResult: n_observations is 0 (zero-column input); LD "
+                "statistics are undefined without observations"
+            )
+
     @property
     def p_ab(self) -> np.ndarray:
         """Joint frequencies ``p_AB``."""
@@ -139,6 +156,13 @@ def linkage_disequilibrium(
         raise DatasetError(
             f"linkage_disequilibrium: compare must be 'sites' or 'samples', "
             f"got {compare!r}"
+        )
+    if entities.shape[0] and entities.shape[1] == 0:
+        # Guarded up front: the zero-width operand would otherwise
+        # surface as an arithmetic error inside the pack/tile pipeline.
+        raise DatasetError(
+            "linkage_disequilibrium: input has entities but zero "
+            "observations; LD statistics are undefined"
         )
     if framework is None:
         framework = SNPComparisonFramework(

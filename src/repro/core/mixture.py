@@ -58,6 +58,17 @@ class MixtureResult:
         ``max_score`` tolerates genotyping noise; 0 demands strict
         containment.
         """
+        n_mixtures = int(self.scores.shape[1])
+        # An unchecked index would raise a raw IndexError out of range
+        # and silently wrap to the wrong mixture when negative.
+        if not isinstance(mixture_index, (int, np.integer)) or not (
+            0 <= mixture_index < n_mixtures
+        ):
+            raise DatasetError(
+                f"consistent_contributors: mixture_index {mixture_index!r} "
+                f"out of range for {n_mixtures} mixture(s) "
+                f"(expected 0 <= index < {n_mixtures})"
+            )
         column = self.scores[:, mixture_index]
         refs = np.nonzero(column <= max_score)[0]
         out = [(int(r), int(column[r])) for r in refs]

@@ -85,12 +85,15 @@ def _check_binary_matrix(name: str, data: np.ndarray) -> np.ndarray:
             f"{name} has dtype {arr.dtype}; binary matrices must use an "
             f"integer or bool dtype"
         )
-    if arr.size and (arr.min() < 0 or arr.max() > 1):
-        raise DatasetError(
-            f"{name} contains non-binary values "
-            f"(min={int(arr.min())}, max={int(arr.max())}); entries must "
-            f"be 0 or 1"
-        )
+    if arr.size:
+        # One pass each: min()/max() walk the whole chunk, and this
+        # runs on every streamed chunk's hot validation path.
+        lo, hi = int(arr.min()), int(arr.max())
+        if lo < 0 or hi > 1:
+            raise DatasetError(
+                f"{name} contains non-binary values "
+                f"(min={lo}, max={hi}); entries must be 0 or 1"
+            )
     return arr
 
 

@@ -66,6 +66,13 @@ __all__ = [
     "IO_CRC_FAILURES",
     "IO_CHUNKS_VERIFIED",
     "STREAM_PRODUCER_LEAKED",
+    "LDOPS_SITES_SEEN",
+    "LDOPS_SITES_KEPT",
+    "LDOPS_SITES_PRUNED",
+    "LDOPS_PAIRS_TESTED",
+    "LDOPS_CLUMPS_FORMED",
+    "LDOPS_SITES_ABSORBED",
+    "LDOPS_WINDOW_PEAK_SITES",
 ]
 
 # -- counter names (the catalogue) ---------------------------------------------
@@ -183,6 +190,23 @@ IO_CHUNKS_VERIFIED = "io.chunks_verified"
 #: Prefetch producer threads that failed to join within the close
 #: deadline (a leak guard; 0 in healthy runs).
 STREAM_PRODUCER_LEAKED = "stream.producer_leaked"
+#: Sites scanned by an LD prune/clump pass (:mod:`repro.core.ldops`).
+LDOPS_SITES_SEEN = "ldops.sites_seen"
+#: Sites surviving a windowed LD pruning pass.
+LDOPS_SITES_KEPT = "ldops.sites_kept"
+#: Sites removed by a windowed LD pruning pass.
+LDOPS_SITES_PRUNED = "ldops.sites_pruned"
+#: (site, window-neighbor) pairs whose r^2 predicate was evaluated --
+#: exact and invariant under chunking (the scan tests each needed pair
+#: once, whichever block it streamed in with).
+LDOPS_PAIRS_TESTED = "ldops.pairs_tested"
+#: Index variants (clumps) formed by a clumping pass.
+LDOPS_CLUMPS_FORMED = "ldops.clumps_formed"
+#: Sites absorbed into another site's clump.
+LDOPS_SITES_ABSORBED = "ldops.sites_absorbed"
+#: Peak sites simultaneously resident in the sliding window -- the
+#: O(window^2) memory claim in measurable form (<= window always).
+LDOPS_WINDOW_PEAK_SITES = "ldops.window_peak_sites"
 
 #: Every counter the instrumented layers emit, with a one-line meaning.
 COUNTER_CATALOGUE: dict[str, str] = {
@@ -228,6 +252,13 @@ COUNTER_CATALOGUE: dict[str, str] = {
     IO_CRC_FAILURES: "snpbin header/chunk CRC verification failures",
     IO_CHUNKS_VERIFIED: "snpbin data chunks CRC-verified on first read",
     STREAM_PRODUCER_LEAKED: "prefetch producers that outlived their close deadline",
+    LDOPS_SITES_SEEN: "sites scanned by an LD prune/clump pass",
+    LDOPS_SITES_KEPT: "sites surviving a windowed LD pruning pass",
+    LDOPS_SITES_PRUNED: "sites removed by a windowed LD pruning pass",
+    LDOPS_PAIRS_TESTED: "window pairs whose r^2 predicate was evaluated",
+    LDOPS_CLUMPS_FORMED: "index variants (clumps) formed by a clumping pass",
+    LDOPS_SITES_ABSORBED: "sites absorbed into another site's clump",
+    LDOPS_WINDOW_PEAK_SITES: "peak sites resident in the sliding LD window",
 }
 
 

@@ -99,6 +99,16 @@ DETERMINISTIC_COUNTERS = (
     "serve.breaker_trips",
     "io.crc_failures",
     "io.chunks_verified",
+    # LD prune/clump counters are exact functions of (panel, window,
+    # r2) for a pinned chunk size; pairs_tested and window_peak_sites
+    # are additionally invariant under chunking by construction.
+    "ldops.sites_seen",
+    "ldops.sites_kept",
+    "ldops.sites_pruned",
+    "ldops.pairs_tested",
+    "ldops.clumps_formed",
+    "ldops.sites_absorbed",
+    "ldops.window_peak_sites",
 )
 
 #: Default relative tolerance for ``timing``/``ratio`` metrics -- wide
@@ -140,6 +150,8 @@ def flatten_metrics(data: dict[str, Any], prefix: str) -> list[Metric]:
         return _flatten_pytest_benchmark(data, prefix)
     if "serving" in data:
         return _flatten_serving(data, prefix)
+    if "ldops" in data:
+        return _flatten_ldops(data, prefix)
     if "backends" in data and "problem" in data:
         return _flatten_backend_race(data, prefix)
     if "rows" in data and "problem" in data:
@@ -334,6 +346,51 @@ def _flatten_serving(data: dict[str, Any], prefix: str) -> list[Metric]:
             metrics.append(
                 Metric(f"{prefix}:counter.{name}", float(value), KIND_EXACT)
             )
+    return metrics
+
+
+def _flatten_ldops(data: dict[str, Any], prefix: str) -> list[Metric]:
+    """LD prune/clump bench payloads (``benchmarks/bench_ldops.py``).
+
+    Everything here is exact: the kept/clump cardinalities, the
+    chunked-vs-in-memory and brute-force-reference equivalence flags,
+    the window residency bound, and the deterministic ``ldops.*``
+    counters.  One wall-clock span rides the timing tolerance.
+    """
+    ldops = data["ldops"]
+    metrics = []
+    for name in (
+        "prune_kept",
+        "prune_pruned",
+        "clump_count",
+        "clump_absorbed",
+        "peak_window_sites",
+        "window",
+    ):
+        metrics.append(
+            Metric(f"{prefix}:{name}", float(ldops[name]), KIND_EXACT)
+        )
+    for name in (
+        "chunked_matches_inmemory",
+        "matches_dense_reference",
+        "window_bound_ok",
+    ):
+        metrics.append(
+            Metric(f"{prefix}:{name}", float(bool(ldops[name])), KIND_EXACT)
+        )
+    for name, value in sorted(data.get("counters", {}).items()):
+        if name in DETERMINISTIC_COUNTERS:
+            metrics.append(
+                Metric(f"{prefix}:counter.{name}", float(value), KIND_EXACT)
+            )
+    for span in data.get("spans", []):
+        metrics.append(
+            Metric(
+                f"{prefix}:span.{span['name']}.total_s",
+                float(span["total_s"]),
+                KIND_TIMING,
+            )
+        )
     return metrics
 
 
